@@ -1,0 +1,94 @@
+// Command coldsim runs keep-alive policy simulations over a trace
+// (synthetic or an AzurePublicDataset invocations CSV) and prints the
+// cold-start / wasted-memory comparison of §5.2.
+//
+// Usage:
+//
+//	coldsim -apps 400 -days 7                 # synthetic trace
+//	coldsim -trace trace/invocations.csv      # real/saved trace
+//	coldsim -policy hybrid -range 4h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coldsim: ")
+
+	var (
+		tracePath = flag.String("trace", "", "invocations CSV to replay (empty = synthesize)")
+		apps      = flag.Int("apps", 400, "apps to synthesize when -trace is empty")
+		days      = flag.Float64("days", 7, "days to synthesize when -trace is empty")
+		seed      = flag.Uint64("seed", 42, "random seed for synthesis")
+		histRange = flag.Duration("range", 4*time.Hour, "hybrid histogram range")
+	)
+	flag.Parse()
+
+	tr := loadTrace(*tracePath, *apps, *days, *seed)
+	fmt.Printf("trace: %d apps, %d invocations over %v\n\n",
+		len(tr.Apps), tr.TotalInvocations(), tr.Duration)
+
+	base := sim.Simulate(tr, policy.FixedKeepAlive{KeepAlive: 10 * time.Minute}, sim.Options{})
+	pols := []policy.Policy{
+		policy.NoUnloading{},
+		policy.FixedKeepAlive{KeepAlive: 10 * time.Minute},
+		policy.FixedKeepAlive{KeepAlive: time.Hour},
+		policy.FixedKeepAlive{KeepAlive: 2 * time.Hour},
+		hybrid(*histRange),
+	}
+	fmt.Printf("%-28s %12s %12s %14s\n", "policy", "coldQ3(%)", "coldMed(%)", "wastedMem(%)")
+	for _, p := range pols {
+		r := sim.Simulate(tr, p, sim.Options{})
+		cps := r.ColdPercents()
+		med := 0.0
+		if len(cps) > 0 {
+			med = stats.Percentile(cps, 50)
+		}
+		fmt.Printf("%-28s %12.2f %12.2f %14.2f\n",
+			r.Policy, metrics.ThirdQuartileColdPercent(r), med,
+			metrics.NormalizedWastedMemory(r, base))
+	}
+}
+
+func hybrid(histRange time.Duration) policy.Policy {
+	cfg := policy.DefaultHybridConfig()
+	cfg.Histogram.NumBins = int(histRange / cfg.Histogram.BinWidth)
+	return policy.NewHybrid(cfg)
+}
+
+func loadTrace(path string, apps int, days float64, seed uint64) *trace.Trace {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.ReadInvocationsCSV(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return tr
+	}
+	pop, err := workload.Generate(workload.Config{
+		Seed: seed, NumApps: apps,
+		Duration:     time.Duration(days * 24 * float64(time.Hour)),
+		MaxDailyRate: 2000, MaxEventsPerFunction: 20000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pop.Trace
+}

@@ -1,0 +1,72 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (Figures 1-8 characterization, Figures 14-19
+// simulation, Figure 20 platform replay) and writes a text report.
+//
+// Usage:
+//
+//	experiments -apps 1000 -days 7 -out experiments.txt
+//	experiments -skip-platform          # omit the scaled-time replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		apps     = flag.Int("apps", 1000, "generated applications")
+		days     = flag.Float64("days", 7, "trace length in days")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		out      = flag.String("out", "", "report file (empty = stdout)")
+		skipPlat = flag.Bool("skip-platform", false, "skip the figure-20 platform replay")
+		platApps = flag.Int("platform-apps", 68, "apps in the platform replay")
+		platHrs  = flag.Float64("platform-hours", 8, "platform replay window (hours)")
+		scale    = flag.Float64("platform-scale", 1800, "platform clock speedup")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:         *seed,
+		NumApps:      *apps,
+		Duration:     time.Duration(*days * 24 * float64(time.Hour)),
+		SkipPlatform: *skipPlat,
+		Platform: experiments.PlatformConfig{
+			Apps:   *platApps,
+			Window: time.Duration(*platHrs * float64(time.Hour)),
+			Scale:  *scale,
+			Seed:   *seed,
+		},
+	}
+
+	start := time.Now()
+	figs, err := experiments.RunAll(cfg, os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(w, "Serverless in the Wild — regenerated evaluation (%d apps, %v days, seed %d)\n",
+		*apps, *days, *seed)
+	fmt.Fprintf(w, "run time: %v\n\n", time.Since(start).Round(time.Second))
+	experiments.RenderAll(figs, w)
+	if *out != "" {
+		fmt.Printf("report written to %s\n", *out)
+	}
+}

@@ -1,0 +1,64 @@
+// Command faasd runs the in-process FaaS platform (the OpenWhisk
+// analogue of §4.3) behind an HTTP API, with a selectable keep-alive
+// policy.
+//
+// Usage:
+//
+//	faasd -listen :8080 -policy hybrid
+//	curl -X PUT  localhost:8080/actions/hello -d '{"exec_ms":50,"memory_mb":128}'
+//	curl -X POST localhost:8080/invoke/hello
+//	curl         localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/policy"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("faasd: ")
+
+	var (
+		listen    = flag.String("listen", ":8080", "HTTP listen address")
+		polName   = flag.String("policy", "hybrid", "keep-alive policy: hybrid | fixed | nounload")
+		keepAlive = flag.Duration("keep-alive", 10*time.Minute, "fixed policy keep-alive")
+		histRange = flag.Duration("range", 4*time.Hour, "hybrid histogram range")
+		invokers  = flag.Int("invokers", 4, "invoker count")
+		coldStart = flag.Duration("cold-start", 500*time.Millisecond, "simulated container cold start")
+	)
+	flag.Parse()
+
+	var pol policy.Policy
+	switch *polName {
+	case "hybrid":
+		cfg := policy.DefaultHybridConfig()
+		cfg.Histogram.NumBins = int(*histRange / cfg.Histogram.BinWidth)
+		pol = policy.NewHybrid(cfg)
+	case "fixed":
+		pol = policy.FixedKeepAlive{KeepAlive: *keepAlive}
+	case "nounload":
+		pol = policy.NoUnloading{}
+	default:
+		log.Fatalf("unknown policy %q", *polName)
+	}
+
+	p := platform.NewPlatform(platform.Config{
+		NumInvokers:    *invokers,
+		ColdStartDelay: *coldStart,
+	}, pol)
+	defer p.Stop()
+
+	api := platform.NewAPI(p)
+	fmt.Printf("faasd: %d invokers, policy %s, listening on %s\n",
+		*invokers, pol.Name(), *listen)
+	if err := http.ListenAndServe(*listen, api); err != nil {
+		log.Fatal(err)
+	}
+}

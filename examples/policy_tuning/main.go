@@ -1,0 +1,60 @@
+// Policy tuning: sweep the hybrid policy's histogram range, cutoff
+// percentiles and CV threshold over one workload, and print the
+// (cold starts, wasted memory) trade-off table — the §5.2 sensitivity
+// studies (Figures 15, 16 and 18) in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	wild "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	pop, err := wild.Generate(wild.WorkloadConfig{
+		Seed:     7,
+		NumApps:  300,
+		Duration: 3 * 24 * time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := pop.Trace
+	base := wild.Simulate(tr, wild.FixedKeepAlive{KeepAlive: 10 * time.Minute})
+	row := func(name string, pol wild.Policy) {
+		r := wild.Simulate(tr, pol)
+		fmt.Printf("%-26s  coldQ3=%6.2f%%  wastedMem=%7.2f%%\n",
+			name, wild.ThirdQuartileColdPercent(r), wild.NormalizedWastedMemory(r, base))
+	}
+
+	fmt.Println("— histogram range sweep (Figure 15) —")
+	for _, rng := range []time.Duration{time.Hour, 2 * time.Hour, 4 * time.Hour} {
+		cfg := wild.DefaultHybridConfig()
+		cfg.Histogram.NumBins = int(rng / cfg.Histogram.BinWidth)
+		row(fmt.Sprintf("hybrid range=%v", rng), wild.NewHybrid(cfg))
+	}
+
+	fmt.Println("\n— cutoff percentile sweep (Figure 16) —")
+	for _, c := range []struct{ head, tail float64 }{{0, 100}, {5, 99}, {5, 95}} {
+		cfg := wild.DefaultHybridConfig()
+		cfg.Histogram.HeadPercentile = c.head
+		cfg.Histogram.TailPercentile = c.tail
+		row(fmt.Sprintf("hybrid cutoffs [%g,%g]", c.head, c.tail), wild.NewHybrid(cfg))
+	}
+
+	fmt.Println("\n— CV threshold sweep (Figure 18) —")
+	for _, cv := range []float64{0, 2, 10} {
+		cfg := wild.DefaultHybridConfig()
+		cfg.CVThreshold = cv
+		row(fmt.Sprintf("hybrid CV threshold=%g", cv), wild.NewHybrid(cfg))
+	}
+
+	fmt.Println("\n— fixed keep-alive reference points —")
+	for _, ka := range []time.Duration{10 * time.Minute, time.Hour, 2 * time.Hour} {
+		row(fmt.Sprintf("fixed keep-alive=%v", ka), wild.FixedKeepAlive{KeepAlive: ka})
+	}
+}

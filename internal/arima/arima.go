@@ -1,0 +1,369 @@
+// Package arima implements ARIMA(p,d,q) modeling and forecasting in
+// pure Go, standing in for the pmdarima auto_arima the paper uses for
+// applications whose idle times exceed the histogram range (§4.2).
+//
+// Estimation follows the classical two-stage Hannan–Rissanen
+// procedure: a long autoregression captures innovations, then the
+// ARMA coefficients are obtained by least squares on lagged values
+// and lagged innovations, optionally refined by minimizing the
+// conditional sum of squares with Nelder–Mead. Order selection in Fit
+// (the auto_arima analogue) searches a small (p,d,q) grid and picks
+// the model minimizing AIC.
+package arima
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Model is a fitted ARIMA(p,d,q) model.
+type Model struct {
+	P, D, Q int
+
+	// AR coefficients (phi), length P, applied to the differenced,
+	// mean-centered series.
+	AR []float64
+	// MA coefficients (theta), length Q.
+	MA []float64
+	// Mean of the differenced series (the model's intercept is
+	// Mean*(1-sum(AR))).
+	Mean float64
+	// Sigma2 is the innovation variance estimate.
+	Sigma2 float64
+	// AIC is the Akaike information criterion of the fit.
+	AIC float64
+
+	series []float64 // original (undifferenced) series
+}
+
+// ErrTooShort indicates the series is too short for the requested
+// model order.
+var ErrTooShort = errors.New("arima: series too short")
+
+// Difference applies d-th order differencing to xs.
+func Difference(xs []float64, d int) []float64 {
+	out := append([]float64(nil), xs...)
+	for i := 0; i < d; i++ {
+		if len(out) < 2 {
+			return nil
+		}
+		next := make([]float64, len(out)-1)
+		for j := 1; j < len(out); j++ {
+			next[j-1] = out[j] - out[j-1]
+		}
+		out = next
+	}
+	return out
+}
+
+// Integrate inverts Difference: given the last d values of the
+// original series's difference pyramid (lasts[i] is the last value of
+// the i-times-differenced series) and forecasts of the d-times
+// differenced series, it produces forecasts at the original scale.
+func Integrate(forecasts []float64, lasts []float64) []float64 {
+	out := append([]float64(nil), forecasts...)
+	for level := len(lasts) - 1; level >= 0; level-- {
+		cum := lasts[level]
+		for i := range out {
+			cum += out[i]
+			out[i] = cum
+		}
+	}
+	return out
+}
+
+// FitOrder fits an ARIMA model with fixed order (p,d,q) to series.
+func FitOrder(series []float64, p, d, q int) (*Model, error) {
+	if p < 0 || d < 0 || q < 0 {
+		return nil, fmt.Errorf("arima: negative order (%d,%d,%d)", p, d, q)
+	}
+	w := Difference(series, d)
+	// Require enough observations to estimate all parameters with a
+	// few degrees of freedom to spare.
+	need := p + q + d + 3
+	if p+q > 0 {
+		need += maxInt(p, q)
+	}
+	if len(w) < need || len(w) < 2 {
+		return nil, ErrTooShort
+	}
+
+	mean := stats.Mean(w)
+	centered := make([]float64, len(w))
+	for i, v := range w {
+		centered[i] = v - mean
+	}
+
+	var ar, ma []float64
+	var ok bool
+	switch {
+	case p == 0 && q == 0:
+		ar, ma, ok = nil, nil, true
+	case q == 0:
+		ar, ok = fitAR(centered, p)
+		if !ok {
+			return nil, fmt.Errorf("arima: AR(%d) fit failed (singular)", p)
+		}
+	default:
+		ar, ma, ok = hannanRissanen(centered, p, q)
+		if !ok {
+			return nil, fmt.Errorf("arima: ARMA(%d,%d) fit failed (singular)", p, q)
+		}
+		ar, ma = refineCSS(centered, ar, ma)
+	}
+
+	resid := residuals(centered, ar, ma)
+	n := float64(len(resid))
+	var rss float64
+	for _, e := range resid {
+		rss += e * e
+	}
+	sigma2 := rss / n
+	if sigma2 <= 0 {
+		sigma2 = 1e-12
+	}
+	k := float64(p + q + 1) // +1 for the mean
+	aic := n*math.Log(sigma2) + 2*k
+
+	return &Model{
+		P: p, D: d, Q: q,
+		AR: ar, MA: ma,
+		Mean:   mean,
+		Sigma2: sigma2,
+		AIC:    aic,
+		series: append([]float64(nil), series...),
+	}, nil
+}
+
+// Options controls the Fit order search.
+type Options struct {
+	MaxP int // default 3
+	MaxD int // default 1
+	MaxQ int // default 2
+}
+
+// Fit searches (p,d,q) up to the bounds in opt and returns the model
+// minimizing AIC, mimicking auto_arima. Differencing levels are
+// compared on the same footing by AIC of the differenced fit plus a
+// penalty discouraging unnecessary differencing on short series.
+func Fit(series []float64, opt Options) (*Model, error) {
+	if opt.MaxP == 0 {
+		opt.MaxP = 3
+	}
+	if opt.MaxQ == 0 {
+		opt.MaxQ = 2
+	}
+	var best *Model
+	for d := 0; d <= opt.MaxD; d++ {
+		for p := 0; p <= opt.MaxP; p++ {
+			for q := 0; q <= opt.MaxQ; q++ {
+				m, err := FitOrder(series, p, d, q)
+				if err != nil {
+					continue
+				}
+				if best == nil || m.AIC < best.AIC {
+					best = m
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, ErrTooShort
+	}
+	return best, nil
+}
+
+// fitAR estimates AR(p) coefficients by OLS on lagged values.
+func fitAR(x []float64, p int) ([]float64, bool) {
+	n := len(x)
+	if n <= p {
+		return nil, false
+	}
+	rows := make([][]float64, 0, n-p)
+	ys := make([]float64, 0, n-p)
+	for t := p; t < n; t++ {
+		row := make([]float64, p)
+		for j := 0; j < p; j++ {
+			row[j] = x[t-1-j]
+		}
+		rows = append(rows, row)
+		ys = append(ys, x[t])
+	}
+	return stats.OLS(rows, ys)
+}
+
+// hannanRissanen performs the two-stage ARMA estimation.
+func hannanRissanen(x []float64, p, q int) (ar, ma []float64, ok bool) {
+	n := len(x)
+	// Stage 1: long AR to estimate innovations.
+	m := maxInt(p, q) + 2
+	if m > n/3 {
+		m = n / 3
+	}
+	if m < 1 {
+		return nil, nil, false
+	}
+	longAR, ok := fitAR(x, m)
+	if !ok {
+		return nil, nil, false
+	}
+	eps := make([]float64, n)
+	for t := m; t < n; t++ {
+		pred := 0.0
+		for j := 0; j < m; j++ {
+			pred += longAR[j] * x[t-1-j]
+		}
+		eps[t] = x[t] - pred
+	}
+	// Stage 2: regress x_t on p lags of x and q lags of eps.
+	start := maxInt(p, q) + m
+	if start >= n {
+		return nil, nil, false
+	}
+	rows := make([][]float64, 0, n-start)
+	ys := make([]float64, 0, n-start)
+	for t := start; t < n; t++ {
+		row := make([]float64, p+q)
+		for j := 0; j < p; j++ {
+			row[j] = x[t-1-j]
+		}
+		for j := 0; j < q; j++ {
+			row[p+j] = eps[t-1-j]
+		}
+		rows = append(rows, row)
+		ys = append(ys, x[t])
+	}
+	beta, ok := stats.OLS(rows, ys)
+	if !ok {
+		return nil, nil, false
+	}
+	return beta[:p], beta[p:], true
+}
+
+// refineCSS polishes ARMA coefficients by minimizing the conditional
+// sum of squares, keeping the result only if it improves and remains
+// numerically sane.
+func refineCSS(x []float64, ar, ma []float64) ([]float64, []float64) {
+	p, q := len(ar), len(ma)
+	params := make([]float64, 0, p+q)
+	params = append(params, ar...)
+	params = append(params, ma...)
+	css := func(theta []float64) float64 {
+		for _, v := range theta {
+			if math.Abs(v) > 10 {
+				return math.Inf(1)
+			}
+		}
+		resid := residuals(x, theta[:p], theta[p:])
+		var rss float64
+		for _, e := range resid {
+			rss += e * e
+			if math.IsInf(rss, 1) || math.IsNaN(rss) {
+				return math.Inf(1)
+			}
+		}
+		return rss
+	}
+	before := css(params)
+	refined, after := stats.NelderMead(css, params, stats.NelderMeadOptions{MaxIter: 300, Tol: 1e-10})
+	if after < before && !math.IsInf(after, 1) {
+		return refined[:p], refined[p:]
+	}
+	return ar, ma
+}
+
+// residuals computes one-step-ahead in-sample residuals of an ARMA
+// model on a centered series, conditioning on zero pre-sample values.
+func residuals(x []float64, ar, ma []float64) []float64 {
+	p, q := len(ar), len(ma)
+	eps := make([]float64, len(x))
+	for t := range x {
+		pred := 0.0
+		for j := 0; j < p; j++ {
+			if t-1-j >= 0 {
+				pred += ar[j] * x[t-1-j]
+			}
+		}
+		for j := 0; j < q; j++ {
+			if t-1-j >= 0 {
+				pred += ma[j] * eps[t-1-j]
+			}
+		}
+		eps[t] = x[t] - pred
+	}
+	return eps
+}
+
+// Forecast predicts the next h values of the original series.
+func (m *Model) Forecast(h int) []float64 {
+	if h <= 0 {
+		return nil
+	}
+	// Build the difference pyramid to recover integration constants.
+	lasts := make([]float64, m.D)
+	cur := m.series
+	for i := 0; i < m.D; i++ {
+		lasts[i] = cur[len(cur)-1]
+		cur = Difference(cur, 1)
+	}
+	// cur is now the d-times differenced series.
+	centered := make([]float64, len(cur))
+	for i, v := range cur {
+		centered[i] = v - m.Mean
+	}
+	eps := residuals(centered, m.AR, m.MA)
+
+	// Iterate forward; future innovations are zero.
+	extended := append([]float64(nil), centered...)
+	extEps := append([]float64(nil), eps...)
+	fc := make([]float64, h)
+	for step := 0; step < h; step++ {
+		t := len(extended)
+		pred := 0.0
+		for j := 0; j < m.P; j++ {
+			if t-1-j >= 0 {
+				pred += m.AR[j] * extended[t-1-j]
+			}
+		}
+		for j := 0; j < m.Q; j++ {
+			if t-1-j >= 0 {
+				pred += m.MA[j] * extEps[t-1-j]
+			}
+		}
+		extended = append(extended, pred)
+		extEps = append(extEps, 0)
+		fc[step] = pred + m.Mean
+	}
+	return Integrate(fc, lasts)
+}
+
+// ForecastNext returns the one-step-ahead forecast.
+func (m *Model) ForecastNext() float64 {
+	return m.Forecast(1)[0]
+}
+
+// Update refits the model's coefficients on the series extended with
+// x, keeping the same order. The paper updates the model after every
+// invocation of an ARIMA-managed app. On failure (e.g. still too
+// short) the model keeps its previous coefficients but records x.
+func (m *Model) Update(x float64) {
+	m.series = append(m.series, x)
+	if refit, err := FitOrder(m.series, m.P, m.D, m.Q); err == nil {
+		*m = *refit
+	}
+}
+
+// Series returns a copy of the series the model currently holds.
+func (m *Model) Series() []float64 {
+	return append([]float64(nil), m.series...)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+package arima
+
+import "math"
+
+// ACF returns the sample autocorrelation function of xs at lags
+// 1..maxLag. A constant or too-short series yields zeros.
+func ACF(xs []float64, maxLag int) []float64 {
+	out := make([]float64, maxLag)
+	n := len(xs)
+	if n < 2 {
+		return out
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var c0 float64
+	for _, x := range xs {
+		d := x - mean
+		c0 += d * d
+	}
+	if c0 == 0 {
+		return out
+	}
+	for lag := 1; lag <= maxLag && lag < n; lag++ {
+		var c float64
+		for t := lag; t < n; t++ {
+			c += (xs[t] - mean) * (xs[t-lag] - mean)
+		}
+		out[lag-1] = c / c0
+	}
+	return out
+}
+
+// LjungBox computes the Ljung–Box portmanteau statistic on xs at the
+// given lag count and returns the statistic and its approximate
+// p-value against a chi-squared distribution with (lags - fitted)
+// degrees of freedom; fitted is the number of fitted ARMA parameters
+// (pass 0 for a raw series). Small p-values indicate remaining
+// autocorrelation — i.e. the model has not whitened the residuals.
+// The paper's ARIMA reference (Box & Pierce 1970) is the ancestor of
+// this test.
+func LjungBox(xs []float64, lags, fitted int) (stat, pvalue float64) {
+	n := float64(len(xs))
+	if len(xs) < 3 || lags < 1 {
+		return 0, 1
+	}
+	acf := ACF(xs, lags)
+	for k := 1; k <= lags; k++ {
+		r := acf[k-1]
+		stat += r * r / (n - float64(k))
+	}
+	stat *= n * (n + 2)
+	dof := lags - fitted
+	if dof < 1 {
+		dof = 1
+	}
+	return stat, chiSquaredSF(stat, dof)
+}
+
+// Diagnostics summarizes a fitted model's residual behavior.
+type Diagnostics struct {
+	// ResidualACF is the residual autocorrelation at lags 1..len.
+	ResidualACF []float64
+	// LjungBoxStat and LjungBoxP test residual whiteness.
+	LjungBoxStat float64
+	LjungBoxP    float64
+}
+
+// Diagnose computes residual diagnostics for the fitted model, using
+// min(10, n/5) lags.
+func (m *Model) Diagnose() Diagnostics {
+	w := Difference(m.series, m.D)
+	centered := make([]float64, len(w))
+	for i, v := range w {
+		centered[i] = v - m.Mean
+	}
+	resid := residuals(centered, m.AR, m.MA)
+	lags := len(resid) / 5
+	if lags > 10 {
+		lags = 10
+	}
+	if lags < 1 {
+		lags = 1
+	}
+	stat, p := LjungBox(resid, lags, m.P+m.Q)
+	return Diagnostics{
+		ResidualACF:  ACF(resid, lags),
+		LjungBoxStat: stat,
+		LjungBoxP:    p,
+	}
+}
+
+// chiSquaredSF is the chi-squared survival function P(X > x) with k
+// degrees of freedom, via the regularized upper incomplete gamma
+// function Q(k/2, x/2).
+func chiSquaredSF(x float64, k int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperGammaRegularized(float64(k)/2, x/2)
+}
+
+// upperGammaRegularized computes Q(a, x) = Γ(a, x)/Γ(a) using the
+// series expansion for x < a+1 and a continued fraction otherwise
+// (Numerical Recipes style).
+func upperGammaRegularized(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return 1
+	}
+	if x == 0 {
+		return 1
+	}
+	lnGammaA, _ := math.Lgamma(a)
+	if x < a+1 {
+		// P(a,x) by series; Q = 1 - P.
+		sum := 1.0 / a
+		term := sum
+		for n := 1; n < 500; n++ {
+			term *= x / (a + float64(n))
+			sum += term
+			if math.Abs(term) < math.Abs(sum)*1e-14 {
+				break
+			}
+		}
+		p := sum * math.Exp(-x+a*math.Log(x)-lnGammaA)
+		return 1 - p
+	}
+	// Continued fraction for Q(a,x) (modified Lentz).
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-14 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lnGammaA) * h
+}

@@ -1,0 +1,108 @@
+package arima
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestACFWhiteNoiseNearZero(t *testing.T) {
+	r := stats.NewRNG(1)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	for lag, rho := range ACF(xs, 5) {
+		if math.Abs(rho) > 0.05 {
+			t.Fatalf("lag %d ACF = %v, want ~0", lag+1, rho)
+		}
+	}
+}
+
+func TestACFAR1Positive(t *testing.T) {
+	xs := genAR(0.8, 5000, 2)
+	acf := ACF(xs, 3)
+	if acf[0] < 0.7 || acf[0] > 0.9 {
+		t.Fatalf("lag-1 ACF = %v, want ~0.8", acf[0])
+	}
+	// Geometric decay: lag2 ~ 0.64, lag3 ~ 0.51.
+	if acf[1] < acf[2] || acf[0] < acf[1] {
+		t.Fatalf("ACF not decaying: %v", acf)
+	}
+}
+
+func TestACFEdgeCases(t *testing.T) {
+	if got := ACF(nil, 3); len(got) != 3 || got[0] != 0 {
+		t.Fatalf("nil series ACF = %v", got)
+	}
+	constant := []float64{5, 5, 5, 5}
+	for _, rho := range ACF(constant, 2) {
+		if rho != 0 {
+			t.Fatalf("constant series ACF = %v", rho)
+		}
+	}
+}
+
+func TestLjungBoxWhiteNoiseHighP(t *testing.T) {
+	r := stats.NewRNG(3)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	_, p := LjungBox(xs, 10, 0)
+	if p < 0.01 {
+		t.Fatalf("white noise rejected: p = %v", p)
+	}
+}
+
+func TestLjungBoxAR1LowP(t *testing.T) {
+	xs := genAR(0.8, 1000, 4)
+	stat, p := LjungBox(xs, 10, 0)
+	if p > 1e-6 {
+		t.Fatalf("strongly correlated series accepted: stat=%v p=%v", stat, p)
+	}
+}
+
+func TestLjungBoxDegenerate(t *testing.T) {
+	if _, p := LjungBox([]float64{1, 2}, 5, 0); p != 1 {
+		t.Fatalf("short series p = %v, want 1", p)
+	}
+}
+
+func TestDiagnoseFittedModelWhitensResiduals(t *testing.T) {
+	xs := genAR(0.7, 2000, 5)
+	m, err := FitOrder(xs, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Diagnose()
+	// The AR(1) fit should leave near-white residuals.
+	if d.LjungBoxP < 0.001 {
+		t.Fatalf("residuals not white: p = %v", d.LjungBoxP)
+	}
+	// While the raw series is strongly autocorrelated.
+	if _, rawP := LjungBox(xs, 10, 0); rawP > 1e-6 {
+		t.Fatalf("raw series should reject whiteness: p = %v", rawP)
+	}
+	if len(d.ResidualACF) == 0 {
+		t.Fatal("no residual ACF")
+	}
+}
+
+func TestChiSquaredSFKnownValues(t *testing.T) {
+	// Chi-squared with 1 dof: P(X > 3.841) = 0.05.
+	if p := chiSquaredSF(3.841, 1); math.Abs(p-0.05) > 0.002 {
+		t.Fatalf("sf(3.841, 1) = %v, want ~0.05", p)
+	}
+	// 10 dof: P(X > 18.307) = 0.05.
+	if p := chiSquaredSF(18.307, 10); math.Abs(p-0.05) > 0.002 {
+		t.Fatalf("sf(18.307, 10) = %v, want ~0.05", p)
+	}
+	if p := chiSquaredSF(0, 5); p != 1 {
+		t.Fatalf("sf(0) = %v", p)
+	}
+	if p := chiSquaredSF(1000, 2); p > 1e-100 {
+		t.Fatalf("sf(1000, 2) = %v, want ~0", p)
+	}
+}

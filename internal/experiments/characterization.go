@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Figure1 reproduces the CDF of functions per application and the
+// cumulative shares of invocations and functions by app size.
+func Figure1(pop *workload.Population) *Figure {
+	f := &Figure{
+		ID: "figure-01", Title: "Distribution of the number of functions per app",
+		XLabel: "functions per app", YLabel: "cumulative fraction",
+	}
+	type bySize struct {
+		apps, fns, invs float64
+	}
+	sizes := make(map[int]*bySize)
+	var totApps, totFns, totInvs float64
+	for _, app := range pop.Trace.Apps {
+		n := len(app.Functions)
+		b := sizes[n]
+		if b == nil {
+			b = &bySize{}
+			sizes[n] = b
+		}
+		inv := float64(app.TotalInvocations())
+		b.apps++
+		b.fns += float64(n)
+		b.invs += inv
+		totApps++
+		totFns += float64(n)
+		totInvs += inv
+	}
+	var keys []int
+	for k := range sizes {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var apps, fns, invs []stats.Point
+	var ca, cf, ci float64
+	for _, k := range keys {
+		b := sizes[k]
+		ca += b.apps / totApps
+		cf += b.fns / totFns
+		ci += b.invs / totInvs
+		x := float64(k)
+		apps = append(apps, stats.Point{X: x, Y: ca})
+		fns = append(fns, stats.Point{X: x, Y: cf})
+		invs = append(invs, stats.Point{X: x, Y: ci})
+	}
+	f.Series = []Series{
+		{Name: "% of apps", Points: apps},
+		{Name: "% of invocations", Points: invs},
+		{Name: "% of functions", Points: fns},
+	}
+	if b, ok := sizes[1]; ok {
+		f.AddNote("apps with exactly 1 function: %.1f%% (paper: 54%%)", 100*b.apps/totApps)
+	}
+	var le10 float64
+	for k, b := range sizes {
+		if k <= 10 {
+			le10 += b.apps
+		}
+	}
+	f.AddNote("apps with <= 10 functions: %.1f%% (paper: 95%%)", 100*le10/totApps)
+	return f
+}
+
+// Figure2 reproduces the functions/invocations-per-trigger table.
+func Figure2(pop *workload.Population) *Figure {
+	f := &Figure{ID: "figure-02", Title: "Functions and invocations per trigger type"}
+	fnCount := make(map[trace.TriggerType]float64)
+	invCount := make(map[trace.TriggerType]float64)
+	var totFns, totInvs float64
+	for _, app := range pop.Trace.Apps {
+		for _, fn := range app.Functions {
+			fnCount[fn.Trigger]++
+			invCount[fn.Trigger] += float64(len(fn.Invocations))
+			totFns++
+			totInvs += float64(len(fn.Invocations))
+		}
+	}
+	f.Table = [][]string{{"Trigger", "%Functions", "%Invocations"}}
+	for _, t := range trace.AllTriggers() {
+		f.Table = append(f.Table, []string{
+			t.String(),
+			fmt.Sprintf("%.1f", 100*fnCount[t]/totFns),
+			fmt.Sprintf("%.1f", 100*invCount[t]/totInvs),
+		})
+	}
+	f.AddNote("paper: HTTP 55.0/35.9, Queue 15.2/33.5, Event 2.2/24.7, Timer 15.6/2.0")
+	return f
+}
+
+// Figure3 reproduces the trigger-combination tables: apps with at
+// least one trigger of each class, and the most popular combinations.
+func Figure3(pop *workload.Population) *Figure {
+	f := &Figure{ID: "figure-03", Title: "Trigger types in applications"}
+	atLeast := make(map[trace.TriggerType]float64)
+	combos := make(map[uint8]float64)
+	total := float64(len(pop.Trace.Apps))
+	for _, app := range pop.Trace.Apps {
+		mask := app.TriggerSet()
+		combos[mask]++
+		for _, t := range trace.AllTriggers() {
+			if mask&(1<<t) != 0 {
+				atLeast[t]++
+			}
+		}
+	}
+	f.Table = [][]string{{"Trigger", "% apps with >= 1"}}
+	for _, t := range trace.AllTriggers() {
+		f.Table = append(f.Table, []string{
+			t.String(), fmt.Sprintf("%.2f", 100*atLeast[t]/total),
+		})
+	}
+	// Top combos.
+	type comboRow struct {
+		mask uint8
+		n    float64
+	}
+	var rows []comboRow
+	for m, n := range combos {
+		rows = append(rows, comboRow{m, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].mask < rows[j].mask
+	})
+	f.Table = append(f.Table, []string{"--combination--", "% apps"})
+	var cum float64
+	for i, r := range rows {
+		if i >= 12 {
+			break
+		}
+		cum += r.n / total
+		f.Table = append(f.Table, []string{
+			comboLabel(r.mask), fmt.Sprintf("%.2f (cum %.2f)", 100*r.n/total, 100*cum),
+		})
+	}
+	f.AddNote("paper: HTTP-only 43.27%%, Timer-only 13.36%%, 64.07%% of apps have >= 1 HTTP trigger")
+	return f
+}
+
+func comboLabel(mask uint8) string {
+	letters := map[trace.TriggerType]string{
+		trace.TriggerHTTP: "H", trace.TriggerTimer: "T", trace.TriggerQueue: "Q",
+		trace.TriggerStorage: "S", trace.TriggerEvent: "E",
+		trace.TriggerOrchestration: "O", trace.TriggerOthers: "o",
+	}
+	var s string
+	for _, t := range trace.AllTriggers() {
+		if mask&(1<<t) != 0 {
+			s += letters[t]
+		}
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// Figure4 reproduces the hourly invocation volume, normalized to the
+// peak hour.
+func Figure4(pop *workload.Population) *Figure {
+	f := &Figure{
+		ID: "figure-04", Title: "Invocations per hour, normalized to the peak",
+		XLabel: "hour", YLabel: "relative invocations",
+	}
+	hours := int(pop.Trace.Duration.Hours())
+	counts := make([]float64, hours)
+	for _, app := range pop.Trace.Apps {
+		for _, fn := range app.Functions {
+			for _, t := range fn.Invocations {
+				h := int(t / 3600)
+				if h >= hours {
+					h = hours - 1
+				}
+				counts[h]++
+			}
+		}
+	}
+	peak := stats.Max(counts)
+	if peak == 0 {
+		peak = 1
+	}
+	pts := make([]stats.Point, hours)
+	for h, c := range counts {
+		pts[h] = stats.Point{X: float64(h), Y: c / peak}
+	}
+	f.Series = []Series{{Name: "relative invocations", Points: pts}}
+	trough := stats.Min(counts) / peak
+	f.AddNote("trough/peak ratio: %.2f (paper: constant baseline of roughly 50%%)", trough)
+	return f
+}
+
+// Figure5 reproduces (a) the CDF of daily invocation rates per app and
+// function (intended, uncapped rates from generation metadata) and
+// (b) the cumulative invocation share of the most popular apps.
+func Figure5(pop *workload.Population) *Figure {
+	f := &Figure{
+		ID: "figure-05", Title: "Invocations per application and function",
+		XLabel: "daily invocations", YLabel: "CDF",
+	}
+	var appRates, fnRates []float64
+	for _, m := range pop.Meta {
+		appRates = append(appRates, m.DailyRate)
+		for _, fm := range m.Functions {
+			fnRates = append(fnRates, fm.DailyRate)
+		}
+	}
+	f.Series = []Series{
+		{Name: "applications", Points: cdfPoints(appRates, 64)},
+		{Name: "functions", Points: cdfPoints(fnRates, 64)},
+	}
+	appCDF := stats.NewECDF(appRates)
+	f.AddNote("apps invoked <= once/hour: %.1f%% (paper: 45%%)", 100*appCDF.At(24))
+	f.AddNote("apps invoked <= once/minute: %.1f%% (paper: 81%%)", 100*appCDF.At(1440))
+	span := stats.Max(appRates) / stats.Min(appRates)
+	f.AddNote("rate span: %.1f orders of magnitude (paper: 8)", math.Log10(span))
+
+	// (b): cumulative invocation fraction by popularity rank.
+	sorted := append([]float64(nil), appRates...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	total := stats.Sum(sorted)
+	var cum float64
+	var popPts []stats.Point
+	for i, r := range sorted {
+		cum += r
+		popPts = append(popPts, stats.Point{
+			X: 100 * float64(i+1) / float64(len(sorted)),
+			Y: cum / total,
+		})
+	}
+	f.Series = append(f.Series, Series{Name: "cumulative share by app popularity", Points: popPts})
+	// Share of invocations from apps invoked >= once/min.
+	var fastShare float64
+	for _, r := range sorted {
+		if r >= 1440 {
+			fastShare += r
+		}
+	}
+	fastApps := 100 * (1 - appCDF.At(1440))
+	f.AddNote("%.1f%% most popular apps (>= 1/min) account for %.2f%% of invocations (paper: 18.6%% -> 99.6%%)",
+		fastApps, 100*fastShare/total)
+	return f
+}
+
+// Figure6 reproduces the CDF of the coefficient of variation of app
+// IATs for all apps and the timer-based subsets.
+func Figure6(pop *workload.Population) *Figure {
+	f := &Figure{
+		ID: "figure-06", Title: "CV of the IATs for subsets of applications",
+		XLabel: "IAT coefficient of variation", YLabel: "CDF",
+	}
+	var all, onlyTimer, someTimer, noTimer []float64
+	for _, app := range pop.Trace.Apps {
+		iats := app.IATs()
+		if len(iats) < 5 {
+			continue
+		}
+		cv := stats.CV(iats)
+		all = append(all, cv)
+		timers, others := 0, 0
+		for _, fn := range app.Functions {
+			if fn.Trigger == trace.TriggerTimer {
+				timers++
+			} else {
+				others++
+			}
+		}
+		switch {
+		case timers > 0 && others == 0:
+			onlyTimer = append(onlyTimer, cv)
+		case timers > 0:
+			someTimer = append(someTimer, cv)
+		default:
+			noTimer = append(noTimer, cv)
+		}
+	}
+	f.Series = []Series{
+		{Name: "all apps", Points: cdfPoints(all, 64)},
+		{Name: "only timers", Points: cdfPoints(onlyTimer, 64)},
+		{Name: "at least 1 timer", Points: cdfPoints(someTimer, 64)},
+		{Name: "no timers", Points: cdfPoints(noTimer, 64)},
+	}
+	if len(onlyTimer) > 0 {
+		f.AddNote("timer-only apps with CV ~ 0: %.0f%% (paper: ~50%%)",
+			100*stats.NewECDF(onlyTimer).At(0.05))
+	}
+	if len(all) > 0 {
+		f.AddNote("all apps with CV > 1: %.0f%% (paper: ~40%%)",
+			100*(1-stats.NewECDF(all).At(1)))
+	}
+	return f
+}
+
+// Figure7 reproduces the execution-time distribution with the paper's
+// log-normal fit overlaid.
+func Figure7(pop *workload.Population) *Figure {
+	f := &Figure{
+		ID: "figure-07", Title: "Distribution of function execution times (seconds)",
+		XLabel: "seconds", YLabel: "CDF",
+	}
+	var avgs, mins, maxs []float64
+	for _, app := range pop.Trace.Apps {
+		for _, fn := range app.Functions {
+			avgs = append(avgs, fn.ExecStats.AvgSeconds)
+			mins = append(mins, fn.ExecStats.MinSeconds)
+			maxs = append(maxs, fn.ExecStats.MaxSeconds)
+		}
+	}
+	fit := stats.LogNormal{Mu: -0.38, Sigma: 2.36}
+	var fitPts []stats.Point
+	for q := 0.01; q < 1; q += 0.02 {
+		fitPts = append(fitPts, stats.Point{X: fit.Quantile(q), Y: q})
+	}
+	f.Series = []Series{
+		{Name: "minimum", Points: cdfPoints(mins, 64)},
+		{Name: "average", Points: cdfPoints(avgs, 64)},
+		{Name: "maximum", Points: cdfPoints(maxs, 64)},
+		{Name: "lognormal fit", Points: fitPts},
+	}
+	ec := stats.NewECDF(avgs)
+	f.AddNote("functions with average < 1s: %.0f%% (paper: 50%%)", 100*ec.At(1))
+	f.AddNote("functions with average <= 60s: %.0f%% (paper: 96%%)", 100*ec.At(60))
+	return f
+}
+
+// Figure8 reproduces the per-app allocated memory distribution with
+// the paper's Burr fit overlaid.
+func Figure8(pop *workload.Population) *Figure {
+	f := &Figure{
+		ID: "figure-08", Title: "Distribution of allocated memory per application (MB)",
+		XLabel: "MB", YLabel: "CDF",
+	}
+	var mems []float64
+	for _, app := range pop.Trace.Apps {
+		mems = append(mems, app.MemoryMB)
+	}
+	fit := stats.Burr{C: 11.652, K: 0.221, Lambda: 107.083}
+	var fitPts []stats.Point
+	for q := 0.01; q < 1; q += 0.02 {
+		fitPts = append(fitPts, stats.Point{X: fit.Quantile(q), Y: q})
+	}
+	f.Series = []Series{
+		{Name: "average allocated", Points: cdfPoints(mems, 64)},
+		{Name: "burr fit", Points: fitPts},
+	}
+	f.AddNote("median memory: %.0f MB (paper: ~170 MB)", stats.Percentile(mems, 50))
+	f.AddNote("p90 memory: %.0f MB (paper: ~400 MB; 4x spread in first 90%%)", stats.Percentile(mems, 90))
+	return f
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Config parameterizes a full experiment run.
+type Config struct {
+	// Seed drives workload generation and sampling.
+	Seed uint64
+	// NumApps sizes the generated population (default 1000).
+	NumApps int
+	// Duration is the trace horizon (default 7 days, §5.1).
+	Duration time.Duration
+	// MaxDailyRate / MaxEventsPerFunction bound realized trace size.
+	MaxDailyRate         float64
+	MaxEventsPerFunction int
+	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// SkipPlatform disables the Figure 20 platform replay (which runs
+	// in scaled real time).
+	SkipPlatform bool
+	// Platform configures Figure 20.
+	Platform PlatformConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumApps == 0 {
+		c.NumApps = 1000
+	}
+	if c.Duration == 0 {
+		c.Duration = 7 * 24 * time.Hour
+	}
+	if c.MaxDailyRate == 0 {
+		c.MaxDailyRate = 5000
+	}
+	if c.MaxEventsPerFunction == 0 {
+		c.MaxEventsPerFunction = 50000
+	}
+	return c
+}
+
+// RunAll regenerates every figure. Progress lines go to progress (may
+// be nil).
+func RunAll(cfg Config, progress io.Writer) ([]*Figure, error) {
+	cfg = cfg.withDefaults()
+	logf := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format+"\n", args...)
+		}
+	}
+
+	logf("generating population: %d apps over %v (seed %d)", cfg.NumApps, cfg.Duration, cfg.Seed)
+	pop, err := workload.Generate(workload.Config{
+		Seed:                 cfg.Seed,
+		NumApps:              cfg.NumApps,
+		Duration:             cfg.Duration,
+		MaxDailyRate:         cfg.MaxDailyRate,
+		MaxEventsPerFunction: cfg.MaxEventsPerFunction,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating workload: %w", err)
+	}
+	logf("population: %d apps, %d functions, %d invocations",
+		len(pop.Trace.Apps), pop.Trace.TotalFunctions(), pop.Trace.TotalInvocations())
+
+	var figs []*Figure
+	add := func(name string, fn func() *Figure) {
+		start := time.Now()
+		fig := fn()
+		logf("%s done in %v", name, time.Since(start).Round(time.Millisecond))
+		figs = append(figs, fig)
+	}
+
+	add("figure-01", func() *Figure { return Figure1(pop) })
+	add("figure-02", func() *Figure { return Figure2(pop) })
+	add("figure-03", func() *Figure { return Figure3(pop) })
+	add("figure-04", func() *Figure { return Figure4(pop) })
+	add("figure-05", func() *Figure { return Figure5(pop) })
+	add("figure-06", func() *Figure { return Figure6(pop) })
+	add("figure-07", func() *Figure { return Figure7(pop) })
+	add("figure-08", func() *Figure { return Figure8(pop) })
+	add("figure-12", func() *Figure { return Figure12(pop) })
+
+	tr := pop.Trace
+	add("figure-14", func() *Figure { return Figure14(tr, cfg.Workers) })
+	add("figure-15", func() *Figure { return Figure15(tr, cfg.Workers) })
+	add("figure-16", func() *Figure { return Figure16(tr, cfg.Workers) })
+	add("figure-17", func() *Figure { return Figure17(tr, cfg.Workers) })
+	add("figure-18", func() *Figure { return Figure18(tr, cfg.Workers) })
+	add("figure-19", func() *Figure { return Figure19(tr, cfg.Workers) })
+	add("figure-19b", func() *Figure { return ForecasterAblation(tr, cfg.Workers) })
+	add("extra-range-sweep", func() *Figure { return RangeSweep(tr, cfg.Workers) })
+
+	if !cfg.SkipPlatform {
+		start := time.Now()
+		fig20, err := Figure20(tr, cfg.Platform)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 20: %w", err)
+		}
+		logf("figure-20 done in %v", time.Since(start).Round(time.Millisecond))
+		figs = append(figs, fig20)
+	}
+	return figs, nil
+}
+
+// RenderAll writes every figure to w.
+func RenderAll(figs []*Figure, w io.Writer) {
+	for _, f := range figs {
+		f.Render(w)
+	}
+}

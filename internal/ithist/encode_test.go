@@ -1,0 +1,133 @@
+package ithist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		h := New(DefaultConfig())
+		for i := 0; i < 500; i++ {
+			h.Observe(time.Duration(r.Float64() * float64(6*time.Hour)))
+		}
+		got, err := Decode(h.Encode())
+		if err != nil {
+			return false
+		}
+		if got.Total() != h.Total() || got.OutOfBounds() != h.OutOfBounds() {
+			return false
+		}
+		for i := 0; i < h.Config().NumBins; i++ {
+			if got.Count(i) != h.Count(i) {
+				return false
+			}
+		}
+		// Derived quantities must agree too.
+		gpw, gka, gok := got.Windows()
+		hpw, hka, hok := h.Windows()
+		return gok == hok && gpw == hpw && gka == hka
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0xff},
+		{1},          // truncated after version
+		{2, 1, 2, 3}, // wrong version
+	}
+	for i, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDecodeEmptyHistogram(t *testing.T) {
+	h := New(DefaultConfig())
+	got, err := Decode(h.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != 0 || got.OutOfBounds() != 0 {
+		t.Fatal("empty histogram did not round trip")
+	}
+	if _, _, ok := got.Windows(); ok {
+		t.Fatal("decoded empty histogram should have no windows")
+	}
+}
+
+func TestEncodeCompact(t *testing.T) {
+	// A sparse histogram should encode much smaller than 8 bytes/bin.
+	h := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * time.Minute)
+	}
+	if n := len(h.Encode()); n > 400 {
+		t.Fatalf("encoding = %d bytes, want compact", n)
+	}
+}
+
+func TestMergePlainSum(t *testing.T) {
+	a := New(DefaultConfig())
+	b := New(DefaultConfig())
+	a.Observe(10 * time.Minute)
+	b.Observe(10 * time.Minute)
+	b.Observe(20 * time.Minute)
+	b.Observe(10 * time.Hour) // OOB
+	if err := a.Merge(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count(10) != 2 || a.Count(20) != 1 {
+		t.Fatalf("counts = %d, %d", a.Count(10), a.Count(20))
+	}
+	if a.Total() != 3 || a.OutOfBounds() != 1 {
+		t.Fatalf("total=%d oob=%d", a.Total(), a.OutOfBounds())
+	}
+}
+
+func TestMergeWeighted(t *testing.T) {
+	a := New(DefaultConfig())
+	b := New(DefaultConfig())
+	for i := 0; i < 10; i++ {
+		b.Observe(30 * time.Minute)
+	}
+	if err := a.Merge(b, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count(30) != 5 {
+		t.Fatalf("weighted count = %d, want 5", a.Count(30))
+	}
+	// CV bookkeeping must stay consistent with a fresh recompute (up
+	// to incremental-update round-off).
+	var w stats.Welford
+	for _, c := range a.Counts() {
+		w.Add(float64(c))
+	}
+	if got, want := a.BinCountCV(), w.CV(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("merged CV %v != recomputed %v", got, want)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	a := New(DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.NumBins = 60
+	b := New(cfg)
+	if err := a.Merge(b, 1); err == nil {
+		t.Fatal("expected config mismatch error")
+	}
+	c := New(DefaultConfig())
+	if err := a.Merge(c, -1); err == nil {
+		t.Fatal("expected negative weight error")
+	}
+}

@@ -1,0 +1,235 @@
+// Package ithist implements the paper's range-limited idle-time (IT)
+// histogram (§4.2), the centerpiece of the hybrid keep-alive policy.
+//
+// The histogram uses 1-minute bins over a configurable range (default
+// 4 hours, i.e. 240 bins ~ 960 bytes of counters, matching the Azure
+// production implementation in §6). Idle times beyond the range are
+// counted as out-of-bounds (OOB). The head (default 5th percentile,
+// rounded down to the bin's lower edge) selects the pre-warming
+// window; the tail (default 99th percentile, rounded up to the bin's
+// upper edge) selects the keep-alive window; a 10% margin widens both
+// for safety. Representativeness is judged by the coefficient of
+// variation of the bin counts, tracked incrementally with Welford's
+// algorithm so each update is O(1).
+package ithist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Config parameterizes the histogram. The zero value is invalid; use
+// DefaultConfig.
+type Config struct {
+	// BinWidth is the width of one bin. The paper uses 1 minute.
+	BinWidth time.Duration
+	// NumBins is the number of bins; BinWidth*NumBins is the histogram
+	// range (the paper's default is 240 bins = 4 hours).
+	NumBins int
+	// HeadPercentile selects the pre-warming window (default 5).
+	HeadPercentile float64
+	// TailPercentile selects the keep-alive window (default 99).
+	TailPercentile float64
+	// Margin widens the windows for error tolerance (default 0.10):
+	// the pre-warming window shrinks by Margin and the keep-alive
+	// window grows by Margin.
+	Margin float64
+}
+
+// DefaultConfig returns the paper's default parameters: 1-minute bins,
+// 4-hour range, 5th/99th percentile cutoffs, 10% margin.
+func DefaultConfig() Config {
+	return Config{
+		BinWidth:       time.Minute,
+		NumBins:        240,
+		HeadPercentile: 5,
+		TailPercentile: 99,
+		Margin:         0.10,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.BinWidth <= 0 {
+		return fmt.Errorf("ithist: BinWidth must be positive, got %v", c.BinWidth)
+	}
+	if c.NumBins <= 0 {
+		return fmt.Errorf("ithist: NumBins must be positive, got %d", c.NumBins)
+	}
+	if c.HeadPercentile < 0 || c.HeadPercentile > 100 {
+		return fmt.Errorf("ithist: HeadPercentile %v out of [0,100]", c.HeadPercentile)
+	}
+	if c.TailPercentile < 0 || c.TailPercentile > 100 {
+		return fmt.Errorf("ithist: TailPercentile %v out of [0,100]", c.TailPercentile)
+	}
+	if c.HeadPercentile > c.TailPercentile {
+		return fmt.Errorf("ithist: head %v > tail %v", c.HeadPercentile, c.TailPercentile)
+	}
+	if c.Margin < 0 || c.Margin >= 1 {
+		return fmt.Errorf("ithist: Margin %v out of [0,1)", c.Margin)
+	}
+	return nil
+}
+
+// Histogram tracks an application's idle-time distribution.
+type Histogram struct {
+	cfg    Config
+	counts []int64
+	total  int64 // in-bounds observations
+	oob    int64 // out-of-bounds observations
+	binCV  stats.Welford
+}
+
+// New creates a histogram with the given configuration. It panics on
+// an invalid configuration (programming error).
+func New(cfg Config) *Histogram {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Histogram{cfg: cfg, counts: make([]int64, cfg.NumBins)}
+	for range h.counts {
+		h.binCV.Add(0)
+	}
+	return h
+}
+
+// Config returns the histogram's configuration.
+func (h *Histogram) Config() Config { return h.cfg }
+
+// Range returns the histogram's covered duration (BinWidth * NumBins).
+func (h *Histogram) Range() time.Duration {
+	return h.cfg.BinWidth * time.Duration(h.cfg.NumBins)
+}
+
+// Observe records one idle time. ITs at or beyond the range (or
+// negative) count as out-of-bounds and do not enter the bins.
+func (h *Histogram) Observe(it time.Duration) {
+	if it < 0 {
+		h.oob++
+		return
+	}
+	idx := int(it / h.cfg.BinWidth)
+	if idx >= h.cfg.NumBins {
+		h.oob++
+		return
+	}
+	old := float64(h.counts[idx])
+	h.counts[idx]++
+	h.total++
+	h.binCV.Replace(old, old+1)
+}
+
+// Total returns the number of in-bounds idle times observed.
+func (h *Histogram) Total() int64 { return h.total }
+
+// OutOfBounds returns the number of out-of-bounds idle times.
+func (h *Histogram) OutOfBounds() int64 { return h.oob }
+
+// OOBFraction returns the fraction of all observed ITs that were out
+// of bounds (0 when nothing was observed).
+func (h *Histogram) OOBFraction() float64 {
+	n := h.total + h.oob
+	if n == 0 {
+		return 0
+	}
+	return float64(h.oob) / float64(n)
+}
+
+// BinCountCV returns the coefficient of variation of the bin counts,
+// maintained incrementally. High CV means the ITs concentrate in few
+// bins (the histogram is representative); CV near zero means the mass
+// is spread out or absent.
+func (h *Histogram) BinCountCV() float64 { return h.binCV.CV() }
+
+// Count returns the count in bin idx.
+func (h *Histogram) Count(idx int) int64 { return h.counts[idx] }
+
+// Counts returns a copy of the bin counts.
+func (h *Histogram) Counts() []int64 {
+	c := make([]int64, len(h.counts))
+	copy(c, h.counts)
+	return c
+}
+
+// percentileBin returns the index of the bin containing percentile p
+// of the in-bounds distribution. Caller guarantees total > 0.
+func (h *Histogram) percentileBin(p float64) int {
+	target := p / 100 * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += float64(c)
+		if cum >= target {
+			return i
+		}
+	}
+	for i := len(h.counts) - 1; i >= 0; i-- {
+		if h.counts[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// Windows computes the pre-warming and keep-alive windows from the
+// current distribution, per §4.2 and Figure 11:
+//
+//   - head = HeadPercentile of the IT distribution, rounded DOWN to
+//     the containing bin's lower edge, then reduced by Margin; this is
+//     the pre-warming window. A head that rounds to bin 0 yields a
+//     pre-warming window of 0 (the app is not unloaded; center column
+//     of Figure 12).
+//   - tail = TailPercentile, rounded UP to the containing bin's upper
+//     edge, then increased by Margin. The keep-alive window covers
+//     from the pre-warm point through the tail: keepAlive = tail -
+//     preWarm (so that pre-warm + keep-alive spans the IT range the
+//     histogram predicts).
+//
+// ok is false when the histogram has no in-bounds observations.
+func (h *Histogram) Windows() (preWarm, keepAlive time.Duration, ok bool) {
+	if h.total == 0 {
+		return 0, 0, false
+	}
+	headBin := h.percentileBin(h.cfg.HeadPercentile)
+	tailBin := h.percentileBin(h.cfg.TailPercentile)
+
+	// Round head down, tail up, to whole-bin edges.
+	head := time.Duration(headBin) * h.cfg.BinWidth
+	tail := time.Duration(tailBin+1) * h.cfg.BinWidth
+
+	// Apply the margin: pre-warm earlier, keep alive longer.
+	preWarm = time.Duration(float64(head) * (1 - h.cfg.Margin))
+	tailM := time.Duration(float64(tail) * (1 + h.cfg.Margin))
+	if tailM > h.Range() {
+		// Never promise a keep-alive beyond the histogram's knowledge.
+		tailM = h.Range()
+	}
+	keepAlive = tailM - preWarm
+	if keepAlive < h.cfg.BinWidth {
+		keepAlive = h.cfg.BinWidth
+	}
+	return preWarm, keepAlive, true
+}
+
+// Reset clears all state (used when an application is redeployed).
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.oob = 0, 0
+	h.binCV.Reset()
+	for range h.counts {
+		h.binCV.Add(0)
+	}
+}
+
+// MemoryFootprintBytes returns the approximate size of the histogram's
+// counters, to document the §6 claim of ~960 bytes per app with 240
+// 4-byte buckets. (We store int64 counters, so 8 bytes per bin.)
+func (h *Histogram) MemoryFootprintBytes() int {
+	return 8 * len(h.counts)
+}

@@ -1,0 +1,288 @@
+package ithist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func defaultHist() *Histogram { return New(DefaultConfig()) }
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := New(cfg)
+	if h.Range() != 4*time.Hour {
+		t.Fatalf("range = %v, want 4h", h.Range())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{BinWidth: 0, NumBins: 10},
+		{BinWidth: time.Minute, NumBins: 0},
+		{BinWidth: time.Minute, NumBins: 10, HeadPercentile: -1},
+		{BinWidth: time.Minute, NumBins: 10, TailPercentile: 101},
+		{BinWidth: time.Minute, NumBins: 10, HeadPercentile: 50, TailPercentile: 40},
+		{BinWidth: time.Minute, NumBins: 10, Margin: 1},
+		{BinWidth: time.Minute, NumBins: 10, Margin: -0.1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestObserveBinsAndOOB(t *testing.T) {
+	h := defaultHist()
+	h.Observe(30 * time.Second) // bin 0
+	h.Observe(90 * time.Second) // bin 1
+	h.Observe(5 * time.Hour)    // OOB
+	h.Observe(-time.Second)     // OOB (defensive)
+	if h.Total() != 2 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.OutOfBounds() != 2 {
+		t.Fatalf("oob = %d", h.OutOfBounds())
+	}
+	if got := h.OOBFraction(); got != 0.5 {
+		t.Fatalf("oob fraction = %v", got)
+	}
+	if h.Count(0) != 1 || h.Count(1) != 1 {
+		t.Fatal("wrong bins")
+	}
+}
+
+func TestObserveExactRangeBoundaryIsOOB(t *testing.T) {
+	h := defaultHist()
+	h.Observe(4 * time.Hour) // == range → OOB
+	if h.Total() != 0 || h.OutOfBounds() != 1 {
+		t.Fatalf("total=%d oob=%d", h.Total(), h.OutOfBounds())
+	}
+}
+
+func TestOOBFractionEmpty(t *testing.T) {
+	if defaultHist().OOBFraction() != 0 {
+		t.Fatal("empty histogram OOB fraction should be 0")
+	}
+}
+
+func TestWindowsEmptyNotOK(t *testing.T) {
+	if _, _, ok := defaultHist().Windows(); ok {
+		t.Fatal("empty histogram should not produce windows")
+	}
+}
+
+func TestWindowsConcentratedDistribution(t *testing.T) {
+	// All ITs ~ 10 minutes: head and tail in bin 10.
+	h := defaultHist()
+	for i := 0; i < 100; i++ {
+		h.Observe(10*time.Minute + 30*time.Second)
+	}
+	pw, ka, ok := h.Windows()
+	if !ok {
+		t.Fatal("expected windows")
+	}
+	// Head = bin 10 lower edge = 10min, minus 10% margin = 9min.
+	if pw != 9*time.Minute {
+		t.Fatalf("preWarm = %v, want 9m", pw)
+	}
+	// Tail = bin 10 upper edge = 11min, plus 10% = 12.1min; KA = 12.1 - 9 = 3.1min.
+	wantKA := time.Duration(float64(11*time.Minute)*1.1) - 9*time.Minute
+	if ka != wantKA {
+		t.Fatalf("keepAlive = %v, want %v", ka, wantKA)
+	}
+}
+
+func TestWindowsHeadRoundsDownToZero(t *testing.T) {
+	// ITs under one minute: head bin 0 → pre-warm window 0 (the
+	// "don't unload" cases in the center column of Figure 12).
+	h := defaultHist()
+	for i := 0; i < 50; i++ {
+		h.Observe(20 * time.Second)
+	}
+	pw, ka, ok := h.Windows()
+	if !ok || pw != 0 {
+		t.Fatalf("preWarm = %v ok=%v, want 0", pw, ok)
+	}
+	if ka <= 0 {
+		t.Fatalf("keepAlive = %v", ka)
+	}
+}
+
+func TestWindowsSpreadDistribution(t *testing.T) {
+	// ITs spread 5..60 min: head near 5min, tail near 60min.
+	h := defaultHist()
+	for m := 5; m <= 60; m++ {
+		h.Observe(time.Duration(m)*time.Minute + time.Second)
+	}
+	pw, ka, ok := h.Windows()
+	if !ok {
+		t.Fatal("expected windows")
+	}
+	// 56 observations; 5th pct ≈ index 2.8 → within first few bins (5-7min).
+	if pw < 4*time.Minute || pw > 8*time.Minute {
+		t.Fatalf("preWarm = %v", pw)
+	}
+	// Tail covers ~60min; KA = tail*1.1 - pw ≈ 61min.
+	if ka < 50*time.Minute || ka > 70*time.Minute {
+		t.Fatalf("keepAlive = %v", ka)
+	}
+}
+
+func TestWindowsTailClampedToRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumBins = 10 // 10-minute range
+	h := New(cfg)
+	for i := 0; i < 100; i++ {
+		h.Observe(9*time.Minute + 30*time.Second) // last bin
+	}
+	pw, ka, ok := h.Windows()
+	if !ok {
+		t.Fatal("expected windows")
+	}
+	if pw+ka > h.Range() {
+		t.Fatalf("pw+ka = %v exceeds range %v", pw+ka, h.Range())
+	}
+}
+
+func TestWindowsZeroMargin(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Margin = 0
+	h := New(cfg)
+	for i := 0; i < 10; i++ {
+		h.Observe(30 * time.Minute)
+	}
+	pw, ka, ok := h.Windows()
+	if !ok {
+		t.Fatal("expected windows")
+	}
+	if pw != 30*time.Minute {
+		t.Fatalf("preWarm = %v, want 30m", pw)
+	}
+	if ka != time.Minute {
+		t.Fatalf("keepAlive = %v, want 1m (single bin)", ka)
+	}
+}
+
+func TestBinCountCVMatchesBatch(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		cfg := DefaultConfig()
+		cfg.NumBins = 24
+		h := New(cfg)
+		for i := 0; i < 200; i++ {
+			h.Observe(time.Duration(r.Float64() * float64(30*time.Minute)))
+		}
+		// Recompute CV from scratch.
+		var w stats.Welford
+		for _, c := range h.Counts() {
+			w.Add(float64(c))
+		}
+		return math.Abs(h.BinCountCV()-w.CV()) < 1e-6
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinCountCVConcentratedVsFlat(t *testing.T) {
+	concentrated := defaultHist()
+	for i := 0; i < 1000; i++ {
+		concentrated.Observe(7 * time.Minute)
+	}
+	if cv := concentrated.BinCountCV(); cv < 10 {
+		t.Fatalf("concentrated CV = %v, want large", cv)
+	}
+	flat := defaultHist()
+	for b := 0; b < 240; b++ {
+		flat.Observe(time.Duration(b)*time.Minute + time.Second)
+	}
+	if cv := flat.BinCountCV(); cv > 0.1 {
+		t.Fatalf("flat CV = %v, want ~0", cv)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := defaultHist()
+	h.Observe(time.Minute)
+	h.Observe(10 * time.Hour)
+	h.Reset()
+	if h.Total() != 0 || h.OutOfBounds() != 0 {
+		t.Fatal("Reset did not clear counts")
+	}
+	if h.BinCountCV() != 0 {
+		t.Fatal("Reset did not clear CV state")
+	}
+	if _, _, ok := h.Windows(); ok {
+		t.Fatal("Windows after Reset should not be ok")
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	h := defaultHist()
+	if got := h.MemoryFootprintBytes(); got != 240*8 {
+		t.Fatalf("footprint = %d", got)
+	}
+}
+
+func TestWindowsMonotoneTailWithPercentile(t *testing.T) {
+	// A higher tail percentile must never shorten pw+ka coverage.
+	mk := func(tail float64) time.Duration {
+		cfg := DefaultConfig()
+		cfg.TailPercentile = tail
+		h := New(cfg)
+		r := stats.NewRNG(5)
+		for i := 0; i < 500; i++ {
+			h.Observe(time.Duration(r.Float64() * float64(2*time.Hour)))
+		}
+		pw, ka, _ := h.Windows()
+		return pw + ka
+	}
+	if mk(99) < mk(95) {
+		t.Fatal("coverage should grow with tail percentile")
+	}
+}
+
+func TestPercentileBinProperty(t *testing.T) {
+	// percentileBin via Windows must track the underlying distribution:
+	// feeding only bin k concentrates head and tail at k.
+	check := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		bin := r.Intn(240)
+		cfg := DefaultConfig()
+		cfg.Margin = 0
+		h := New(cfg)
+		for i := 0; i < 20; i++ {
+			h.Observe(time.Duration(bin)*time.Minute + 15*time.Second)
+		}
+		pw, ka, ok := h.Windows()
+		if !ok {
+			return false
+		}
+		wantPW := time.Duration(bin) * time.Minute
+		wantEnd := time.Duration(bin+1) * time.Minute
+		if wantEnd > h.Range() {
+			wantEnd = h.Range()
+		}
+		return pw == wantPW && pw+ka >= wantEnd
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func mkResult(policy string, wasted float64, coldPercents ...float64) *sim.Result {
+	r := &sim.Result{Policy: policy, HorizonSeconds: 3600}
+	for i, cp := range coldPercents {
+		inv := 100
+		r.Apps = append(r.Apps, sim.AppResult{
+			AppID:       string(rune('a' + i)),
+			Invocations: inv,
+			ColdStarts:  int(cp),
+		})
+	}
+	if len(r.Apps) > 0 {
+		r.Apps[0].WastedSeconds = wasted
+	}
+	return r
+}
+
+func TestThirdQuartile(t *testing.T) {
+	r := mkResult("p", 0, 0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+	got := ThirdQuartileColdPercent(r)
+	if math.Abs(got-75) > 1e-9 {
+		t.Fatalf("q3 = %v, want 75", got)
+	}
+}
+
+func TestThirdQuartileEmpty(t *testing.T) {
+	if got := ThirdQuartileColdPercent(&sim.Result{}); got != 0 {
+		t.Fatalf("q3 of empty = %v", got)
+	}
+}
+
+func TestColdStartCDF(t *testing.T) {
+	r := mkResult("p", 0, 0, 50, 100)
+	cdf := ColdStartCDF(r)
+	if got := cdf.At(50); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("At(50) = %v", got)
+	}
+}
+
+func TestNormalizedWastedMemory(t *testing.T) {
+	a := mkResult("a", 150, 10)
+	b := mkResult("b", 100, 10)
+	if got := NormalizedWastedMemory(a, b); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("normalized = %v, want 150", got)
+	}
+	if got := NormalizedWastedMemory(a, mkResult("z", 0, 10)); got != 0 {
+		t.Fatalf("zero baseline should yield 0, got %v", got)
+	}
+}
+
+func TestTradeoffAndPareto(t *testing.T) {
+	baseline := mkResult("base", 100, 50, 50, 50, 50)
+	r1 := mkResult("good", 80, 10, 10, 10, 10)   // dominates r2
+	r2 := mkResult("bad", 120, 30, 30, 30, 30)   // dominated
+	r3 := mkResult("cheap", 40, 60, 60, 60, 60)  // frontier (cheapest)
+	pts := Tradeoff([]*sim.Result{r1, r2, r3}, baseline)
+	if len(pts) != 3 {
+		t.Fatalf("pts = %d", len(pts))
+	}
+	frontier := ParetoFrontier(pts)
+	names := map[string]bool{}
+	for _, p := range frontier {
+		names[p.Policy] = true
+	}
+	if !names["good"] || !names["cheap"] || names["bad"] {
+		t.Fatalf("frontier = %v", frontier)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := TradeoffPoint{ColdQ3: 10, WastedPct: 80}
+	b := TradeoffPoint{ColdQ3: 20, WastedPct: 90}
+	if !Dominates(a, b) || Dominates(b, a) {
+		t.Fatal("dominance wrong")
+	}
+	if Dominates(a, a) {
+		t.Fatal("a point must not dominate itself")
+	}
+	c := TradeoffPoint{ColdQ3: 5, WastedPct: 100}
+	if Dominates(a, c) || Dominates(c, a) {
+		t.Fatal("incomparable points must not dominate")
+	}
+}
+
+func TestTradeoffPointString(t *testing.T) {
+	p := TradeoffPoint{Policy: "x", ColdQ3: 1, WastedPct: 2}
+	if p.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,150 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// API is the REST front end of the platform (the Nginx/REST layer of
+// Figure 13): actions are registered, invoked, and inspected over
+// HTTP. It is an http.Handler; mount it on any server or test it with
+// httptest.
+type API struct {
+	p *Platform
+
+	mu      sync.Mutex
+	actions map[string]actionSpec
+	mux     *http.ServeMux
+}
+
+// actionSpec is a registered action (OpenWhisk terminology for a
+// function): its app, execution duration, and memory.
+type actionSpec struct {
+	App      string  `json:"app"`
+	ExecMs   float64 `json:"exec_ms"`
+	MemoryMB float64 `json:"memory_mb"`
+}
+
+// NewAPI wraps a platform in a REST interface.
+func NewAPI(p *Platform) *API {
+	a := &API{p: p, actions: make(map[string]actionSpec)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/actions/", a.handleAction)
+	mux.HandleFunc("/invoke/", a.handleInvoke)
+	mux.HandleFunc("/stats", a.handleStats)
+	a.mux = mux
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.mux.ServeHTTP(w, r)
+}
+
+// handleAction registers (PUT/POST) or fetches (GET) an action.
+func (a *API) handleAction(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Path[len("/actions/"):]
+	if name == "" {
+		http.Error(w, "action name required", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodPut, http.MethodPost:
+		var spec actionSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, fmt.Sprintf("bad action spec: %v", err), http.StatusBadRequest)
+			return
+		}
+		if spec.App == "" {
+			spec.App = name
+		}
+		if spec.MemoryMB <= 0 {
+			spec.MemoryMB = 128
+		}
+		a.mu.Lock()
+		a.actions[name] = spec
+		a.mu.Unlock()
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodGet:
+		a.mu.Lock()
+		spec, ok := a.actions[name]
+		a.mu.Unlock()
+		if !ok {
+			http.Error(w, "unknown action", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, spec)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// invokeResponse reports one activation's outcome.
+type invokeResponse struct {
+	App       string  `json:"app"`
+	Function  string  `json:"function"`
+	Cold      bool    `json:"cold"`
+	LatencyMs float64 `json:"latency_ms"`
+	Invoker   int     `json:"invoker"`
+}
+
+// handleInvoke triggers a registered action and blocks until it
+// completes (OpenWhisk's blocking activation).
+func (a *API) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Path[len("/invoke/"):]
+	a.mu.Lock()
+	spec, ok := a.actions[name]
+	a.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown action", http.StatusNotFound)
+		return
+	}
+	exec := time.Duration(spec.ExecMs * float64(time.Millisecond))
+	out, err := a.p.Invoke(spec.App, name, exec, spec.MemoryMB)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, invokeResponse{
+		App: out.App, Function: out.Function, Cold: out.Cold,
+		LatencyMs: float64(out.Latency) / float64(time.Millisecond),
+		Invoker:   out.Invoker,
+	})
+}
+
+// statsResponse summarizes cluster state.
+type statsResponse struct {
+	ColdStarts      int     `json:"cold_starts"`
+	WarmStarts      int     `json:"warm_starts"`
+	Prewarms        int     `json:"prewarms"`
+	Unloads         int     `json:"unloads"`
+	MemoryMBSeconds float64 `json:"memory_mb_seconds"`
+	Loaded          int     `json:"loaded_containers"`
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s := a.p.ClusterStats()
+	writeJSON(w, statsResponse{
+		ColdStarts: s.ColdStarts, WarmStarts: s.WarmStarts,
+		Prewarms: s.Prewarms, Unloads: s.Unloads,
+		MemoryMBSeconds: s.MemoryMBSeconds, Loaded: s.LoadedContainers,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

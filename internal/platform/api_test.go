@@ -1,0 +1,149 @@
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+func newTestAPI(t *testing.T) (*API, *Platform) {
+	t.Helper()
+	p := NewPlatform(fastCfg(), policy.FixedKeepAlive{KeepAlive: 10 * time.Minute})
+	t.Cleanup(p.Stop)
+	return NewAPI(p), p
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestAPICreateAndGetAction(t *testing.T) {
+	api, _ := newTestAPI(t)
+	rec := doJSON(t, api, http.MethodPut, "/actions/hello",
+		map[string]any{"app": "demo", "exec_ms": 5, "memory_mb": 128})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create status = %d", rec.Code)
+	}
+	rec = doJSON(t, api, http.MethodGet, "/actions/hello", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get status = %d", rec.Code)
+	}
+	var spec struct {
+		App string `json:"app"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.App != "demo" {
+		t.Fatalf("app = %q", spec.App)
+	}
+}
+
+func TestAPIInvoke(t *testing.T) {
+	api, _ := newTestAPI(t)
+	doJSON(t, api, http.MethodPut, "/actions/hello",
+		map[string]any{"exec_ms": 1, "memory_mb": 64})
+
+	rec := doJSON(t, api, http.MethodPost, "/invoke/hello", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("invoke status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp invokeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cold {
+		t.Fatal("first invocation should be cold")
+	}
+	rec = doJSON(t, api, http.MethodPost, "/invoke/hello", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cold {
+		t.Fatal("second invocation should be warm")
+	}
+}
+
+func TestAPIInvokeUnknownAction(t *testing.T) {
+	api, _ := newTestAPI(t)
+	rec := doJSON(t, api, http.MethodPost, "/invoke/nope", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestAPIBadRequests(t *testing.T) {
+	api, _ := newTestAPI(t)
+	// Missing action name.
+	if rec := doJSON(t, api, http.MethodPut, "/actions/", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	// Bad JSON body.
+	req := httptest.NewRequest(http.MethodPut, "/actions/x", bytes.NewBufferString("{"))
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	// Wrong methods.
+	if rec := doJSON(t, api, http.MethodDelete, "/actions/x", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec := doJSON(t, api, http.MethodGet, "/invoke/x", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec := doJSON(t, api, http.MethodPost, "/stats", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	// Unknown action GET.
+	if rec := doJSON(t, api, http.MethodGet, "/actions/ghost", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestAPIStats(t *testing.T) {
+	api, _ := newTestAPI(t)
+	doJSON(t, api, http.MethodPut, "/actions/a", map[string]any{"exec_ms": 0})
+	doJSON(t, api, http.MethodPost, "/invoke/a", nil)
+	doJSON(t, api, http.MethodPost, "/invoke/a", nil)
+
+	rec := doJSON(t, api, http.MethodGet, "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var s statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.ColdStarts != 1 || s.WarmStarts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAPIDefaultMemory(t *testing.T) {
+	api, _ := newTestAPI(t)
+	doJSON(t, api, http.MethodPut, "/actions/m", map[string]any{"exec_ms": 0})
+	rec := doJSON(t, api, http.MethodGet, "/actions/m", nil)
+	var spec actionSpec
+	if err := json.Unmarshal(rec.Body.Bytes(), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.MemoryMB != 128 {
+		t.Fatalf("default memory = %v", spec.MemoryMB)
+	}
+}

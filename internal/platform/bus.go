@@ -1,0 +1,130 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ActivationMessage asks an invoker to run a function, mirroring the
+// OpenWhisk ActivationMessage the paper extends with a keep-alive
+// field (§4.3, modification #2).
+type ActivationMessage struct {
+	App      string
+	Function string
+	// Exec is the function's execution duration (virtual time).
+	Exec time.Duration
+	// MemoryMB is the application's memory footprint.
+	MemoryMB float64
+	// KeepAlive is the container retention the policy chose, carried
+	// alongside the invocation as in the paper's modified API.
+	KeepAlive time.Duration
+	// UnloadAfterExec tells the invoker to remove the container right
+	// after the execution ends (the policy will pre-warm later).
+	UnloadAfterExec bool
+	// Reply receives the invocation outcome.
+	Reply chan<- Outcome
+}
+
+// PrewarmMessage asks an invoker to load an application container
+// ahead of a predicted invocation.
+type PrewarmMessage struct {
+	App       string
+	MemoryMB  float64
+	KeepAlive time.Duration
+}
+
+// UnloadMessage asks an invoker to drop an application container.
+type UnloadMessage struct {
+	App string
+}
+
+// Outcome reports one completed invocation.
+type Outcome struct {
+	App      string
+	Function string
+	Cold     bool
+	// Latency is the virtual time from activation receipt to
+	// execution completion (cold-start delay + init + exec).
+	Latency time.Duration
+	// Start and End are virtual timestamps of the execution.
+	Start time.Time
+	End   time.Time
+	// Invoker is the index of the serving invoker.
+	Invoker int
+}
+
+// Bus is the in-process stand-in for OpenWhisk's distributed
+// messaging (Kafka): one buffered queue per topic with a single
+// consumer, which matches how the Controller addresses Invokers.
+type Bus struct {
+	mu     sync.RWMutex
+	topics map[string]chan any
+	closed bool
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus {
+	return &Bus{topics: make(map[string]chan any)}
+}
+
+const topicBuffer = 1024
+
+// topic returns (creating if needed) the queue for a topic.
+// Caller must not hold b.mu.
+func (b *Bus) topic(name string) chan any {
+	b.mu.RLock()
+	ch, ok := b.topics[name]
+	b.mu.RUnlock()
+	if ok {
+		return ch
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ch, ok := b.topics[name]; ok {
+		return ch
+	}
+	ch = make(chan any, topicBuffer)
+	b.topics[name] = ch
+	return ch
+}
+
+// Publish enqueues msg on the named topic. It returns an error if the
+// bus is closed or the topic queue is full (backpressure surfaces to
+// the caller instead of blocking the controller). The read lock is
+// held across the send so Publish never races a concurrent Close.
+func (b *Bus) Publish(topicName string, msg any) error {
+	ch := b.topic(topicName)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return fmt.Errorf("platform: bus closed")
+	}
+	select {
+	case ch <- msg:
+		return nil
+	default:
+		return fmt.Errorf("platform: topic %q full", topicName)
+	}
+}
+
+// Subscribe returns the receive side of the named topic.
+func (b *Bus) Subscribe(topicName string) <-chan any {
+	return b.topic(topicName)
+}
+
+// Close closes every topic channel; consumers drain and exit.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, ch := range b.topics {
+		close(ch)
+	}
+}
+
+// InvokerTopic names invoker i's activation queue.
+func InvokerTopic(i int) string { return fmt.Sprintf("invoker-%d", i) }

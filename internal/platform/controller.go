@@ -1,0 +1,168 @@
+package platform
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// appState is the Load Balancer's per-application bookkeeping: the
+// policy instance (histogram and friends), the end of the last
+// execution for idle-time computation, and the pending pre-warm timer.
+type appState struct {
+	mu        sync.Mutex
+	pol       policy.AppPolicy
+	memoryMB  float64
+	invoker   int
+	seen      bool
+	lastEnd   time.Time
+	prewarm   *time.Timer
+	decisions int
+}
+
+// Controller mirrors the OpenWhisk Controller with the paper's
+// modified Load Balancer (§4.3, modification #1): it owns per-app
+// policy state, stamps each activation with the latest keep-alive
+// parameter, and publishes pre-warm messages when a pre-warming
+// window elapses.
+type Controller struct {
+	clock Clock
+	bus   *Bus
+	pol   policy.Policy
+	n     int // invokers
+
+	mu   sync.Mutex
+	apps map[string]*appState
+
+	// PolicyOverhead accumulates time spent in policy decisions (real
+	// time), backing the §5.3 overhead measurements.
+	overheadMu    sync.Mutex
+	overheadTotal time.Duration
+	overheadCount int64
+}
+
+// NewController creates a controller balancing across n invokers.
+func NewController(clock Clock, bus *Bus, pol policy.Policy, n int) *Controller {
+	return &Controller{
+		clock: clock,
+		bus:   bus,
+		pol:   pol,
+		n:     n,
+		apps:  make(map[string]*appState),
+	}
+}
+
+// state returns (creating if needed) the app's state. Apps are pinned
+// to an invoker by hash, the simplest healthy-capacity-aware stand-in
+// for OpenWhisk's scheduling, and the one that preserves container
+// affinity.
+func (c *Controller) state(app string, memoryMB float64) *appState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.apps[app]
+	if !ok {
+		h := fnv.New32a()
+		h.Write([]byte(app))
+		st = &appState{
+			pol:      c.pol.NewApp(app),
+			memoryMB: memoryMB,
+			invoker:  int(h.Sum32()) % c.n,
+		}
+		c.apps[app] = st
+	}
+	return st
+}
+
+// Invoke runs one function invocation through the platform and blocks
+// until it completes, returning the outcome.
+func (c *Controller) Invoke(app, fn string, exec time.Duration, memoryMB float64) (Outcome, error) {
+	st := c.state(app, memoryMB)
+
+	st.mu.Lock()
+	// Idle time: from the last execution end to this arrival (§3.4).
+	now := c.clock.Now()
+	idle := now.Sub(st.lastEnd)
+	first := !st.seen
+	if idle < 0 {
+		idle = 0
+	}
+	// Cancel any pending pre-warm; the invocation supersedes it.
+	if st.prewarm != nil {
+		st.prewarm.Stop()
+		st.prewarm = nil
+	}
+
+	// Policy decision for the window after this execution.
+	t0 := time.Now()
+	d := st.pol.NextWindows(idle, first)
+	c.recordOverhead(time.Since(t0))
+	st.seen = true
+	st.decisions++
+	invoker := st.invoker
+	st.mu.Unlock()
+
+	reply := make(chan Outcome, 1)
+	msg := ActivationMessage{
+		App: app, Function: fn, Exec: exec, MemoryMB: memoryMB,
+		KeepAlive:       keepAliveFor(d),
+		UnloadAfterExec: !d.Forever && d.PreWarm > 0,
+		Reply:           reply,
+	}
+	if err := c.bus.Publish(InvokerTopic(invoker), msg); err != nil {
+		return Outcome{}, fmt.Errorf("platform: dispatching %s/%s: %w", app, fn, err)
+	}
+	out := <-reply
+
+	st.mu.Lock()
+	st.lastEnd = out.End
+	// Schedule the pre-warm after the execution that just finished.
+	if !d.Forever && d.PreWarm > 0 {
+		ka := keepAliveFor(d)
+		mem := st.memoryMB
+		st.prewarm = c.clock.AfterFunc(d.PreWarm, func() {
+			// Ignore a full-queue error: a missed pre-warm only costs a
+			// cold start, exactly as in the real system.
+			_ = c.bus.Publish(InvokerTopic(invoker), PrewarmMessage{
+				App: app, MemoryMB: mem, KeepAlive: ka,
+			})
+		})
+	}
+	st.mu.Unlock()
+	return out, nil
+}
+
+// keepAliveFor translates a policy decision into the keep-alive stamp
+// carried on the activation; Forever maps to a year, effectively
+// infinite at experiment scale.
+func keepAliveFor(d policy.Decision) time.Duration {
+	if d.Forever {
+		return 365 * 24 * time.Hour
+	}
+	return d.KeepAlive
+}
+
+func (c *Controller) recordOverhead(d time.Duration) {
+	c.overheadMu.Lock()
+	c.overheadTotal += d
+	c.overheadCount++
+	c.overheadMu.Unlock()
+}
+
+// PolicyOverhead returns the mean real-time cost of one policy
+// decision and the number of decisions made.
+func (c *Controller) PolicyOverhead() (mean time.Duration, count int64) {
+	c.overheadMu.Lock()
+	defer c.overheadMu.Unlock()
+	if c.overheadCount == 0 {
+		return 0, 0
+	}
+	return c.overheadTotal / time.Duration(c.overheadCount), c.overheadCount
+}
+
+// InvokerFor returns the invoker index an app is pinned to.
+func (c *Controller) InvokerFor(app string, memoryMB float64) int {
+	return c.state(app, memoryMB).invoker
+}

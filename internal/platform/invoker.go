@@ -1,0 +1,260 @@
+package platform
+
+import (
+	"sync"
+	"time"
+)
+
+// container is a loaded application instance on an invoker, the unit
+// the keep-alive policy manages (the "worker" of §2). Its lifecycle is
+// driven by the invoker's ContainerProxy logic: loaded on cold start
+// or pre-warm, refreshed on each use, unloaded when its keep-alive
+// timer fires or the controller orders an unload.
+type container struct {
+	app      string
+	memoryMB float64
+	loadedAt time.Time
+	busy     int // in-flight executions
+	// keepAlive is the retention currently in force.
+	keepAlive time.Duration
+	timer     *time.Timer
+}
+
+// InvokerStats summarizes one invoker's activity.
+type InvokerStats struct {
+	ColdStarts int
+	WarmStarts int
+	Prewarms   int
+	Unloads    int
+	// MemoryMBSeconds integrates loaded container memory over virtual
+	// time — the worker-memory metric the paper's OpenWhisk experiment
+	// reports (§5.3).
+	MemoryMBSeconds float64
+	// LoadedContainers is the current container count.
+	LoadedContainers int
+}
+
+// Invoker hosts containers and executes activations, mirroring the
+// OpenWhisk Invoker with the paper's modified ContainerProxy that
+// honours per-activation keep-alive (§4.3, modification #3).
+type Invoker struct {
+	id    int
+	clock Clock
+	// coldStart is the container instantiation delay (virtual time).
+	coldStart time.Duration
+	// runtimeInit is the in-memory language runtime initiation cost
+	// paid on cold containers (§5.3 notes O(10ms) init vs O(100ms)
+	// container start).
+	runtimeInit time.Duration
+
+	mu         sync.Mutex
+	containers map[string]*container
+	stats      InvokerStats
+
+	wg   sync.WaitGroup
+	quit chan struct{}
+}
+
+// NewInvoker creates an invoker consuming from the given topic.
+func NewInvoker(id int, clock Clock, coldStart, runtimeInit time.Duration) *Invoker {
+	return &Invoker{
+		id:          id,
+		clock:       clock,
+		coldStart:   coldStart,
+		runtimeInit: runtimeInit,
+		containers:  make(map[string]*container),
+		quit:        make(chan struct{}),
+	}
+}
+
+// Serve consumes messages from queue until it is closed.
+func (inv *Invoker) Serve(queue <-chan any) {
+	inv.wg.Add(1)
+	go func() {
+		defer inv.wg.Done()
+		for msg := range queue {
+			switch m := msg.(type) {
+			case ActivationMessage:
+				inv.wg.Add(1)
+				go func() {
+					defer inv.wg.Done()
+					inv.handleActivation(m)
+				}()
+			case PrewarmMessage:
+				inv.handlePrewarm(m)
+			case UnloadMessage:
+				inv.unload(m.App)
+			}
+		}
+	}()
+}
+
+// Stop waits for in-flight work to finish and halts keep-alive timers.
+func (inv *Invoker) Stop() {
+	close(inv.quit)
+	inv.wg.Wait()
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	for app, c := range inv.containers {
+		inv.dropLocked(app, c)
+	}
+}
+
+// Stats returns a snapshot of the invoker's counters.
+func (inv *Invoker) Stats() InvokerStats {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	s := inv.stats
+	s.LoadedContainers = len(inv.containers)
+	return s
+}
+
+// handleActivation runs one invocation: warm if a container is
+// loaded, otherwise a cold start pays the instantiation delay.
+func (inv *Invoker) handleActivation(m ActivationMessage) {
+	arrive := inv.clock.Now()
+
+	inv.mu.Lock()
+	c, warm := inv.containers[m.App]
+	if warm {
+		c.busy++
+		if c.timer != nil {
+			c.timer.Stop()
+			c.timer = nil
+		}
+	}
+	inv.mu.Unlock()
+
+	if !warm {
+		// Cold start: instantiate the container, load runtime.
+		inv.clock.Sleep(inv.coldStart + inv.runtimeInit)
+		inv.mu.Lock()
+		// Another in-flight activation may have raced us; reuse if so.
+		if existing, ok := inv.containers[m.App]; ok {
+			c = existing
+		} else {
+			c = &container{app: m.App, memoryMB: m.MemoryMB, loadedAt: inv.clock.Now()}
+			inv.containers[m.App] = c
+		}
+		c.busy++
+		if c.timer != nil {
+			c.timer.Stop()
+			c.timer = nil
+		}
+		inv.stats.ColdStarts++
+		inv.mu.Unlock()
+	} else {
+		inv.mu.Lock()
+		inv.stats.WarmStarts++
+		inv.mu.Unlock()
+	}
+
+	start := inv.clock.Now()
+	if m.Exec > 0 {
+		inv.clock.Sleep(m.Exec)
+	}
+	end := inv.clock.Now()
+	latency := end.Sub(arrive)
+
+	inv.mu.Lock()
+	c.busy--
+	if c.busy == 0 {
+		if m.UnloadAfterExec {
+			inv.dropLocked(m.App, c)
+		} else {
+			inv.armKeepAliveLocked(c, m.KeepAlive)
+		}
+	}
+	inv.mu.Unlock()
+
+	if m.Reply != nil {
+		m.Reply <- Outcome{
+			App: m.App, Function: m.Function,
+			Cold: !warm, Latency: latency,
+			Start: start, End: end, Invoker: inv.id,
+		}
+	}
+}
+
+// handlePrewarm loads a container ahead of a predicted invocation.
+func (inv *Invoker) handlePrewarm(m PrewarmMessage) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if _, ok := inv.containers[m.App]; ok {
+		return // already loaded
+	}
+	c := &container{app: m.App, memoryMB: m.MemoryMB, loadedAt: inv.clock.Now()}
+	inv.containers[m.App] = c
+	inv.stats.Prewarms++
+	inv.armKeepAliveLocked(c, m.KeepAlive)
+}
+
+// armKeepAliveLocked (re)sets a container's keep-alive timer.
+// Caller holds inv.mu.
+func (inv *Invoker) armKeepAliveLocked(c *container, ka time.Duration) {
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	if ka <= 0 {
+		ka = time.Nanosecond
+	}
+	c.keepAlive = ka
+	app := c.app
+	c.timer = inv.clock.AfterFunc(ka, func() {
+		inv.mu.Lock()
+		defer inv.mu.Unlock()
+		cur, ok := inv.containers[app]
+		if !ok || cur != c || cur.busy > 0 {
+			return
+		}
+		inv.dropLocked(app, cur)
+	})
+}
+
+// unload drops an app's idle container on controller request.
+func (inv *Invoker) unload(app string) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	c, ok := inv.containers[app]
+	if !ok || c.busy > 0 {
+		return
+	}
+	inv.dropLocked(app, c)
+}
+
+// dropLocked removes a container and settles its memory integral.
+// Caller holds inv.mu.
+func (inv *Invoker) dropLocked(app string, c *container) {
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	resident := inv.clock.Now().Sub(c.loadedAt)
+	if resident > 0 {
+		inv.stats.MemoryMBSeconds += c.memoryMB * resident.Seconds()
+	}
+	inv.stats.Unloads++
+	delete(inv.containers, app)
+}
+
+// SettleMemory folds the memory of still-loaded containers into the
+// integral as of now (call when an experiment ends).
+func (inv *Invoker) SettleMemory() {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	now := inv.clock.Now()
+	for _, c := range inv.containers {
+		if resident := now.Sub(c.loadedAt); resident > 0 {
+			inv.stats.MemoryMBSeconds += c.memoryMB * resident.Seconds()
+			c.loadedAt = now
+		}
+	}
+}
+
+// Loaded reports whether the app currently has a container.
+func (inv *Invoker) Loaded(app string) bool {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	_, ok := inv.containers[app]
+	return ok
+}

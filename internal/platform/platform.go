@@ -1,0 +1,171 @@
+package platform
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// Config parameterizes a platform instance. Zero values select the
+// noted defaults.
+type Config struct {
+	// NumInvokers is the worker count (default 4; the paper's testbed
+	// ran 18 invoker VMs).
+	NumInvokers int
+	// ColdStartDelay is the container instantiation cost in virtual
+	// time (default 500ms; §5.3 cites O(100ms) for container start).
+	ColdStartDelay time.Duration
+	// RuntimeInitDelay is the language runtime initiation cost
+	// (default 10ms, §5.3's O(10ms)).
+	RuntimeInitDelay time.Duration
+	// Clock is the time source (default RealClock). Use a ScaledClock
+	// to replay hours of trace in seconds.
+	Clock Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumInvokers == 0 {
+		c.NumInvokers = 4
+	}
+	if c.ColdStartDelay == 0 {
+		c.ColdStartDelay = 500 * time.Millisecond
+	}
+	if c.RuntimeInitDelay == 0 {
+		c.RuntimeInitDelay = 10 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock{}
+	}
+	return c
+}
+
+// Platform wires the controller, message bus and invokers into a
+// runnable in-process FaaS cluster (Figure 13).
+type Platform struct {
+	cfg        Config
+	bus        *Bus
+	controller *Controller
+	invokers   []*Invoker
+
+	mu      sync.Mutex
+	perApp  map[string]*AppOutcome
+	latency []time.Duration
+	stopped bool
+}
+
+// AppOutcome summarizes one application's invocations on the platform.
+type AppOutcome struct {
+	App         string
+	Invocations int
+	ColdStarts  int
+}
+
+// ColdPercent returns the app's cold-start percentage.
+func (a AppOutcome) ColdPercent() float64 {
+	if a.Invocations == 0 {
+		return 0
+	}
+	return 100 * float64(a.ColdStarts) / float64(a.Invocations)
+}
+
+// NewPlatform assembles a platform running pol. Call Stop when done.
+func NewPlatform(cfg Config, pol policy.Policy) *Platform {
+	cfg = cfg.withDefaults()
+	p := &Platform{
+		cfg:    cfg,
+		bus:    NewBus(),
+		perApp: make(map[string]*AppOutcome),
+	}
+	p.controller = NewController(cfg.Clock, p.bus, pol, cfg.NumInvokers)
+	for i := 0; i < cfg.NumInvokers; i++ {
+		inv := NewInvoker(i, cfg.Clock, cfg.ColdStartDelay, cfg.RuntimeInitDelay)
+		inv.Serve(p.bus.Subscribe(InvokerTopic(i)))
+		p.invokers = append(p.invokers, inv)
+	}
+	return p
+}
+
+// Invoke runs one invocation synchronously and records its outcome.
+func (p *Platform) Invoke(app, fn string, exec time.Duration, memoryMB float64) (Outcome, error) {
+	out, err := p.controller.Invoke(app, fn, exec, memoryMB)
+	if err != nil {
+		return out, err
+	}
+	p.mu.Lock()
+	ao, ok := p.perApp[app]
+	if !ok {
+		ao = &AppOutcome{App: app}
+		p.perApp[app] = ao
+	}
+	ao.Invocations++
+	if out.Cold {
+		ao.ColdStarts++
+	}
+	p.latency = append(p.latency, out.Latency)
+	p.mu.Unlock()
+	return out, nil
+}
+
+// Stop drains the cluster: closes the bus, waits for invokers, and
+// settles memory integrals.
+func (p *Platform) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+
+	p.bus.Close()
+	for _, inv := range p.invokers {
+		inv.Stop()
+	}
+}
+
+// Controller exposes the controller (for overhead measurements).
+func (p *Platform) Controller() *Controller { return p.controller }
+
+// Clock returns the platform's time source.
+func (p *Platform) Clock() Clock { return p.cfg.Clock }
+
+// AppOutcomes returns per-app summaries sorted by app ID.
+func (p *Platform) AppOutcomes() []AppOutcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]AppOutcome, 0, len(p.perApp))
+	for _, ao := range p.perApp {
+		out = append(out, *ao)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}
+
+// Latencies returns a copy of all recorded invocation latencies
+// (virtual time).
+func (p *Platform) Latencies() []time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]time.Duration(nil), p.latency...)
+}
+
+// ClusterStats aggregates invoker counters, settling memory first.
+func (p *Platform) ClusterStats() InvokerStats {
+	var total InvokerStats
+	for _, inv := range p.invokers {
+		inv.SettleMemory()
+		s := inv.Stats()
+		total.ColdStarts += s.ColdStarts
+		total.WarmStarts += s.WarmStarts
+		total.Prewarms += s.Prewarms
+		total.Unloads += s.Unloads
+		total.MemoryMBSeconds += s.MemoryMBSeconds
+		total.LoadedContainers += s.LoadedContainers
+	}
+	return total
+}
+
+// Invokers returns the platform's invokers (read-only use).
+func (p *Platform) Invokers() []*Invoker { return p.invokers }

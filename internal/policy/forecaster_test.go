@@ -1,0 +1,73 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/forecast"
+)
+
+// TestHybridWithAlternateForecasters verifies that the time-series
+// path works with every pluggable forecaster (the §4.2 note that
+// ARIMA "can easily be replaced with another model").
+func TestHybridWithAlternateForecasters(t *testing.T) {
+	for _, fc := range []forecast.Forecaster{
+		forecast.ARIMA{}, forecast.ExpSmoothing{}, forecast.Mean{},
+	} {
+		cfg := DefaultHybridConfig()
+		cfg.Forecaster = fc
+		a := NewHybrid(cfg).NewApp("app")
+		var d Decision
+		first := true
+		for i := 0; i < 12; i++ {
+			d = a.NextWindows(6*time.Hour, first) // all OOB
+			first = false
+		}
+		if d.Mode != ModeARIMA {
+			t.Fatalf("%s: mode = %v, want arima path", fc.Name(), d.Mode)
+		}
+		// Prediction ~360min: window must straddle it.
+		it := 6 * time.Hour
+		if d.PreWarm > it || d.PreWarm+d.KeepAlive < it {
+			t.Fatalf("%s: window [%v, %v] does not straddle %v",
+				fc.Name(), d.PreWarm, d.PreWarm+d.KeepAlive, it)
+		}
+	}
+}
+
+// TestHybridForecasterReducesAlwaysCold compares the full hybrid with
+// exponential smoothing against the no-forecast ablation on a rare,
+// regular app: the forecaster must produce warm starts.
+func TestHybridForecasterReducesAlwaysCold(t *testing.T) {
+	run := func(cfg HybridConfig) int {
+		a := NewHybrid(cfg).NewApp("app")
+		cold := 0
+		var d Decision
+		first := true
+		it := 8 * time.Hour
+		for i := 0; i < 15; i++ {
+			if i > 0 {
+				// Warm iff the window straddles the actual idle time.
+				if d.Mode == ModeStandard {
+					if it > d.KeepAlive {
+						cold++
+					}
+				} else if d.PreWarm > it || d.PreWarm+d.KeepAlive < it {
+					cold++
+				}
+			} else {
+				cold++
+			}
+			d = a.NextWindows(it, first)
+			first = false
+		}
+		return cold
+	}
+	withFC := DefaultHybridConfig()
+	withFC.Forecaster = forecast.ExpSmoothing{}
+	noFC := DefaultHybridConfig()
+	noFC.DisableARIMA = true
+	if run(withFC) >= run(noFC) {
+		t.Fatalf("forecaster colds %d should beat no-forecast %d", run(withFC), run(noFC))
+	}
+}

@@ -1,0 +1,206 @@
+package policy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arima"
+	"repro/internal/forecast"
+	"repro/internal/ithist"
+)
+
+// HybridConfig parameterizes the hybrid histogram policy. The zero
+// value is invalid; start from DefaultHybridConfig.
+type HybridConfig struct {
+	// Histogram configures the per-app idle-time histogram (bins,
+	// range, cutoff percentiles, margin).
+	Histogram ithist.Config
+	// CVThreshold is the minimum bin-count coefficient of variation
+	// for the histogram to be considered representative (the paper
+	// selects 2; Figure 18).
+	CVThreshold float64
+	// MinObservations is the minimum number of recorded ITs before the
+	// histogram may be trusted at all.
+	MinObservations int64
+	// OOBThreshold is the fraction of out-of-bounds ITs above which
+	// the policy switches to the ARIMA path ("too many OOB ITs",
+	// Figure 10).
+	OOBThreshold float64
+	// ARIMAMargin is the forecast error allowance (default 0.15): the
+	// pre-warm window is the prediction minus the margin, and the
+	// keep-alive window spans the margin on both sides of it (§4.2).
+	ARIMAMargin float64
+	// ARIMAMinSamples is the minimum IT count before fitting ARIMA.
+	ARIMAMinSamples int
+	// ARIMAMaxSeries caps the retained IT series length (oldest
+	// dropped), bounding per-app state.
+	ARIMAMaxSeries int
+	// DisableARIMA turns the time-series path off; apps with OOB-heavy
+	// IT distributions fall back to the standard keep-alive (used for
+	// the Figure 19 ablation).
+	DisableARIMA bool
+	// DisablePreWarm keeps applications loaded after execution (pre-
+	// warming window forced to 0) with the keep-alive extended to cover
+	// through the histogram tail — the "Hybrid No PW, KA:99th" variant
+	// of the Figure 17 ablation.
+	DisablePreWarm bool
+	// Forecaster predicts the next idle time (in minutes) on the
+	// time-series path. Nil selects ARIMA, the paper's default; the
+	// paper notes the model is replaceable (§4.2), and
+	// forecast.ExpSmoothing is a cheap drop-in.
+	Forecaster forecast.Forecaster
+}
+
+// DefaultHybridConfig returns the paper's defaults: 4-hour 1-minute
+// histogram with [5,99] cutoffs and 10% margin, CV threshold 2, 50%
+// OOB threshold, 15% ARIMA margin.
+func DefaultHybridConfig() HybridConfig {
+	return HybridConfig{
+		Histogram:       ithist.DefaultConfig(),
+		CVThreshold:     2,
+		MinObservations: 2,
+		OOBThreshold:    0.5,
+		ARIMAMargin:     0.15,
+		ARIMAMinSamples: 4,
+		ARIMAMaxSeries:  1000,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c HybridConfig) Validate() error {
+	if err := c.Histogram.Validate(); err != nil {
+		return err
+	}
+	if c.CVThreshold < 0 {
+		return fmt.Errorf("policy: CVThreshold %v negative", c.CVThreshold)
+	}
+	if c.OOBThreshold <= 0 || c.OOBThreshold > 1 {
+		return fmt.Errorf("policy: OOBThreshold %v out of (0,1]", c.OOBThreshold)
+	}
+	if c.ARIMAMargin <= 0 || c.ARIMAMargin >= 1 {
+		return fmt.Errorf("policy: ARIMAMargin %v out of (0,1)", c.ARIMAMargin)
+	}
+	if c.ARIMAMinSamples < 3 {
+		return fmt.Errorf("policy: ARIMAMinSamples %d too small", c.ARIMAMinSamples)
+	}
+	if c.ARIMAMaxSeries < c.ARIMAMinSamples {
+		return fmt.Errorf("policy: ARIMAMaxSeries %d < ARIMAMinSamples %d",
+			c.ARIMAMaxSeries, c.ARIMAMinSamples)
+	}
+	return nil
+}
+
+// Hybrid is the paper's hybrid histogram policy.
+type Hybrid struct {
+	cfg HybridConfig
+}
+
+// NewHybrid constructs the policy, panicking on invalid configuration
+// (programming error, as configs are code-supplied).
+func NewHybrid(cfg HybridConfig) *Hybrid {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Hybrid{cfg: cfg}
+}
+
+// Name implements Policy.
+func (p *Hybrid) Name() string {
+	h := p.cfg.Histogram
+	name := fmt.Sprintf("hybrid-%s[%g,%g]", h.BinWidth*time.Duration(h.NumBins),
+		h.HeadPercentile, h.TailPercentile)
+	if p.cfg.DisableARIMA {
+		name += "-noarima"
+	}
+	if p.cfg.DisablePreWarm {
+		name += "-nopw"
+	}
+	return name
+}
+
+// Config returns the policy configuration.
+func (p *Hybrid) Config() HybridConfig { return p.cfg }
+
+// NewApp implements Policy.
+func (p *Hybrid) NewApp(string) AppPolicy {
+	return &hybridApp{
+		cfg:  p.cfg,
+		hist: ithist.New(p.cfg.Histogram),
+	}
+}
+
+type hybridApp struct {
+	cfg  HybridConfig
+	hist *ithist.Histogram
+	// its is the retained idle-time series in minutes, feeding ARIMA.
+	its []float64
+}
+
+// NextWindows implements AppPolicy, following Figure 10: update the IT
+// distribution, then choose the ARIMA path (too many OOB ITs), the
+// histogram (representative pattern), or the conservative standard
+// keep-alive.
+func (a *hybridApp) NextWindows(idle time.Duration, first bool) Decision {
+	if !first {
+		a.hist.Observe(idle)
+		a.its = append(a.its, idle.Minutes())
+		if len(a.its) > a.cfg.ARIMAMaxSeries {
+			a.its = a.its[len(a.its)-a.cfg.ARIMAMaxSeries:]
+		}
+	}
+
+	total := a.hist.Total() + a.hist.OutOfBounds()
+	if total >= a.cfg.MinObservations && a.hist.OOBFraction() > a.cfg.OOBThreshold {
+		if d, ok := a.arimaDecision(); ok {
+			return d
+		}
+		return a.standard()
+	}
+	if total < a.cfg.MinObservations || a.hist.BinCountCV() < a.cfg.CVThreshold {
+		return a.standard()
+	}
+	pw, ka, ok := a.hist.Windows()
+	if !ok {
+		return a.standard()
+	}
+	if a.cfg.DisablePreWarm {
+		// Keep the app loaded from execution end through the tail.
+		return Decision{PreWarm: 0, KeepAlive: pw + ka, Mode: ModeHistogram}
+	}
+	return Decision{PreWarm: pw, KeepAlive: ka, Mode: ModeHistogram}
+}
+
+// standard is the conservative fallback: no unloading after execution
+// and a keep-alive as long as the histogram range (§4.2).
+func (a *hybridApp) standard() Decision {
+	return Decision{PreWarm: 0, KeepAlive: a.hist.Range(), Mode: ModeStandard}
+}
+
+// arimaDecision fits the per-app forecast model on the IT series and
+// converts the next-IT prediction into windows with the configured
+// margin: pre-warm = pred*(1-margin), keep-alive = 2*margin*pred
+// (margin on each side of the prediction).
+func (a *hybridApp) arimaDecision() (Decision, bool) {
+	if a.cfg.DisableARIMA || len(a.its) < a.cfg.ARIMAMinSamples {
+		return Decision{}, false
+	}
+	// The paper rebuilds the model after every invocation of an
+	// ARIMA-managed app (§4.2); these apps are invoked rarely, so the
+	// cost is off the critical path and negligible in aggregate.
+	fc := a.cfg.Forecaster
+	if fc == nil {
+		fc = forecast.ARIMA{Options: arima.Options{MaxP: 2, MaxD: 1, MaxQ: 1}}
+	}
+	predMinutes, ok := fc.PredictNext(a.its)
+	if !ok {
+		return Decision{}, false
+	}
+	pred := time.Duration(predMinutes * float64(time.Minute))
+	m := a.cfg.ARIMAMargin
+	pw := time.Duration(float64(pred) * (1 - m))
+	ka := time.Duration(float64(pred) * 2 * m)
+	if ka < a.cfg.Histogram.BinWidth {
+		ka = a.cfg.Histogram.BinWidth
+	}
+	return Decision{PreWarm: pw, KeepAlive: ka, Mode: ModeARIMA}, true
+}

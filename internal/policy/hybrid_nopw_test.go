@@ -1,0 +1,31 @@
+package policy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHybridDisablePreWarm(t *testing.T) {
+	cfg := DefaultHybridConfig()
+	cfg.DisablePreWarm = true
+	a := NewHybrid(cfg).NewApp("app")
+	var d Decision
+	first := true
+	for i := 0; i < 20; i++ {
+		d = a.NextWindows(30*time.Minute+15*time.Second, first)
+		first = false
+	}
+	if d.Mode != ModeHistogram {
+		t.Fatalf("mode = %v", d.Mode)
+	}
+	if d.PreWarm != 0 {
+		t.Fatalf("preWarm = %v, want 0 with DisablePreWarm", d.PreWarm)
+	}
+	// Keep-alive must cover through the tail (>= ~31min with margin).
+	if d.KeepAlive < 31*time.Minute {
+		t.Fatalf("keepAlive = %v, want >= 31m", d.KeepAlive)
+	}
+	if got := NewHybrid(cfg).Name(); got != "hybrid-4h0m0s[5,99]-nopw" {
+		t.Fatalf("name = %q", got)
+	}
+}

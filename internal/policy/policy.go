@@ -1,0 +1,113 @@
+// Package policy implements the keep-alive / pre-warming policies the
+// paper studies: the fixed keep-alive used by providers (§2), a
+// no-unloading upper bound, and the paper's contribution — the hybrid
+// histogram policy (§4.2, Figure 10), which per application selects
+// between a range-limited idle-time histogram, a conservative standard
+// keep-alive (while the histogram is unrepresentative), and an ARIMA
+// time-series forecast (when too many idle times fall out of range).
+package policy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Decision is what a policy prescribes after each function execution
+// ends (Figure 9): wait PreWarm, then keep the application image
+// loaded for KeepAlive. PreWarm == 0 means the application is not
+// unloaded after the execution, and KeepAlive runs from the execution
+// end. Forever marks an infinite keep-alive (the no-unloading policy).
+type Decision struct {
+	PreWarm   time.Duration
+	KeepAlive time.Duration
+	Forever   bool
+	Mode      Mode
+}
+
+// Mode labels which component of a policy produced a decision, used by
+// the evaluation to attribute outcomes (e.g. Figure 19's ARIMA study).
+type Mode uint8
+
+// Decision provenance labels.
+const (
+	ModeFixed Mode = iota
+	ModeNoUnload
+	ModeStandard  // hybrid's conservative fallback
+	ModeHistogram // hybrid's histogram windows
+	ModeARIMA     // hybrid's time-series path
+)
+
+// String returns a short label for the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeFixed:
+		return "fixed"
+	case ModeNoUnload:
+		return "no-unload"
+	case ModeStandard:
+		return "standard"
+	case ModeHistogram:
+		return "histogram"
+	case ModeARIMA:
+		return "arima"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// AppPolicy makes keep-alive decisions for a single application. The
+// caller invokes NextWindows when an execution ends, passing the idle
+// time that preceded the invocation that just ran (first=true for the
+// app's first invocation, in which case idle is ignored).
+//
+// Implementations are not safe for concurrent use; the platform
+// serializes per-app policy updates.
+type AppPolicy interface {
+	NextWindows(idle time.Duration, first bool) Decision
+}
+
+// Policy is a factory of per-application policies.
+type Policy interface {
+	// Name returns a short identifier used in reports.
+	Name() string
+	// NewApp creates the policy state for one application.
+	NewApp(appID string) AppPolicy
+}
+
+// FixedKeepAlive is the state-of-the-practice policy: keep the
+// application warm for a fixed duration after every execution
+// (10 minutes in AWS and OpenWhisk, 20 in Azure; §1, §2).
+type FixedKeepAlive struct {
+	KeepAlive time.Duration
+}
+
+// Name implements Policy.
+func (p FixedKeepAlive) Name() string {
+	return fmt.Sprintf("fixed-%s", p.KeepAlive)
+}
+
+// NewApp implements Policy.
+func (p FixedKeepAlive) NewApp(string) AppPolicy { return fixedApp{ka: p.KeepAlive} }
+
+type fixedApp struct{ ka time.Duration }
+
+func (a fixedApp) NextWindows(time.Duration, bool) Decision {
+	return Decision{PreWarm: 0, KeepAlive: a.ka, Mode: ModeFixed}
+}
+
+// NoUnloading keeps every application loaded forever after its first
+// invocation: the zero-cold-start, maximum-cost reference point of
+// Figure 14.
+type NoUnloading struct{}
+
+// Name implements Policy.
+func (NoUnloading) Name() string { return "no-unloading" }
+
+// NewApp implements Policy.
+func (NoUnloading) NewApp(string) AppPolicy { return noUnloadApp{} }
+
+type noUnloadApp struct{}
+
+func (noUnloadApp) NextWindows(time.Duration, bool) Decision {
+	return Decision{Forever: true, Mode: ModeNoUnload}
+}

@@ -1,0 +1,57 @@
+package policy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFixedKeepAlive(t *testing.T) {
+	p := FixedKeepAlive{KeepAlive: 10 * time.Minute}
+	a := p.NewApp("app")
+	for i := 0; i < 3; i++ {
+		d := a.NextWindows(time.Hour, i == 0)
+		if d.PreWarm != 0 {
+			t.Fatalf("fixed policy must never pre-warm, got %v", d.PreWarm)
+		}
+		if d.KeepAlive != 10*time.Minute {
+			t.Fatalf("keepAlive = %v", d.KeepAlive)
+		}
+		if d.Forever {
+			t.Fatal("fixed policy is not forever")
+		}
+		if d.Mode != ModeFixed {
+			t.Fatalf("mode = %v", d.Mode)
+		}
+	}
+}
+
+func TestFixedName(t *testing.T) {
+	p := FixedKeepAlive{KeepAlive: 10 * time.Minute}
+	if p.Name() != "fixed-10m0s" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestNoUnloading(t *testing.T) {
+	p := NoUnloading{}
+	a := p.NewApp("app")
+	d := a.NextWindows(0, true)
+	if !d.Forever {
+		t.Fatal("no-unloading must be forever")
+	}
+	if d.Mode != ModeNoUnload {
+		t.Fatalf("mode = %v", d.Mode)
+	}
+	if p.Name() != "no-unloading" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	modes := []Mode{ModeFixed, ModeNoUnload, ModeStandard, ModeHistogram, ModeARIMA, Mode(99)}
+	for _, m := range modes {
+		if m.String() == "" {
+			t.Fatalf("empty string for mode %d", uint8(m))
+		}
+	}
+}

@@ -1,0 +1,423 @@
+// Package prodimpl mirrors the paper's Azure Functions production
+// implementation of the hybrid policy (§6):
+//
+//   - per-application histograms are kept in memory (240 1-minute
+//     buckets) and backed up to a database hourly;
+//   - a new histogram is started each day, daily histograms older than
+//     two weeks are removed, and the aggregate used for decisions
+//     weights recent days more heavily;
+//   - when an application goes idle, a pre-warming event is scheduled
+//     for the computed window minus 90 seconds (the pre-warm loads
+//     dependencies and JITs what it can ahead of the invocation);
+//   - all policy bookkeeping happens off the invocation critical path.
+//
+// The Store interface abstracts the database; FileStore persists to a
+// directory, MemStore backs tests.
+package prodimpl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ithist"
+)
+
+// Store persists daily histogram snapshots per application.
+type Store interface {
+	// Save writes the encoded histogram for (app, day).
+	Save(app string, day int, data []byte) error
+	// Load reads the encoded histogram for (app, day); it returns
+	// os.ErrNotExist-wrapping errors for missing entries.
+	Load(app string, day int) ([]byte, error)
+	// Delete removes (app, day); deleting a missing entry is not an
+	// error.
+	Delete(app string, day int) error
+	// Days lists the stored day indices for app, ascending.
+	Days(app string) ([]int, error)
+}
+
+// Config parameterizes the production manager.
+type Config struct {
+	// Histogram is the per-day histogram configuration (§6 uses the
+	// same 240-bucket shape as the policy).
+	Histogram ithist.Config
+	// RetentionDays is how many daily histograms are kept (paper: 14).
+	RetentionDays int
+	// DayWeightDecay is the per-day-of-age multiplier used when
+	// aggregating daily histograms ("use these daily histograms in a
+	// weighted fashion to give more importance to recent records").
+	DayWeightDecay float64
+	// PrewarmLead is subtracted from the pre-warming window when
+	// scheduling the pre-warm event (paper: 90 seconds).
+	PrewarmLead time.Duration
+}
+
+// DefaultConfig returns the §6 parameters.
+func DefaultConfig() Config {
+	return Config{
+		Histogram:      ithist.DefaultConfig(),
+		RetentionDays:  14,
+		DayWeightDecay: 0.9,
+		PrewarmLead:    90 * time.Second,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Histogram.Validate(); err != nil {
+		return err
+	}
+	if c.RetentionDays < 1 {
+		return fmt.Errorf("prodimpl: RetentionDays %d < 1", c.RetentionDays)
+	}
+	if c.DayWeightDecay <= 0 || c.DayWeightDecay > 1 {
+		return fmt.Errorf("prodimpl: DayWeightDecay %v out of (0,1]", c.DayWeightDecay)
+	}
+	if c.PrewarmLead < 0 {
+		return fmt.Errorf("prodimpl: negative PrewarmLead")
+	}
+	return nil
+}
+
+// appState holds one application's daily histograms in memory.
+type appState struct {
+	days map[int]*ithist.Histogram
+}
+
+// Manager owns the per-application daily histograms and implements
+// the §6 lifecycle: observe, aggregate, back up, restore, prune.
+// It is safe for concurrent use.
+type Manager struct {
+	cfg   Config
+	store Store
+
+	mu   sync.Mutex
+	apps map[string]*appState
+}
+
+// NewManager creates a manager over the given store. It panics on an
+// invalid configuration (code-supplied).
+func NewManager(cfg Config, store Store) *Manager {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Manager{cfg: cfg, store: store, apps: make(map[string]*appState)}
+}
+
+// dayIndex converts a timestamp to a day number (days since epoch).
+func dayIndex(now time.Time) int {
+	return int(now.Unix() / 86400)
+}
+
+// Observe records one idle time for app at the given time, placing it
+// in the day's histogram (creating it if the day rolled over).
+func (m *Manager) Observe(app string, idle time.Duration, now time.Time) {
+	day := dayIndex(now)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.apps[app]
+	if st == nil {
+		st = &appState{days: make(map[int]*ithist.Histogram)}
+		m.apps[app] = st
+	}
+	h := st.days[day]
+	if h == nil {
+		h = ithist.New(m.cfg.Histogram)
+		st.days[day] = h
+	}
+	h.Observe(idle)
+}
+
+// Aggregate returns the weighted aggregate histogram for app as of
+// now: day d gets weight DayWeightDecay^(age in days). It returns nil
+// if the app has no data.
+func (m *Manager) Aggregate(app string, now time.Time) *ithist.Histogram {
+	today := dayIndex(now)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.apps[app]
+	if st == nil || len(st.days) == 0 {
+		return nil
+	}
+	agg := ithist.New(m.cfg.Histogram)
+	var days []int
+	for d := range st.days {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	for _, d := range days {
+		age := today - d
+		if age < 0 {
+			age = 0
+		}
+		weight := 1.0
+		for i := 0; i < age; i++ {
+			weight *= m.cfg.DayWeightDecay
+		}
+		// Merge cannot fail: configurations are identical by construction.
+		if err := agg.Merge(st.days[d], weight); err != nil {
+			panic(err)
+		}
+	}
+	return agg
+}
+
+// Windows computes the pre-warming and keep-alive windows for app
+// from the weighted aggregate, plus the pre-warm scheduling instant
+// for an execution ending at execEnd: pre-warm time minus the
+// configured 90-second lead, clamped to execEnd.
+func (m *Manager) Windows(app string, execEnd time.Time) (preWarm, keepAlive time.Duration, prewarmAt time.Time, ok bool) {
+	agg := m.Aggregate(app, execEnd)
+	if agg == nil {
+		return 0, 0, time.Time{}, false
+	}
+	pw, ka, ok := agg.Windows()
+	if !ok {
+		return 0, 0, time.Time{}, false
+	}
+	at := execEnd.Add(pw - m.cfg.PrewarmLead)
+	if at.Before(execEnd) {
+		at = execEnd
+	}
+	return pw, ka, at, true
+}
+
+// Backup writes every in-memory daily histogram to the store (the
+// hourly backup of §6). It keeps going on per-entry errors and
+// returns the first one encountered.
+func (m *Manager) Backup() error {
+	type entry struct {
+		app  string
+		day  int
+		data []byte
+	}
+	m.mu.Lock()
+	var entries []entry
+	for app, st := range m.apps {
+		for day, h := range st.days {
+			entries = append(entries, entry{app, day, h.Encode()})
+		}
+	}
+	m.mu.Unlock()
+
+	var firstErr error
+	for _, e := range entries {
+		if err := m.store.Save(e.app, e.day, e.data); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("prodimpl: backing up %s/day%d: %w", e.app, e.day, err)
+		}
+	}
+	return firstErr
+}
+
+// Restore loads an application's stored daily histograms into memory
+// (controller restart path). In-memory data wins over stored data for
+// days present in both.
+func (m *Manager) Restore(app string) error {
+	days, err := m.store.Days(app)
+	if err != nil {
+		return fmt.Errorf("prodimpl: listing days for %s: %w", app, err)
+	}
+	for _, day := range days {
+		data, err := m.store.Load(app, day)
+		if err != nil {
+			return fmt.Errorf("prodimpl: loading %s/day%d: %w", app, day, err)
+		}
+		h, err := ithist.Decode(data)
+		if err != nil {
+			return fmt.Errorf("prodimpl: decoding %s/day%d: %w", app, day, err)
+		}
+		m.mu.Lock()
+		st := m.apps[app]
+		if st == nil {
+			st = &appState{days: make(map[int]*ithist.Histogram)}
+			m.apps[app] = st
+		}
+		if _, exists := st.days[day]; !exists {
+			st.days[day] = h
+		}
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// Prune drops daily histograms older than RetentionDays from memory
+// and the store ("remove histograms older than 2 weeks").
+func (m *Manager) Prune(now time.Time) error {
+	cutoff := dayIndex(now) - m.cfg.RetentionDays
+	type victim struct {
+		app string
+		day int
+	}
+	m.mu.Lock()
+	var victims []victim
+	for app, st := range m.apps {
+		for day := range st.days {
+			if day < cutoff {
+				delete(st.days, day)
+				victims = append(victims, victim{app, day})
+			}
+		}
+	}
+	m.mu.Unlock()
+
+	var firstErr error
+	for _, v := range victims {
+		if err := m.store.Delete(v.app, v.day); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("prodimpl: pruning %s/day%d: %w", v.app, v.day, err)
+		}
+	}
+	return firstErr
+}
+
+// Apps returns the tracked application IDs, sorted.
+func (m *Manager) Apps() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.apps))
+	for app := range m.apps {
+		out = append(out, app)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DayCount returns how many daily histograms app holds in memory.
+func (m *Manager) DayCount(app string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.apps[app]
+	if st == nil {
+		return 0
+	}
+	return len(st.days)
+}
+
+// MemStore is an in-memory Store for tests.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+func memKey(app string, day int) string { return fmt.Sprintf("%s/%d", app, day) }
+
+// Save implements Store.
+func (s *MemStore) Save(app string, day int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.m[memKey(app, day)] = cp
+	return nil
+}
+
+// Load implements Store.
+func (s *MemStore) Load(app string, day int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[memKey(app, day)]
+	if !ok {
+		return nil, fmt.Errorf("prodimpl: %s/day%d: %w", app, day, os.ErrNotExist)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(app string, day int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, memKey(app, day))
+	return nil
+}
+
+// Days implements Store.
+func (s *MemStore) Days(app string) ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prefix := app + "/"
+	var days []int
+	for k := range s.m {
+		if strings.HasPrefix(k, prefix) {
+			var day int
+			if _, err := fmt.Sscanf(k[len(prefix):], "%d", &day); err == nil {
+				days = append(days, day)
+			}
+		}
+	}
+	sort.Ints(days)
+	return days, nil
+}
+
+// FileStore persists histograms under dir as
+// <dir>/<app>/day-<n>.hist files.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore creates (if needed) and wraps the directory.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("prodimpl: creating store dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (s *FileStore) path(app string, day int) string {
+	return filepath.Join(s.dir, app, fmt.Sprintf("day-%d.hist", day))
+}
+
+// Save implements Store.
+func (s *FileStore) Save(app string, day int, data []byte) error {
+	dir := filepath.Join(s.dir, app)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := s.path(app, day) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path(app, day))
+}
+
+// Load implements Store.
+func (s *FileStore) Load(app string, day int) ([]byte, error) {
+	return os.ReadFile(s.path(app, day))
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(app string, day int) error {
+	err := os.Remove(s.path(app, day))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Days implements Store.
+func (s *FileStore) Days(app string) ([]int, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, app))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var days []int
+	for _, e := range entries {
+		var day int
+		if _, err := fmt.Sscanf(e.Name(), "day-%d.hist", &day); err == nil {
+			days = append(days, day)
+		}
+	}
+	sort.Ints(days)
+	return days, nil
+}

@@ -1,0 +1,180 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func fastPlatform(pol policy.Policy) *platform.Platform {
+	return platform.NewPlatform(platform.Config{
+		NumInvokers:      2,
+		ColdStartDelay:   500 * time.Millisecond,
+		RuntimeInitDelay: 10 * time.Millisecond,
+		Clock:            platform.NewScaledClock(2000),
+	}, pol)
+}
+
+func smallTrace() *trace.Trace {
+	return &trace.Trace{
+		Duration: 10 * time.Minute,
+		Apps: []*trace.App{
+			{ID: "a", Owner: "o", MemoryMB: 100, Functions: []*trace.Function{
+				{ID: "f1", Trigger: trace.TriggerHTTP,
+					Invocations: []float64{0, 60, 120, 180, 240},
+					ExecStats:   trace.ExecStats{AvgSeconds: 0.5}},
+			}},
+			{ID: "b", Owner: "o", MemoryMB: 50, Functions: []*trace.Function{
+				{ID: "f2", Trigger: trace.TriggerTimer,
+					Invocations: []float64{30, 330},
+					ExecStats:   trace.ExecStats{AvgSeconds: 0.1}},
+			}},
+		},
+	}
+}
+
+func TestReplayFixedPolicy(t *testing.T) {
+	p := fastPlatform(policy.FixedKeepAlive{KeepAlive: 2 * time.Minute})
+	defer p.Stop()
+	rep, err := Replay(p, smallTrace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Invocations != 7 {
+		t.Fatalf("invocations = %d", rep.Invocations)
+	}
+	if len(rep.Apps) != 2 {
+		t.Fatalf("apps = %d", len(rep.Apps))
+	}
+	// App a: invocations 1 min apart with 2-min keep-alive → only first
+	// cold. App b: 5-min gap → both cold.
+	var a, b platform.AppOutcome
+	for _, ao := range rep.Apps {
+		switch ao.App {
+		case "a":
+			a = ao
+		case "b":
+			b = ao
+		}
+	}
+	if a.ColdStarts != 1 {
+		t.Fatalf("app a cold = %d, want 1", a.ColdStarts)
+	}
+	if b.ColdStarts != 2 {
+		t.Fatalf("app b cold = %d, want 2", b.ColdStarts)
+	}
+	if rep.MeanLatency <= 0 || rep.P99Latency < rep.MeanLatency {
+		t.Fatalf("latencies: mean=%v p99=%v", rep.MeanLatency, rep.P99Latency)
+	}
+	if rep.Cluster.MemoryMBSeconds <= 0 {
+		t.Fatal("expected memory accounting")
+	}
+}
+
+func TestReplayLimit(t *testing.T) {
+	p := fastPlatform(policy.FixedKeepAlive{KeepAlive: time.Minute})
+	defer p.Stop()
+	rep, err := Replay(p, smallTrace(), Options{Limit: 90 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events at t<=90: a@0, a@60, b@30 → 3.
+	if rep.Invocations != 3 {
+		t.Fatalf("invocations = %d, want 3", rep.Invocations)
+	}
+}
+
+func TestReplayWithExecTime(t *testing.T) {
+	p := fastPlatform(policy.FixedKeepAlive{KeepAlive: 2 * time.Minute})
+	defer p.Stop()
+	rep, err := Replay(p, smallTrace(), Options{UseExecTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm latencies now include ~0.5 virtual seconds of execution.
+	if rep.MeanLatency < 100*time.Millisecond {
+		t.Fatalf("mean latency = %v, want >= exec time", rep.MeanLatency)
+	}
+}
+
+func TestReplayHybridReducesColdStarts(t *testing.T) {
+	// Periodic app at 3-min intervals over 2 virtual hours.
+	var times []float64
+	for ts := 0.0; ts < 7200; ts += 180 {
+		times = append(times, ts)
+	}
+	tr := &trace.Trace{
+		Duration: 2 * time.Hour,
+		Apps: []*trace.App{{ID: "p", Owner: "o", MemoryMB: 100,
+			Functions: []*trace.Function{{ID: "f", Trigger: trace.TriggerTimer, Invocations: times}}}},
+	}
+
+	pf := fastPlatform(policy.FixedKeepAlive{KeepAlive: time.Minute})
+	fixedRep, err := Replay(pf, tr, Options{})
+	pf.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := fastPlatform(policy.NewHybrid(policy.DefaultHybridConfig()))
+	hybridRep, err := Replay(ph, tr, Options{})
+	ph.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixedRep.Apps[0].ColdStarts <= hybridRep.Apps[0].ColdStarts {
+		t.Fatalf("hybrid cold=%d should beat fixed-1m cold=%d",
+			hybridRep.Apps[0].ColdStarts, fixedRep.Apps[0].ColdStarts)
+	}
+}
+
+func TestReplayAfterStopErrors(t *testing.T) {
+	p := fastPlatform(policy.FixedKeepAlive{KeepAlive: time.Minute})
+	p.Stop()
+	if _, err := Replay(p, smallTrace(), Options{}); err == nil {
+		t.Fatal("expected error replaying on stopped platform")
+	}
+}
+
+func TestSelectMidPopularity(t *testing.T) {
+	tr := &trace.Trace{Duration: time.Hour}
+	for i := 0; i < 100; i++ {
+		n := i + 1 // popularity rank: app i has i+1 invocations
+		times := make([]float64, n)
+		for j := range times {
+			times[j] = float64(j)
+		}
+		tr.Apps = append(tr.Apps, &trace.App{
+			ID:        string(rune('a'+i/26)) + string(rune('a'+i%26)),
+			Functions: []*trace.Function{{ID: string(rune('A'+i/26)) + string(rune('A'+i%26)), Invocations: times}},
+		})
+	}
+	sel := SelectMidPopularity(tr, 20, 7)
+	if len(sel.Apps) != 20 {
+		t.Fatalf("selected %d apps", len(sel.Apps))
+	}
+	for _, a := range sel.Apps {
+		inv := a.TotalInvocations()
+		// The [0.55, 0.92] band of 1..100 is 56..92.
+		if inv < 56 || inv > 92 {
+			t.Fatalf("app with %d invocations is not mid-popularity", inv)
+		}
+	}
+	// Deterministic.
+	sel2 := SelectMidPopularity(tr, 20, 7)
+	for i := range sel.Apps {
+		if sel.Apps[i].ID != sel2.Apps[i].ID {
+			t.Fatal("selection not deterministic")
+		}
+	}
+}
+
+func TestSelectMidPopularityFewApps(t *testing.T) {
+	tr := smallTrace()
+	sel := SelectMidPopularity(tr, 50, 1)
+	if len(sel.Apps) > 2 {
+		t.Fatalf("selected %d from 2-app trace", len(sel.Apps))
+	}
+}

@@ -1,0 +1,299 @@
+// Package sim implements the paper's cold-start simulator (§5.1): it
+// walks each application's invocation timestamps, applies a keep-alive
+// policy, classifies every invocation as warm or cold per the Figure 9
+// timelines, and aggregates wasted memory time — the time an
+// application image sat in memory without executing.
+//
+// Following §5.1, function execution times default to zero, which
+// makes the wasted-memory accounting a conservative worst case, and
+// all applications are assumed to use the same amount of memory, so
+// wasted memory is reported in seconds. Exec-time-aware simulation is
+// available as an extension (Options.UseExecTime).
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Workers is the number of apps simulated concurrently
+	// (default: GOMAXPROCS).
+	Workers int
+	// UseExecTime makes invocations occupy their function's average
+	// execution time instead of 0. Idle times then measure from
+	// execution end, exactly as the paper defines IT (§3.4).
+	UseExecTime bool
+}
+
+// AppResult is the outcome for one application.
+type AppResult struct {
+	AppID       string
+	Invocations int
+	ColdStarts  int
+	// WastedSeconds is the time the app image was loaded in memory
+	// while not executing, capped at the trace horizon.
+	WastedSeconds float64
+	// ModeCounts tallies policy decisions by provenance (indexed by
+	// policy.Mode), attributing outcomes to hybrid components.
+	ModeCounts [5]int
+}
+
+// ColdPercent returns the app's cold-start percentage (0 when the app
+// was never invoked).
+func (r AppResult) ColdPercent() float64 {
+	if r.Invocations == 0 {
+		return 0
+	}
+	return 100 * float64(r.ColdStarts) / float64(r.Invocations)
+}
+
+// Result is the outcome of simulating one policy over one trace.
+type Result struct {
+	Policy         string
+	HorizonSeconds float64
+	Apps           []AppResult
+}
+
+// Simulate runs pol over tr and returns per-app outcomes. Apps are
+// independent, so they are simulated in parallel; results preserve
+// tr.Apps order and are deterministic.
+func Simulate(tr *trace.Trace, pol policy.Policy, opt Options) *Result {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &Result{
+		Policy:         pol.Name(),
+		HorizonSeconds: tr.Duration.Seconds(),
+		Apps:           make([]AppResult, len(tr.Apps)),
+	}
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				app := tr.Apps[idx]
+				res.Apps[idx] = simulateApp(app, pol.NewApp(app.ID), res.HorizonSeconds, opt)
+			}
+		}()
+	}
+	for i := range tr.Apps {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return res
+}
+
+// execSeconds returns per-invocation execution times for the app, in
+// invocation-time order, or nil for all-zero.
+func execSeconds(app *trace.App, opt Options) []float64 {
+	if !opt.UseExecTime {
+		return nil
+	}
+	// Merge (time, exec) pairs across functions in timestamp order.
+	type inv struct{ t, exec float64 }
+	var all []inv
+	for _, fn := range app.Functions {
+		for _, t := range fn.Invocations {
+			all = append(all, inv{t, fn.ExecStats.AvgSeconds})
+		}
+	}
+	// Insertion sort by time; app invocation lists are individually
+	// sorted so this is near-linear in practice for few functions.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].t < all[j-1].t; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	execs := make([]float64, len(all))
+	for i, iv := range all {
+		execs[i] = iv.exec
+	}
+	return execs
+}
+
+// simulateApp walks one app's invocations, applying the Figure 9
+// window semantics:
+//
+//   - Decision with PreWarm == 0: the app stays loaded from execution
+//     end for KeepAlive; an invocation in that window is warm.
+//   - Decision with PreWarm > 0: the app unloads at execution end,
+//     reloads PreWarm later, and stays loaded for KeepAlive. An
+//     invocation before the reload is cold (but costs no memory); one
+//     inside [reload, reload+KeepAlive] is warm; a later one is cold
+//     after the full KeepAlive was wasted.
+//   - Forever: loaded through the horizon.
+//
+// The first invocation is always cold (§5.1).
+func simulateApp(app *trace.App, ap policy.AppPolicy, horizon float64, opt Options) AppResult {
+	times := app.InvocationTimes()
+	res := AppResult{AppID: app.ID, Invocations: len(times)}
+	if len(times) == 0 {
+		return res
+	}
+	execs := execSeconds(app, opt)
+
+	var d policy.Decision
+	var prevEnd float64 // end of previous execution
+	for i, t := range times {
+		if i == 0 {
+			res.ColdStarts++
+		} else {
+			warm, wasted := classify(d, prevEnd, t)
+			if !warm {
+				res.ColdStarts++
+			}
+			res.WastedSeconds += wasted
+		}
+		idle := t - prevEnd
+		if idle < 0 {
+			// Overlapping executions (concurrency) are out of scope
+			// (§2); clamp so the policy sees a sane idle time.
+			idle = 0
+		}
+		var exec float64
+		if execs != nil {
+			exec = execs[i]
+		}
+		end := t + exec
+		d = ap.NextWindows(secToDur(idle), i == 0)
+		res.ModeCounts[d.Mode]++
+		prevEnd = end
+	}
+
+	// Trailing window after the last invocation, capped at horizon.
+	res.WastedSeconds += trailingWaste(d, prevEnd, horizon)
+	return res
+}
+
+// classify resolves one arrival at time t against the decision made at
+// prevEnd. It returns whether the start is warm and how much loaded-
+// but-idle time accrued between prevEnd and the arrival.
+func classify(d policy.Decision, prevEnd, t float64) (warm bool, wasted float64) {
+	if d.Forever {
+		return true, t - prevEnd
+	}
+	ka := d.KeepAlive.Seconds()
+	if d.PreWarm == 0 {
+		windowEnd := prevEnd + ka
+		if t <= windowEnd {
+			return true, t - prevEnd
+		}
+		return false, ka
+	}
+	loadAt := prevEnd + d.PreWarm.Seconds()
+	windowEnd := loadAt + ka
+	switch {
+	case t < loadAt:
+		// Arrived before the pre-warm: cold, but nothing was loaded.
+		return false, 0
+	case t <= windowEnd:
+		return true, t - loadAt
+	default:
+		return false, ka
+	}
+}
+
+// trailingWaste accounts for the window scheduled after the final
+// invocation, truncated at the trace horizon.
+func trailingWaste(d policy.Decision, prevEnd, horizon float64) float64 {
+	if prevEnd >= horizon {
+		return 0
+	}
+	if d.Forever {
+		return horizon - prevEnd
+	}
+	ka := d.KeepAlive.Seconds()
+	if d.PreWarm == 0 {
+		return minF(ka, horizon-prevEnd)
+	}
+	loadAt := prevEnd + d.PreWarm.Seconds()
+	if loadAt >= horizon {
+		return 0
+	}
+	return minF(ka, horizon-loadAt)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func secToDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// ColdPercents returns the per-app cold-start percentages in app
+// order (apps with zero invocations excluded).
+func (r *Result) ColdPercents() []float64 {
+	out := make([]float64, 0, len(r.Apps))
+	for _, a := range r.Apps {
+		if a.Invocations > 0 {
+			out = append(out, a.ColdPercent())
+		}
+	}
+	return out
+}
+
+// TotalWastedSeconds sums wasted memory time across apps.
+func (r *Result) TotalWastedSeconds() float64 {
+	var sum float64
+	for _, a := range r.Apps {
+		sum += a.WastedSeconds
+	}
+	return sum
+}
+
+// TotalColdStarts sums cold starts across apps.
+func (r *Result) TotalColdStarts() int {
+	var sum int
+	for _, a := range r.Apps {
+		sum += a.ColdStarts
+	}
+	return sum
+}
+
+// TotalInvocations sums invocations across apps.
+func (r *Result) TotalInvocations() int {
+	var sum int
+	for _, a := range r.Apps {
+		sum += a.Invocations
+	}
+	return sum
+}
+
+// AlwaysColdFraction returns the fraction of apps whose every
+// invocation was cold. With excludeSingleInvocation, apps invoked only
+// once — which no policy can help (§5.2, Figure 19) — are excluded
+// from both numerator and denominator.
+func (r *Result) AlwaysColdFraction(excludeSingleInvocation bool) float64 {
+	var total, alwaysCold int
+	for _, a := range r.Apps {
+		if a.Invocations == 0 {
+			continue
+		}
+		if excludeSingleInvocation && a.Invocations == 1 {
+			continue
+		}
+		total++
+		if a.ColdStarts == a.Invocations {
+			alwaysCold++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(alwaysCold) / float64(total)
+}

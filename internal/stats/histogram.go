@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [0, BinWidth*len(bins)).
+// It is the generic building block; the policy-specific range-limited
+// idle-time histogram (with OOB tracking and percentile cutoffs) lives
+// in internal/ithist and composes this type.
+type Histogram struct {
+	binWidth float64
+	counts   []int64
+	total    int64
+}
+
+// NewHistogram creates a histogram with nbins bins of width binWidth.
+func NewHistogram(binWidth float64, nbins int) *Histogram {
+	if binWidth <= 0 || nbins <= 0 {
+		panic("stats: NewHistogram requires positive width and bin count")
+	}
+	return &Histogram{binWidth: binWidth, counts: make([]int64, nbins)}
+}
+
+// NumBins returns the number of bins.
+func (h *Histogram) NumBins() int { return len(h.counts) }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return h.binWidth }
+
+// Range returns the upper bound of the covered interval.
+func (h *Histogram) Range() float64 {
+	return h.binWidth * float64(len(h.counts))
+}
+
+// BinIndex returns the bin x falls into, or -1 if x is out of bounds
+// (negative or >= Range).
+func (h *Histogram) BinIndex(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	idx := int(x / h.binWidth)
+	if idx >= len(h.counts) {
+		return -1
+	}
+	return idx
+}
+
+// Add records one observation. It reports whether the observation was
+// within bounds; out-of-bounds observations are not recorded.
+func (h *Histogram) Add(x float64) bool {
+	idx := h.BinIndex(x)
+	if idx < 0 {
+		return false
+	}
+	h.counts[idx]++
+	h.total++
+	return true
+}
+
+// AddBin increments bin idx directly by n.
+func (h *Histogram) AddBin(idx int, n int64) {
+	if idx < 0 || idx >= len(h.counts) {
+		panic(fmt.Sprintf("stats: AddBin index %d out of range", idx))
+	}
+	h.counts[idx] += n
+	h.total += n
+}
+
+// Count returns the count in bin idx.
+func (h *Histogram) Count(idx int) int64 { return h.counts[idx] }
+
+// Total returns the number of in-bounds observations recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Counts returns a copy of the bin counts.
+func (h *Histogram) Counts() []int64 {
+	c := make([]int64, len(h.counts))
+	copy(c, h.counts)
+	return c
+}
+
+// Reset zeroes all bins.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}
+
+// PercentileBin returns the index of the bin containing the p-th
+// percentile of the recorded distribution (p in [0,100]). It panics on
+// an empty histogram. The percentile of a binned sample is resolved to
+// a whole bin; callers choose the bin edge (see ithist's round-down /
+// round-up semantics).
+func (h *Histogram) PercentileBin(p float64) int {
+	if h.total == 0 {
+		panic("stats: PercentileBin of empty histogram")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of [0,100]")
+	}
+	target := p / 100 * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		cum += float64(c)
+		if cum >= target && c > 0 {
+			return i
+		}
+	}
+	// p == 0 with leading empty bins, or numeric edge: find first/last
+	// non-empty bin.
+	if target <= 0 {
+		for i, c := range h.counts {
+			if c > 0 {
+				return i
+			}
+		}
+	}
+	for i := len(h.counts) - 1; i >= 0; i-- {
+		if h.counts[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// BinCountCV returns the coefficient of variation of the bin counts,
+// the representativeness signal of the paper's policy: a concentrated
+// histogram has high CV, a flat or empty one has CV ~ 0.
+func (h *Histogram) BinCountCV() float64 {
+	var w Welford
+	for _, c := range h.counts {
+		w.Add(float64(c))
+	}
+	return w.CV()
+}
+
+// Mean returns the mean of the recorded distribution, using bin
+// midpoints. It returns 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, c := range h.counts {
+		mid := (float64(i) + 0.5) * h.binWidth
+		sum += mid * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// String renders a compact sparkline-style summary for debugging.
+func (h *Histogram) String() string {
+	var max int64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist[%d bins x %g, n=%d]", len(h.counts), h.binWidth, h.total)
+	if max == 0 {
+		return b.String()
+	}
+	levels := []rune(" .:-=+*#%@")
+	b.WriteByte(' ')
+	for _, c := range h.counts {
+		idx := int(float64(c) / float64(max) * float64(len(levels)-1))
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramAddAndBounds(t *testing.T) {
+	h := NewHistogram(1, 10) // bins [0,1) ... [9,10)
+	if !h.Add(0) {
+		t.Fatal("0 should be in bounds")
+	}
+	if !h.Add(9.99) {
+		t.Fatal("9.99 should be in bounds")
+	}
+	if h.Add(10) {
+		t.Fatal("10 should be out of bounds")
+	}
+	if h.Add(-0.1) {
+		t.Fatal("negative should be out of bounds")
+	}
+	if h.Total() != 2 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Count(0) != 1 || h.Count(9) != 1 {
+		t.Fatal("wrong bin placement")
+	}
+}
+
+func TestHistogramRange(t *testing.T) {
+	h := NewHistogram(60, 240) // the policy's default: 1-min bins, 4 hours
+	if h.Range() != 4*3600 {
+		t.Fatalf("range = %v", h.Range())
+	}
+	if h.NumBins() != 240 {
+		t.Fatalf("bins = %d", h.NumBins())
+	}
+}
+
+func TestHistogramPercentileBin(t *testing.T) {
+	h := NewHistogram(1, 10)
+	// 10 observations in bin 2, 80 in bin 5, 10 in bin 8.
+	h.AddBin(2, 10)
+	h.AddBin(5, 80)
+	h.AddBin(8, 10)
+	if got := h.PercentileBin(5); got != 2 {
+		t.Fatalf("p5 bin = %d, want 2", got)
+	}
+	if got := h.PercentileBin(50); got != 5 {
+		t.Fatalf("p50 bin = %d, want 5", got)
+	}
+	if got := h.PercentileBin(99); got != 8 {
+		t.Fatalf("p99 bin = %d, want 8", got)
+	}
+	if got := h.PercentileBin(0); got != 2 {
+		t.Fatalf("p0 bin = %d, want first non-empty (2)", got)
+	}
+	if got := h.PercentileBin(100); got != 8 {
+		t.Fatalf("p100 bin = %d, want 8", got)
+	}
+}
+
+func TestHistogramPercentileBinSingle(t *testing.T) {
+	h := NewHistogram(1, 240)
+	h.Add(42.5)
+	for _, p := range []float64{0, 5, 50, 99, 100} {
+		if got := h.PercentileBin(p); got != 42 {
+			t.Fatalf("p%v bin = %d, want 42", p, got)
+		}
+	}
+}
+
+func TestHistogramPercentileBinPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 10).PercentileBin(50)
+}
+
+func TestHistogramBinCountCV(t *testing.T) {
+	// Concentrated histogram: high CV (the representative case).
+	concentrated := NewHistogram(1, 10)
+	concentrated.AddBin(3, 100)
+	if cv := concentrated.BinCountCV(); cv < 2 {
+		t.Fatalf("concentrated CV = %v, want >= 2", cv)
+	}
+	// Flat histogram: CV 0 (the non-representative case).
+	flat := NewHistogram(1, 10)
+	for i := 0; i < 10; i++ {
+		flat.AddBin(i, 7)
+	}
+	if cv := flat.BinCountCV(); cv != 0 {
+		t.Fatalf("flat CV = %v, want 0", cv)
+	}
+	// Empty histogram: CV 0.
+	if cv := NewHistogram(1, 10).BinCountCV(); cv != 0 {
+		t.Fatalf("empty CV = %v, want 0", cv)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(2, 5)
+	h.AddBin(0, 1) // midpoint 1
+	h.AddBin(4, 1) // midpoint 9
+	if got := h.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	if NewHistogram(1, 3).Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(1, 5)
+	h.Add(1)
+	h.Add(2)
+	h.Reset()
+	if h.Total() != 0 || h.Count(1) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestHistogramCountsCopy(t *testing.T) {
+	h := NewHistogram(1, 3)
+	h.Add(1)
+	c := h.Counts()
+	c[1] = 99
+	if h.Count(1) != 1 {
+		t.Fatal("Counts() must return a copy")
+	}
+}
+
+func TestHistogramTotalInvariant(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := NewRNG(seed)
+		h := NewHistogram(1, 20)
+		var inBounds int64
+		for i := 0; i < 200; i++ {
+			x := r.Float64()*30 - 5 // some out of bounds
+			if h.Add(x) {
+				inBounds++
+			}
+		}
+		var sum int64
+		for i := 0; i < h.NumBins(); i++ {
+			sum += h.Count(i)
+		}
+		return sum == h.Total() && sum == inBounds
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramStringSmoke(t *testing.T) {
+	h := NewHistogram(1, 8)
+	if s := h.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+	h.Add(3)
+	if s := h.String(); s == "" {
+		t.Fatal("empty String() after add")
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10) },
+		func() { NewHistogram(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

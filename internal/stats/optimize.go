@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// NelderMeadOptions configures the derivative-free simplex optimizer
+// used by the ARIMA estimator's conditional-sum-of-squares refinement.
+type NelderMeadOptions struct {
+	MaxIter int     // maximum iterations (default 400)
+	Tol     float64 // convergence tolerance on simplex spread (default 1e-8)
+	Step    float64 // initial simplex step per coordinate (default 0.1)
+}
+
+// NelderMead minimizes f starting from x0 and returns the best point
+// and its value. It never evaluates f outside what the caller's f
+// tolerates; f may return +Inf to reject a region.
+func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) ([]float64, float64) {
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 400
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.Step == 0 {
+		opt.Step = 0.1
+	}
+	n := len(x0)
+	if n == 0 {
+		return nil, f(nil)
+	}
+
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	simplex := make([]vertex, n+1)
+	base := append([]float64(nil), x0...)
+	simplex[0] = vertex{x: base, v: f(base)}
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		if x[i] != 0 {
+			x[i] *= 1 + opt.Step
+		} else {
+			x[i] = opt.Step
+		}
+		simplex[i+1] = vertex{x: x, v: f(x)}
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+		// Converged only when both the value spread and the simplex
+		// diameter are small; a value check alone stops early when the
+		// simplex straddles a minimum symmetrically.
+		if math.Abs(simplex[n].v-simplex[0].v) < opt.Tol*(math.Abs(simplex[0].v)+opt.Tol) {
+			var diam float64
+			for j := 0; j < n; j++ {
+				d := math.Abs(simplex[n].x[j] - simplex[0].x[j])
+				if d > diam {
+					diam = d
+				}
+			}
+			if diam < opt.Tol*(1+math.Abs(simplex[0].x[0])) {
+				break
+			}
+		}
+
+		// Centroid of all but worst.
+		centroid := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				centroid[j] += simplex[i].x[j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			centroid[j] /= float64(n)
+		}
+
+		worst := simplex[n]
+		reflect := make([]float64, n)
+		for j := 0; j < n; j++ {
+			reflect[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		rv := f(reflect)
+
+		switch {
+		case rv < simplex[0].v:
+			// Try expansion.
+			expand := make([]float64, n)
+			for j := 0; j < n; j++ {
+				expand[j] = centroid[j] + gamma*(reflect[j]-centroid[j])
+			}
+			if ev := f(expand); ev < rv {
+				simplex[n] = vertex{x: expand, v: ev}
+			} else {
+				simplex[n] = vertex{x: reflect, v: rv}
+			}
+		case rv < simplex[n-1].v:
+			simplex[n] = vertex{x: reflect, v: rv}
+		default:
+			// Contraction.
+			contract := make([]float64, n)
+			for j := 0; j < n; j++ {
+				contract[j] = centroid[j] + rho*(worst.x[j]-centroid[j])
+			}
+			if cv := f(contract); cv < worst.v {
+				simplex[n] = vertex{x: contract, v: cv}
+			} else {
+				// Shrink toward best.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].v = f(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+	return simplex[0].x, simplex[0].v
+}
+
+// SolveLinear solves A x = b by Gaussian elimination with partial
+// pivoting. A is row-major n x n and is not modified. It returns false
+// if the system is singular (to working precision).
+func SolveLinear(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	if len(a) != n {
+		panic("stats: SolveLinear dimension mismatch")
+	}
+	// Copy into augmented matrix.
+	m := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		if len(a[i]) != n {
+			panic("stats: SolveLinear requires square A")
+		}
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, false
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, true
+}
+
+// OLS fits y = X beta by ordinary least squares via the normal
+// equations (X'X) beta = X'y. X is row-major with one row per
+// observation. It returns false if X'X is singular.
+func OLS(x [][]float64, y []float64) ([]float64, bool) {
+	nobs := len(x)
+	if nobs == 0 || nobs != len(y) {
+		return nil, false
+	}
+	k := len(x[0])
+	if k == 0 {
+		return nil, false
+	}
+	xtx := make([][]float64, k)
+	for i := range xtx {
+		xtx[i] = make([]float64, k)
+	}
+	xty := make([]float64, k)
+	for r := 0; r < nobs; r++ {
+		row := x[r]
+		if len(row) != k {
+			return nil, false
+		}
+		for i := 0; i < k; i++ {
+			for j := i; j < k; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * y[r]
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	return SolveLinear(xtx, xty)
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+2)*(x[1]+2) + 5
+	}
+	x, v := NelderMead(f, []float64{0, 0}, NelderMeadOptions{MaxIter: 500})
+	if math.Abs(x[0]-3) > 1e-3 || math.Abs(x[1]+2) > 1e-3 {
+		t.Fatalf("minimum at %v, want (3,-2)", x)
+	}
+	if math.Abs(v-5) > 1e-5 {
+		t.Fatalf("value = %v, want 5", v)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, _ := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 5000, Tol: 1e-14})
+	if math.Abs(x[0]-1) > 0.01 || math.Abs(x[1]-1) > 0.01 {
+		t.Fatalf("Rosenbrock minimum at %v, want (1,1)", x)
+	}
+}
+
+func TestNelderMeadRejectsInfRegions(t *testing.T) {
+	// f is +Inf outside |x| < 10; minimum at 4.
+	f := func(x []float64) float64 {
+		if math.Abs(x[0]) >= 10 {
+			return math.Inf(1)
+		}
+		return (x[0] - 4) * (x[0] - 4)
+	}
+	x, _ := NelderMead(f, []float64{1}, NelderMeadOptions{})
+	if math.Abs(x[0]-4) > 1e-3 {
+		t.Fatalf("minimum at %v, want 4", x[0])
+	}
+}
+
+func TestNelderMeadEmptyInput(t *testing.T) {
+	called := false
+	f := func(x []float64) float64 { called = true; return 7 }
+	_, v := NelderMead(f, nil, NelderMeadOptions{})
+	if !called || v != 7 {
+		t.Fatal("empty input should evaluate f once")
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, ok := SolveLinear(a, b)
+	if !ok {
+		t.Fatal("solver reported singular")
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 2},
+		{2, 4},
+	}
+	if _, ok := SolveLinear(a, []float64{1, 2}); ok {
+		t.Fatal("singular system should report !ok")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := [][]float64{
+		{0, 1},
+		{1, 0},
+	}
+	x, ok := SolveLinear(a, []float64{2, 3})
+	if !ok || math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("x = %v ok=%v", x, ok)
+	}
+}
+
+func TestOLSRecoversCoefficients(t *testing.T) {
+	// y = 2 + 3*a - 1.5*b with small noise.
+	r := NewRNG(99)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		a := r.NormFloat64()
+		b := r.NormFloat64()
+		x = append(x, []float64{1, a, b})
+		y = append(y, 2+3*a-1.5*b+0.01*r.NormFloat64())
+	}
+	beta, ok := OLS(x, y)
+	if !ok {
+		t.Fatal("OLS failed")
+	}
+	want := []float64{2, 3, -1.5}
+	for i := range want {
+		if math.Abs(beta[i]-want[i]) > 0.01 {
+			t.Fatalf("beta = %v, want %v", beta, want)
+		}
+	}
+}
+
+func TestOLSDegenerate(t *testing.T) {
+	if _, ok := OLS(nil, nil); ok {
+		t.Fatal("empty OLS should fail")
+	}
+	// Collinear columns.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	if _, ok := OLS(x, []float64{1, 2, 3}); ok {
+		t.Fatal("collinear OLS should fail")
+	}
+}

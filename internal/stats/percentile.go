@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using
+// linear interpolation between closest ranks (the "linear" method, as
+// in numpy.percentile). It does not modify xs. It panics on an empty
+// slice or p outside [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// PercentileSorted is like Percentile but requires xs to be sorted
+// ascending, avoiding the copy and sort.
+func PercentileSorted(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: PercentileSorted of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	return percentileSorted(xs, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WeightedSample is one (value, weight) observation, e.g. an average
+// execution time observed over `weight` samples, as in the paper's
+// weighted-percentile construction (§3.1).
+type WeightedSample struct {
+	Value  float64
+	Weight float64
+}
+
+// WeightedPercentile computes the p-th percentile of a weighted sample
+// set, equivalent to percentiles over a distribution where each Value
+// is replicated Weight times. Weights must be positive. It panics on an
+// empty set or p outside [0,100].
+func WeightedPercentile(samples []WeightedSample, p float64) float64 {
+	if len(samples) == 0 {
+		panic("stats: WeightedPercentile of empty set")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	s := make([]WeightedSample, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i].Value < s[j].Value })
+	var total float64
+	for _, ws := range s {
+		if ws.Weight <= 0 {
+			panic("stats: WeightedPercentile with non-positive weight")
+		}
+		total += ws.Weight
+	}
+	target := p / 100 * total
+	var cum float64
+	for _, ws := range s {
+		cum += ws.Weight
+		if cum >= target {
+			return ws.Value
+		}
+	}
+	return s[len(s)-1].Value
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 if len < 1).
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CV returns the coefficient of variation of xs; 0 if the mean is 0.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Abs(m)
+}
+
+// Min returns the smallest element. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+// Package stats provides the statistical substrate used across the
+// reproduction: deterministic random number generation, online moment
+// tracking (Welford), weighted percentiles, empirical CDFs, fixed-bin
+// histograms, the distribution samplers the workload generator is
+// calibrated with (log-normal, Burr XII, hyper-exponential, Zipf, ...),
+// and the small numerical-optimization and linear-algebra helpers that
+// back the ARIMA estimator.
+//
+// Everything is stdlib-only and deterministic given a seed, so every
+// experiment in this repository reproduces bit-for-bit.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator based on
+// splitmix64. It is not safe for concurrent use; give each goroutine its
+// own RNG (use Split to derive independent streams).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two RNGs with the same
+// seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives a new, statistically independent generator from r.
+// The derived stream is a function of r's current state, so calling
+// Split at different points yields different streams.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high bits give a uniform dyadic rational in [0,1).
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform float64 in (0, 1), never exactly 0,
+// which is convenient for inverse-CDF sampling with log or division.
+func (r *RNG) Float64Open() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller, polar form).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(r.Float64Open())
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import "math"
+
+// Welford accumulates mean and variance online using Welford's
+// algorithm (Welford 1962), the method the paper uses to track the
+// coefficient of variation of histogram bin counts cheaply. The zero
+// value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Remove cancels one previously added observation. This supports
+// constant-time updates when a single histogram bin count changes:
+// remove the old value, add the new one.
+func (w *Welford) Remove(x float64) {
+	if w.n <= 0 {
+		panic("stats: Welford.Remove on empty accumulator")
+	}
+	if w.n == 1 {
+		w.n, w.mean, w.m2 = 0, 0, 0
+		return
+	}
+	n := float64(w.n)
+	oldMean := (n*w.mean - x) / (n - 1)
+	w.m2 -= (x - w.mean) * (x - oldMean)
+	if w.m2 < 0 { // guard against round-off
+		w.m2 = 0
+	}
+	w.mean = oldMean
+	w.n--
+}
+
+// Replace swaps one observation for another in constant time.
+func (w *Welford) Replace(old, new float64) {
+	if w.n <= 0 {
+		panic("stats: Welford.Replace on empty accumulator")
+	}
+	delta := new - old
+	oldMean := w.mean
+	w.mean += delta / float64(w.n)
+	// Update of sum of squared deviations when a single point moves:
+	// m2' = m2 + (new-old)*(new - mean' + old - mean)
+	w.m2 += delta * (new - w.mean + old - oldMean)
+	if w.m2 < 0 {
+		w.m2 = 0
+	}
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (0 if fewer than 1 sample).
+func (w *Welford) Variance() float64 {
+	if w.n < 1 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the unbiased sample variance (0 if n < 2).
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// CV returns the coefficient of variation (stddev / mean). A zero mean
+// yields CV 0 by convention, matching the policy's use where an
+// all-zero histogram is treated as non-representative.
+func (w *Welford) CV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Abs(w.mean)
+}
+
+// Reset returns the accumulator to its zero state.
+func (w *Welford) Reset() { *w = Welford{} }

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.Variance()-4) > 1e-12 {
+		t.Fatalf("variance = %v, want 4", w.Variance())
+	}
+	if math.Abs(w.StdDev()-2) > 1e-12 {
+		t.Fatalf("stddev = %v, want 2", w.StdDev())
+	}
+	if math.Abs(w.CV()-0.4) > 1e-12 {
+		t.Fatalf("cv = %v, want 0.4", w.CV())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.CV() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.Mean() != 42 || w.Variance() != 0 {
+		t.Fatalf("mean=%v var=%v", w.Mean(), w.Variance())
+	}
+	if w.SampleVariance() != 0 {
+		t.Fatal("sample variance of one point should be 0")
+	}
+}
+
+func TestWelfordZeroMeanCV(t *testing.T) {
+	var w Welford
+	w.Add(-1)
+	w.Add(1)
+	if w.CV() != 0 {
+		t.Fatalf("CV with zero mean should be 0 by convention, got %v", w.CV())
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := int(seed%50) + 2
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.NormFloat64()*10 + 5
+			w.Add(xs[i])
+		}
+		return math.Abs(w.Mean()-Mean(xs)) < 1e-9 &&
+			math.Abs(w.Variance()-Variance(xs)) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordRemove(t *testing.T) {
+	var w Welford
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	w.Remove(6)
+	w.Remove(1)
+	want := []float64{2, 3, 4, 5}
+	if math.Abs(w.Mean()-Mean(want)) > 1e-9 {
+		t.Fatalf("mean after removal = %v, want %v", w.Mean(), Mean(want))
+	}
+	if math.Abs(w.Variance()-Variance(want)) > 1e-9 {
+		t.Fatalf("variance after removal = %v, want %v", w.Variance(), Variance(want))
+	}
+}
+
+func TestWelfordRemoveToEmpty(t *testing.T) {
+	var w Welford
+	w.Add(3)
+	w.Remove(3)
+	if w.Count() != 0 || w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("removing last element should zero the accumulator")
+	}
+}
+
+func TestWelfordRemovePanicsWhenEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var w Welford
+	w.Remove(1)
+}
+
+func TestWelfordReplace(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := int(seed%30) + 2
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+			w.Add(xs[i])
+		}
+		// Replace a random element.
+		idx := r.Intn(n)
+		newVal := r.Float64() * 100
+		w.Replace(xs[idx], newVal)
+		xs[idx] = newVal
+		return math.Abs(w.Mean()-Mean(xs)) < 1e-7 &&
+			math.Abs(w.Variance()-Variance(xs)) < 1e-6
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	w.Reset()
+	if w.Count() != 0 || w.Mean() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}

@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// The CSV schemas mirror the AzurePublicDataset release:
+//
+//   invocations:  HashOwner,HashApp,HashFunction,Trigger,1,2,...,N
+//   durations:    HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum
+//   memory:       HashOwner,HashApp,SampleCount,AverageAllocatedMb
+//
+// Durations are written in milliseconds, as in the published dataset.
+
+// WriteInvocationsCSV writes the per-minute invocation-count table for
+// tr to w. One row per function; the count columns cover the whole
+// trace duration at 1-minute resolution.
+func WriteInvocationsCSV(w io.Writer, tr *Trace) error {
+	cw := csv.NewWriter(w)
+	minutes := int(tr.Duration.Minutes())
+	header := make([]string, 0, 4+minutes)
+	header = append(header, "HashOwner", "HashApp", "HashFunction", "Trigger")
+	for m := 1; m <= minutes; m++ {
+		header = append(header, strconv.Itoa(m))
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: writing invocations header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, app := range tr.Apps {
+		for _, fn := range app.Functions {
+			row[0], row[1], row[2], row[3] = app.Owner, app.ID, fn.ID, fn.Trigger.String()
+			counts := MinuteCounts(fn.Invocations, tr.Duration)
+			for m := 0; m < minutes; m++ {
+				row[4+m] = strconv.Itoa(counts[m])
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("trace: writing invocations row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDurationsCSV writes the per-function execution-time summary
+// (milliseconds, as in the dataset).
+func WriteDurationsCSV(w io.Writer, tr *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"HashOwner", "HashApp", "HashFunction", "Average", "Count", "Minimum", "Maximum",
+	}); err != nil {
+		return fmt.Errorf("trace: writing durations header: %w", err)
+	}
+	for _, app := range tr.Apps {
+		for _, fn := range app.Functions {
+			s := fn.ExecStats
+			if err := cw.Write([]string{
+				app.Owner, app.ID, fn.ID,
+				formatMillis(s.AvgSeconds),
+				strconv.FormatInt(s.Count, 10),
+				formatMillis(s.MinSeconds),
+				formatMillis(s.MaxSeconds),
+			}); err != nil {
+				return fmt.Errorf("trace: writing durations row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMemoryCSV writes the per-application memory summary (MB).
+func WriteMemoryCSV(w io.Writer, tr *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"HashOwner", "HashApp", "SampleCount", "AverageAllocatedMb",
+	}); err != nil {
+		return fmt.Errorf("trace: writing memory header: %w", err)
+	}
+	for _, app := range tr.Apps {
+		if err := cw.Write([]string{
+			app.Owner, app.ID,
+			strconv.Itoa(app.TotalInvocations()),
+			strconv.FormatFloat(app.MemoryMB, 'f', 2, 64),
+		}); err != nil {
+			return fmt.Errorf("trace: writing memory row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatMillis(seconds float64) string {
+	return strconv.FormatFloat(seconds*1000, 'f', 3, 64)
+}
+
+// ReadInvocationsCSV parses an invocation-count table into a Trace.
+// Per-minute counts become timestamps spaced evenly within each
+// minute; minute m (1-based column) covers seconds [60(m-1), 60m).
+// Functions sharing a HashApp are grouped into one App.
+func ReadInvocationsCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading invocations header: %w", err)
+	}
+	if len(header) < 5 || header[0] != "HashOwner" || header[3] != "Trigger" {
+		return nil, fmt.Errorf("trace: unexpected invocations header %v", header[:min(4, len(header))])
+	}
+	minutes := len(header) - 4
+
+	apps := make(map[string]*App)
+	var order []string
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading invocations line %d: %w", line, err)
+		}
+		if len(rec) != minutes+4 {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want %d", line, len(rec), minutes+4)
+		}
+		trig, err := ParseTrigger(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		fn := &Function{ID: rec[2], Trigger: trig}
+		for m := 0; m < minutes; m++ {
+			n, err := strconv.Atoi(rec[4+m])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d minute %d: %w", line, m+1, err)
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("trace: line %d minute %d: negative count", line, m+1)
+			}
+			base := float64(m) * 60
+			for k := 0; k < n; k++ {
+				// Spread n invocations evenly across the minute.
+				fn.Invocations = append(fn.Invocations, base+60*float64(k)/float64(n))
+			}
+		}
+		appID := rec[1]
+		app, ok := apps[appID]
+		if !ok {
+			app = &App{ID: appID, Owner: rec[0]}
+			apps[appID] = app
+			order = append(order, appID)
+		}
+		app.Functions = append(app.Functions, fn)
+	}
+
+	tr := &Trace{Duration: time.Duration(minutes) * time.Minute}
+	for _, id := range order {
+		tr.Apps = append(tr.Apps, apps[id])
+	}
+	return tr, nil
+}
+
+// ApplyDurationsCSV parses a durations table and fills ExecStats on
+// the matching functions of tr. Unknown functions are ignored; rows in
+// milliseconds are converted to seconds.
+func ApplyDurationsCSV(r io.Reader, tr *Trace) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("trace: reading durations header: %w", err)
+	}
+	col := indexColumns(header)
+	for _, need := range []string{"HashFunction", "Average", "Count", "Minimum", "Maximum"} {
+		if _, ok := col[need]; !ok {
+			return fmt.Errorf("trace: durations header missing %s", need)
+		}
+	}
+	fns := make(map[string]*Function)
+	for _, app := range tr.Apps {
+		for _, fn := range app.Functions {
+			fns[fn.ID] = fn
+		}
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: reading durations line %d: %w", line, err)
+		}
+		fn, ok := fns[rec[col["HashFunction"]]]
+		if !ok {
+			continue
+		}
+		avg, err1 := strconv.ParseFloat(rec[col["Average"]], 64)
+		minMs, err2 := strconv.ParseFloat(rec[col["Minimum"]], 64)
+		maxMs, err3 := strconv.ParseFloat(rec[col["Maximum"]], 64)
+		count, err4 := strconv.ParseInt(rec[col["Count"]], 10, 64)
+		for _, e := range []error{err1, err2, err3, err4} {
+			if e != nil {
+				return fmt.Errorf("trace: durations line %d: %w", line, e)
+			}
+		}
+		fn.ExecStats = ExecStats{
+			AvgSeconds: avg / 1000,
+			MinSeconds: minMs / 1000,
+			MaxSeconds: maxMs / 1000,
+			Count:      count,
+		}
+	}
+}
+
+// ApplyMemoryCSV parses a memory table and fills MemoryMB on the
+// matching apps of tr. Unknown apps are ignored.
+func ApplyMemoryCSV(r io.Reader, tr *Trace) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("trace: reading memory header: %w", err)
+	}
+	col := indexColumns(header)
+	for _, need := range []string{"HashApp", "AverageAllocatedMb"} {
+		if _, ok := col[need]; !ok {
+			return fmt.Errorf("trace: memory header missing %s", need)
+		}
+	}
+	apps := make(map[string]*App)
+	for _, app := range tr.Apps {
+		apps[app.ID] = app
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: reading memory line %d: %w", line, err)
+		}
+		app, ok := apps[rec[col["HashApp"]]]
+		if !ok {
+			continue
+		}
+		mb, err := strconv.ParseFloat(rec[col["AverageAllocatedMb"]], 64)
+		if err != nil {
+			return fmt.Errorf("trace: memory line %d: %w", line, err)
+		}
+		app.MemoryMB = mb
+	}
+}
+
+func indexColumns(header []string) map[string]int {
+	col := make(map[string]int, len(header))
+	for i, name := range header {
+		col[name] = i
+	}
+	return col
+}
+
+// SortAppsByID orders tr.Apps lexicographically, for deterministic
+// output independent of generation order.
+func SortAppsByID(tr *Trace) {
+	sort.Slice(tr.Apps, func(i, j int) bool { return tr.Apps[i].ID < tr.Apps[j].ID })
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Duration: 3 * time.Minute,
+		Apps: []*App{
+			{
+				ID: "app1", Owner: "own1", MemoryMB: 170.5,
+				Functions: []*Function{
+					{
+						ID: "fn1", Trigger: TriggerHTTP,
+						Invocations: []float64{10, 70, 71, 130},
+						ExecStats:   ExecStats{AvgSeconds: 0.5, MinSeconds: 0.1, MaxSeconds: 2, Count: 4},
+					},
+					{
+						ID: "fn2", Trigger: TriggerTimer,
+						Invocations: []float64{0, 60, 120},
+						ExecStats:   ExecStats{AvgSeconds: 1.5, MinSeconds: 1, MaxSeconds: 2, Count: 3},
+					},
+				},
+			},
+			{
+				ID: "app2", Owner: "own2", MemoryMB: 64,
+				Functions: []*Function{
+					{ID: "fn3", Trigger: TriggerQueue, Invocations: []float64{100}},
+				},
+			},
+		},
+	}
+}
+
+func TestInvocationsCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteInvocationsCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInvocationsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Duration != tr.Duration {
+		t.Fatalf("duration = %v", got.Duration)
+	}
+	if len(got.Apps) != 2 {
+		t.Fatalf("apps = %d", len(got.Apps))
+	}
+	if got.TotalInvocations() != tr.TotalInvocations() {
+		t.Fatalf("invocations = %d, want %d", got.TotalInvocations(), tr.TotalInvocations())
+	}
+	// Function identity, grouping, and triggers survive.
+	app1 := got.Apps[0]
+	if app1.ID != "app1" || app1.Owner != "own1" || len(app1.Functions) != 2 {
+		t.Fatalf("app1 = %+v", app1)
+	}
+	if app1.Functions[0].Trigger != TriggerHTTP || app1.Functions[1].Trigger != TriggerTimer {
+		t.Fatal("triggers lost")
+	}
+	// Minute-level counts survive exactly.
+	origCounts := MinuteCounts(tr.Apps[0].Functions[0].Invocations, tr.Duration)
+	gotCounts := MinuteCounts(got.Apps[0].Functions[0].Invocations, got.Duration)
+	for i := range origCounts {
+		if origCounts[i] != gotCounts[i] {
+			t.Fatalf("minute %d: %d != %d", i, gotCounts[i], origCounts[i])
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("reconstructed trace invalid: %v", err)
+	}
+}
+
+func TestReadInvocationsSpacesWithinMinute(t *testing.T) {
+	csvData := "HashOwner,HashApp,HashFunction,Trigger,1,2\n" +
+		"o,a,f,http,3,0\n"
+	tr, err := ReadInvocationsCSV(strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := tr.Apps[0].Functions[0].Invocations
+	if len(inv) != 3 {
+		t.Fatalf("len = %d", len(inv))
+	}
+	// Evenly spaced: 0, 20, 40.
+	if inv[0] != 0 || inv[1] != 20 || inv[2] != 40 {
+		t.Fatalf("timestamps = %v", inv)
+	}
+}
+
+func TestReadInvocationsErrors(t *testing.T) {
+	cases := []string{
+		"",                          // no header
+		"A,B\n",                     // malformed header
+		"HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,bogus,1\n",   // bad trigger
+		"HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,x\n",    // bad count
+		"HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,-1\n",   // negative count
+		"HashOwner,HashApp,HashFunction,Trigger,1,2\no,a,f,http,1\n",  // short row
+	}
+	for i, data := range cases {
+		if _, err := ReadInvocationsCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDurationsCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteDurationsCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the stats, re-apply from CSV.
+	fresh := sampleTrace()
+	for _, app := range fresh.Apps {
+		for _, fn := range app.Functions {
+			fn.ExecStats = ExecStats{}
+		}
+	}
+	if err := ApplyDurationsCSV(&buf, fresh); err != nil {
+		t.Fatal(err)
+	}
+	got := fresh.Apps[0].Functions[0].ExecStats
+	if got.AvgSeconds != 0.5 || got.MinSeconds != 0.1 || got.MaxSeconds != 2 || got.Count != 4 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+func TestMemoryCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteMemoryCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	fresh := sampleTrace()
+	for _, app := range fresh.Apps {
+		app.MemoryMB = 0
+	}
+	if err := ApplyMemoryCSV(&buf, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Apps[0].MemoryMB != 170.5 {
+		t.Fatalf("memory = %v", fresh.Apps[0].MemoryMB)
+	}
+	if fresh.Apps[1].MemoryMB != 64 {
+		t.Fatalf("memory = %v", fresh.Apps[1].MemoryMB)
+	}
+}
+
+func TestApplyDurationsIgnoresUnknownFunctions(t *testing.T) {
+	csvData := "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n" +
+		"o,a,nope,100,1,50,200\n"
+	tr := sampleTrace()
+	if err := ApplyDurationsCSV(strings.NewReader(csvData), tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyDurationsMissingColumn(t *testing.T) {
+	csvData := "HashOwner,HashApp,HashFunction\n"
+	if err := ApplyDurationsCSV(strings.NewReader(csvData), sampleTrace()); err == nil {
+		t.Fatal("expected error for missing columns")
+	}
+}
+
+func TestApplyMemoryMissingColumn(t *testing.T) {
+	if err := ApplyMemoryCSV(strings.NewReader("X,Y\n"), sampleTrace()); err == nil {
+		t.Fatal("expected error for missing columns")
+	}
+}
+
+func TestSortAppsByID(t *testing.T) {
+	tr := &Trace{Apps: []*App{{ID: "b"}, {ID: "a"}, {ID: "c"}}}
+	SortAppsByID(tr)
+	if tr.Apps[0].ID != "a" || tr.Apps[2].ID != "c" {
+		t.Fatalf("order = %v %v %v", tr.Apps[0].ID, tr.Apps[1].ID, tr.Apps[2].ID)
+	}
+}

@@ -1,0 +1,72 @@
+// Package trace defines the workload trace model used throughout the
+// reproduction — applications, functions, trigger types, invocation
+// timestamps — together with readers and writers for the CSV schemas
+// of the public AzurePublicDataset release that accompanies the paper
+// (invocations per function per minute, duration percentiles, and
+// per-application memory percentiles).
+//
+// The in-memory representation keeps exact invocation timestamps in
+// seconds from trace start; the CSV export bins them into the 1-minute
+// resolution of the published dataset, and the importer reconstructs
+// timestamps by spacing each minute's invocations evenly inside the
+// minute (the paper itself notes sub-minute inter-arrival times cannot
+// be reconstructed from the released data; §3.1).
+package trace
+
+import "fmt"
+
+// TriggerType is one of the seven trigger classes the paper groups
+// Azure's triggers into (§2).
+type TriggerType uint8
+
+// The trigger classes of the paper, Figure 2.
+const (
+	TriggerHTTP TriggerType = iota
+	TriggerQueue
+	TriggerEvent
+	TriggerOrchestration
+	TriggerTimer
+	TriggerStorage
+	TriggerOthers
+	numTriggers
+)
+
+// NumTriggers is the number of distinct trigger classes.
+const NumTriggers = int(numTriggers)
+
+var triggerNames = [...]string{
+	TriggerHTTP:          "http",
+	TriggerQueue:         "queue",
+	TriggerEvent:         "event",
+	TriggerOrchestration: "orchestration",
+	TriggerTimer:         "timer",
+	TriggerStorage:       "storage",
+	TriggerOthers:        "others",
+}
+
+// String returns the lower-case trigger name used in the CSV schema.
+func (t TriggerType) String() string {
+	if int(t) < len(triggerNames) {
+		return triggerNames[t]
+	}
+	return fmt.Sprintf("trigger(%d)", uint8(t))
+}
+
+// ParseTrigger converts a CSV trigger name into a TriggerType.
+func ParseTrigger(s string) (TriggerType, error) {
+	for i, name := range triggerNames {
+		if s == name {
+			return TriggerType(i), nil
+		}
+	}
+	return TriggerOthers, fmt.Errorf("trace: unknown trigger %q", s)
+}
+
+// AllTriggers lists every trigger class in declaration order.
+func AllTriggers() []TriggerType {
+	ts := make([]TriggerType, NumTriggers)
+	for i := range ts {
+		ts[i] = TriggerType(i)
+	}
+	return ts
+}

@@ -1,0 +1,161 @@
+// Package wild is the public API of this reproduction of "Serverless
+// in the Wild: Characterizing and Optimizing the Serverless Workload
+// at a Large Cloud Provider" (Shahrad et al., USENIX ATC 2020).
+//
+// It re-exports the building blocks a downstream user needs:
+//
+//   - workload generation calibrated to the paper's published
+//     distributions (Figures 1-8), plus readers for the public
+//     AzurePublicDataset CSV traces;
+//   - the keep-alive policies: fixed keep-alive, no-unloading, and the
+//     paper's hybrid histogram policy (range-limited idle-time
+//     histogram + conservative fallback + ARIMA forecasting);
+//   - the cold-start simulator of §5.1 and the metrics of §5.2;
+//   - an in-process OpenWhisk-analogue FaaS platform with a trace
+//     replayer for §5.3-style end-to-end experiments;
+//   - the experiment harness regenerating every evaluation figure.
+//
+// Quick start:
+//
+//	pop, _ := wild.Generate(wild.WorkloadConfig{Seed: 1, NumApps: 200})
+//	res := wild.Simulate(pop.Trace, wild.NewHybrid(wild.DefaultHybridConfig()))
+//	fmt.Println(wild.ThirdQuartileColdPercent(res))
+package wild
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/policy"
+	"repro/internal/replay"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Trace model.
+type (
+	// Trace is a workload trace: applications and their invocations.
+	Trace = trace.Trace
+	// App is one application (the unit of keep-alive decisions).
+	App = trace.App
+	// Function is one serverless function.
+	Function = trace.Function
+	// TriggerType is one of the paper's seven trigger classes.
+	TriggerType = trace.TriggerType
+)
+
+// Workload generation.
+type (
+	// WorkloadConfig parameterizes synthetic trace generation.
+	WorkloadConfig = workload.Config
+	// Population is a generated workload with metadata.
+	Population = workload.Population
+)
+
+// Generate builds a synthetic population calibrated to the paper's
+// published workload distributions.
+func Generate(cfg WorkloadConfig) (*Population, error) { return workload.Generate(cfg) }
+
+// ReadInvocationsCSV parses an AzurePublicDataset-style invocation
+// table (real sanitized traces drop in here).
+func ReadInvocationsCSV(r io.Reader) (*Trace, error) { return trace.ReadInvocationsCSV(r) }
+
+// WriteInvocationsCSV writes a trace in the dataset's CSV schema.
+func WriteInvocationsCSV(w io.Writer, tr *Trace) error { return trace.WriteInvocationsCSV(w, tr) }
+
+// Policies.
+type (
+	// Policy decides keep-alive and pre-warming windows per app.
+	Policy = policy.Policy
+	// Decision is one policy verdict (pre-warm + keep-alive windows).
+	Decision = policy.Decision
+	// HybridConfig parameterizes the hybrid histogram policy.
+	HybridConfig = policy.HybridConfig
+	// FixedKeepAlive is the provider state-of-practice baseline.
+	FixedKeepAlive = policy.FixedKeepAlive
+	// NoUnloading keeps everything warm forever (cost upper bound).
+	NoUnloading = policy.NoUnloading
+)
+
+// DefaultHybridConfig returns the paper's default parameters: 4-hour
+// 1-minute-bin histogram, [5,99] percentile cutoffs, 10% margin, CV
+// threshold 2, 15% ARIMA margin.
+func DefaultHybridConfig() HybridConfig { return policy.DefaultHybridConfig() }
+
+// NewHybrid constructs the paper's hybrid histogram policy.
+func NewHybrid(cfg HybridConfig) Policy { return policy.NewHybrid(cfg) }
+
+// Simulation.
+type (
+	// SimOptions configures the cold-start simulator.
+	SimOptions = sim.Options
+	// SimResult is a per-app simulation outcome set.
+	SimResult = sim.Result
+)
+
+// Simulate runs pol over tr with default options.
+func Simulate(tr *Trace, pol Policy) *SimResult {
+	return sim.Simulate(tr, pol, sim.Options{})
+}
+
+// SimulateOpts runs pol over tr with explicit options.
+func SimulateOpts(tr *Trace, pol Policy, opt SimOptions) *SimResult {
+	return sim.Simulate(tr, pol, opt)
+}
+
+// ThirdQuartileColdPercent returns the 75th-percentile per-app cold
+// start percentage, the paper's headline metric.
+func ThirdQuartileColdPercent(r *SimResult) float64 {
+	return metrics.ThirdQuartileColdPercent(r)
+}
+
+// NormalizedWastedMemory returns r's wasted memory as a percentage of
+// baseline's (the paper normalizes to the 10-minute fixed policy).
+func NormalizedWastedMemory(r, baseline *SimResult) float64 {
+	return metrics.NormalizedWastedMemory(r, baseline)
+}
+
+// Platform (OpenWhisk analogue) and replay.
+type (
+	// PlatformConfig parameterizes the in-process FaaS cluster.
+	PlatformConfig = platform.Config
+	// Platform is the in-process FaaS cluster.
+	Platform = platform.Platform
+	// ReplayOptions configures trace replay against the platform.
+	ReplayOptions = replay.Options
+	// ReplayReport is the outcome of a replay.
+	ReplayReport = replay.Report
+)
+
+// NewPlatform assembles an in-process FaaS cluster running pol.
+func NewPlatform(cfg PlatformConfig, pol Policy) *Platform {
+	return platform.NewPlatform(cfg, pol)
+}
+
+// NewScaledClock returns a clock running scale× real time, for
+// replaying hours of trace in seconds.
+func NewScaledClock(scale float64) platform.Clock { return platform.NewScaledClock(scale) }
+
+// Replay fires tr's invocations at p and reports outcomes.
+func Replay(p *Platform, tr *Trace, opt ReplayOptions) (*ReplayReport, error) {
+	return replay.Replay(p, tr, opt)
+}
+
+// Experiments.
+type (
+	// ExperimentConfig parameterizes a full figure-regeneration run.
+	ExperimentConfig = experiments.Config
+	// Figure is one regenerated table/figure.
+	Figure = experiments.Figure
+)
+
+// RunExperiments regenerates every evaluation figure.
+func RunExperiments(cfg ExperimentConfig, progress io.Writer) ([]*Figure, error) {
+	return experiments.RunAll(cfg, progress)
+}
+
+// RenderFigures writes text renderings of figures to w.
+func RenderFigures(figs []*Figure, w io.Writer) { experiments.RenderAll(figs, w) }

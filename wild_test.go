@@ -1,0 +1,123 @@
+package wild
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestEndToEndSimulation exercises the public facade: generate,
+// simulate two policies, compare metrics.
+func TestEndToEndSimulation(t *testing.T) {
+	pop, err := Generate(WorkloadConfig{
+		Seed: 5, NumApps: 120, Duration: 48 * time.Hour,
+		MaxDailyRate: 1000, MaxEventsPerFunction: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pop.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	fixed := Simulate(pop.Trace, FixedKeepAlive{KeepAlive: 10 * time.Minute})
+	hybrid := Simulate(pop.Trace, NewHybrid(DefaultHybridConfig()))
+
+	if fixed.TotalInvocations() != hybrid.TotalInvocations() {
+		t.Fatal("policies saw different invocation counts")
+	}
+	fq := ThirdQuartileColdPercent(fixed)
+	hq := ThirdQuartileColdPercent(hybrid)
+	if hq >= fq {
+		t.Fatalf("hybrid Q3 %.1f should beat fixed %.1f", hq, fq)
+	}
+	if nm := NormalizedWastedMemory(hybrid, fixed); nm <= 0 || nm > 200 {
+		t.Fatalf("normalized memory = %v", nm)
+	}
+}
+
+// TestEndToEndCSVRoundTrip writes and re-reads a trace through the
+// facade and re-simulates; minute-binned cold starts for the fixed
+// policy must be close (binning loses only sub-minute detail).
+func TestEndToEndCSVRoundTrip(t *testing.T) {
+	pop, err := Generate(WorkloadConfig{
+		Seed: 6, NumApps: 40, Duration: 6 * time.Hour,
+		MaxDailyRate: 500, MaxEventsPerFunction: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteInvocationsCSV(&buf, pop.Trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInvocationsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalInvocations() != pop.Trace.TotalInvocations() {
+		t.Fatal("invocation count changed in round trip")
+	}
+	orig := Simulate(pop.Trace, FixedKeepAlive{KeepAlive: 30 * time.Minute})
+	rt := Simulate(back, FixedKeepAlive{KeepAlive: 30 * time.Minute})
+	oc, rc := orig.TotalColdStarts(), rt.TotalColdStarts()
+	diff := oc - rc
+	if diff < 0 {
+		diff = -diff
+	}
+	// Sub-minute reshuffling can flip a handful of boundary cases.
+	if float64(diff) > 0.05*float64(oc)+5 {
+		t.Fatalf("cold starts drifted: %d vs %d", oc, rc)
+	}
+}
+
+// TestEndToEndPlatform runs a tiny platform replay through the facade.
+func TestEndToEndPlatform(t *testing.T) {
+	pop, err := Generate(WorkloadConfig{
+		Seed: 7, NumApps: 30, Duration: time.Hour,
+		MaxDailyRate: 300, MaxEventsPerFunction: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlatform(PlatformConfig{
+		NumInvokers: 2,
+		Clock:       NewScaledClock(3600),
+	}, NewHybrid(DefaultHybridConfig()))
+	defer p.Stop()
+
+	rep, err := Replay(p, pop.Trace, ReplayOptions{Limit: 20 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Invocations == 0 {
+		t.Fatal("no invocations replayed")
+	}
+	if len(rep.Apps) == 0 {
+		t.Fatal("no app outcomes")
+	}
+}
+
+// TestRunExperimentsFacade regenerates the simulation figures through
+// the facade on a tiny population.
+func TestRunExperimentsFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure pipeline")
+	}
+	figs, err := RunExperiments(ExperimentConfig{
+		Seed: 8, NumApps: 60, Duration: 24 * time.Hour,
+		MaxDailyRate: 300, MaxEventsPerFunction: 1000,
+		SkipPlatform: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 17 {
+		t.Fatalf("figures = %d, want 17", len(figs))
+	}
+	var buf bytes.Buffer
+	RenderFigures(figs, &buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty rendering")
+	}
+}
