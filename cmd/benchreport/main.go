@@ -1,0 +1,124 @@
+// Command benchreport runs the repository's performance benchmark
+// suite and writes a machine-readable snapshot (BENCH_<n>.json), so
+// successive PRs accumulate a perf trajectory that can be diffed
+// instead of re-measured from memory.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport [-out BENCH_1.json] [-bench regexp] [-benchtime 2s] [-count 1]
+//
+// The default benchmark set covers the per-invocation decision
+// pipeline the §5.3 overhead study cares about (simulator, policy,
+// histogram, forecaster) plus the workload generator and codecs.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Entry is one benchmark's measurement. Allocs and Bytes are -1 when
+// the benchmark did not report memory statistics.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// Report is the file layout: benchmark name -> measurement.
+type Report struct {
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	BenchTime   string           `json:"benchtime"`
+	Entries     map[string]Entry `json:"entries"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output file")
+	bench := flag.String("bench", defaultBenchRegexp, "benchmark regexp passed to go test")
+	benchtime := flag.String("benchtime", "2s", "per-benchmark time")
+	count := flag.Int("count", 1, "benchmark repetitions (minimum ns/op is kept)")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, "-benchmem", "-count", strconv.Itoa(*count), "."}
+	fmt.Fprintf(os.Stderr, "benchreport: go %v\n", args)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: go test failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		BenchTime:   *benchtime,
+		Entries:     map[string]Entry{},
+	}
+	if v, err := exec.Command("go", "version").Output(); err == nil {
+		rep.GoVersion = string(bytes.TrimSpace(v))
+	}
+
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		e := Entry{NsPerOp: ns, Iterations: iters, AllocsPerOp: -1, BytesPerOp: -1}
+		if m[4] != "" {
+			e.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			e.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		// With -count > 1, keep the fastest run (least scheduler noise).
+		if prev, okPrev := rep.Entries[m[1]]; !okPrev || e.NsPerOp < prev.NsPerOp {
+			rep.Entries[m[1]] = e
+		}
+	}
+
+	names := make([]string, 0, len(rep.Entries))
+	for n := range rep.Entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := rep.Entries[n]
+		fmt.Printf("%-34s %14.1f ns/op %8d allocs/op\n", n, e.NsPerOp, e.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmarks)\n", *out, len(rep.Entries))
+}
+
+// defaultBenchRegexp selects the perf-critical suite: the decision
+// pipeline end to end plus generators and codecs. The per-figure
+// regeneration benchmarks are excluded by default (they are dominated
+// by the same simulator paths and would stretch the run severalfold);
+// pass -bench 'Benchmark' for everything.
+const defaultBenchRegexp = `BenchmarkSimulator|BenchmarkPolicyOverhead|BenchmarkHistogram|BenchmarkARIMAFit|BenchmarkExpSmoothingFit|BenchmarkProd|BenchmarkWorkloadGeneration|BenchmarkTraceCSVRoundTrip`

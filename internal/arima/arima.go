@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/stats"
 )
@@ -42,6 +43,74 @@ type Model struct {
 // ErrTooShort indicates the series is too short for the requested
 // model order.
 var ErrTooShort = errors.New("arima: series too short")
+
+// fitCtx is the reusable scratch arena for one fitting (or
+// forecasting) operation. The estimators run on every invocation of an
+// ARIMA-managed app, so the per-fit buffers (differenced series,
+// centered series, innovations, residuals, OLS design matrix) are
+// pooled instead of reallocated; the arithmetic they carry is
+// unchanged.
+type fitCtx struct {
+	diff     []float64
+	centered []float64
+	eps      []float64
+	resid    []float64
+	ext      []float64
+	extEps   []float64
+	params   []float64
+	rows     [][]float64
+	rowBuf   []float64
+	ys       []float64
+	ls       stats.LSScratch
+}
+
+var fitCtxPool = sync.Pool{New: func() any { return new(fitCtx) }}
+
+func getFitCtx() *fitCtx  { return fitCtxPool.Get().(*fitCtx) }
+func putFitCtx(c *fitCtx) { fitCtxPool.Put(c) }
+
+// grow returns buf resized to n, reallocating only when the capacity
+// is insufficient. Contents are unspecified.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// differenceInto computes the d-th order difference of xs into the
+// context's diff buffer, producing the same values as Difference.
+func (c *fitCtx) differenceInto(xs []float64, d int) []float64 {
+	c.diff = grow(c.diff, len(xs))
+	out := c.diff
+	copy(out, xs)
+	ln := len(xs)
+	for i := 0; i < d; i++ {
+		if ln < 2 {
+			return nil
+		}
+		for j := 1; j < ln; j++ {
+			out[j-1] = out[j] - out[j-1]
+		}
+		ln--
+	}
+	return out[:ln]
+}
+
+// designRows returns an nRows x k design matrix backed by the
+// context's flat buffer, plus the matching target vector.
+func (c *fitCtx) designRows(nRows, k int) ([][]float64, []float64) {
+	if cap(c.rows) < nRows {
+		c.rows = make([][]float64, nRows)
+	}
+	c.rows = c.rows[:nRows]
+	c.rowBuf = grow(c.rowBuf, nRows*k)
+	for i := 0; i < nRows; i++ {
+		c.rows[i] = c.rowBuf[i*k : (i+1)*k : (i+1)*k]
+	}
+	c.ys = grow(c.ys, nRows)
+	return c.rows, c.ys
+}
 
 // Difference applies d-th order differencing to xs.
 func Difference(xs []float64, d int) []float64 {
@@ -77,45 +146,77 @@ func Integrate(forecasts []float64, lasts []float64) []float64 {
 
 // FitOrder fits an ARIMA model with fixed order (p,d,q) to series.
 func FitOrder(series []float64, p, d, q int) (*Model, error) {
-	if p < 0 || d < 0 || q < 0 {
-		return nil, fmt.Errorf("arima: negative order (%d,%d,%d)", p, d, q)
+	ctx := getFitCtx()
+	defer putFitCtx(ctx)
+	m, err := fitOrderWith(ctx, series, p, d, q)
+	if err != nil {
+		return nil, err
 	}
-	w := Difference(series, d)
-	// Require enough observations to estimate all parameters with a
-	// few degrees of freedom to spare.
+	m.series = append([]float64(nil), series...)
+	return m, nil
+}
+
+// needObs returns the minimum differenced-series length for an
+// ARMA(p,q) fit at differencing level d: enough observations to
+// estimate all parameters with a few degrees of freedom to spare.
+func needObs(p, d, q int) int {
 	need := p + q + d + 3
 	if p+q > 0 {
 		need += maxInt(p, q)
 	}
-	if len(w) < need || len(w) < 2 {
+	return need
+}
+
+// errSingular marks a least-squares stage whose normal equations were
+// singular to working precision.
+var errSingular = errors.New("arima: fit failed (singular)")
+
+// fitOrderWith is FitOrder on a caller-provided scratch context,
+// leaving the model's series unset (Fit attaches the series copy to
+// the order-search winner only, instead of once per candidate).
+func fitOrderWith(ctx *fitCtx, series []float64, p, d, q int) (*Model, error) {
+	if p < 0 || d < 0 || q < 0 {
+		return nil, fmt.Errorf("arima: negative order (%d,%d,%d)", p, d, q)
+	}
+	// Length-gate before differencing touches (and copies) the series:
+	// d-th differencing shortens the series by exactly d.
+	lenW := len(series) - d
+	if lenW < needObs(p, d, q) || lenW < 2 {
 		return nil, ErrTooShort
 	}
-
+	w := ctx.differenceInto(series, d)
 	mean := stats.Mean(w)
-	centered := make([]float64, len(w))
+	ctx.centered = grow(ctx.centered, len(w))
+	centered := ctx.centered
 	for i, v := range w {
 		centered[i] = v - mean
 	}
+	return fitARMA(ctx, centered, mean, p, d, q)
+}
 
+// fitARMA fits ARMA(p,q) to the centered d-times-differenced series.
+// The caller has already length-gated the series against needObs.
+func fitARMA(ctx *fitCtx, centered []float64, mean float64, p, d, q int) (*Model, error) {
 	var ar, ma []float64
 	var ok bool
 	switch {
 	case p == 0 && q == 0:
 		ar, ma, ok = nil, nil, true
 	case q == 0:
-		ar, ok = fitAR(centered, p)
+		ar, ok = fitAR(ctx, centered, p)
 		if !ok {
-			return nil, fmt.Errorf("arima: AR(%d) fit failed (singular)", p)
+			return nil, errSingular
 		}
 	default:
-		ar, ma, ok = hannanRissanen(centered, p, q)
+		ar, ma, ok = hannanRissanen(ctx, centered, p, q)
 		if !ok {
-			return nil, fmt.Errorf("arima: ARMA(%d,%d) fit failed (singular)", p, q)
+			return nil, errSingular
 		}
-		ar, ma = refineCSS(centered, ar, ma)
+		ar, ma = refineCSS(ctx, centered, ar, ma)
 	}
 
-	resid := residuals(centered, ar, ma)
+	ctx.resid = grow(ctx.resid, len(centered))
+	resid := residualsInto(ctx.resid, centered, ar, ma)
 	n := float64(len(resid))
 	var rss float64
 	for _, e := range resid {
@@ -134,7 +235,6 @@ func FitOrder(series []float64, p, d, q int) (*Model, error) {
 		Mean:   mean,
 		Sigma2: sigma2,
 		AIC:    aic,
-		series: append([]float64(nil), series...),
 	}, nil
 }
 
@@ -156,11 +256,29 @@ func Fit(series []float64, opt Options) (*Model, error) {
 	if opt.MaxQ == 0 {
 		opt.MaxQ = 2
 	}
+	ctx := getFitCtx()
+	defer putFitCtx(ctx)
 	var best *Model
 	for d := 0; d <= opt.MaxD; d++ {
+		// Difference, de-mean and length-gate once per differencing
+		// level rather than once per (p,q) candidate.
+		lenW := len(series) - d
+		if lenW < 2 || lenW < needObs(0, d, 0) {
+			continue
+		}
+		w := ctx.differenceInto(series, d)
+		mean := stats.Mean(w)
+		ctx.centered = grow(ctx.centered, len(w))
+		centered := ctx.centered
+		for i, v := range w {
+			centered[i] = v - mean
+		}
 		for p := 0; p <= opt.MaxP; p++ {
 			for q := 0; q <= opt.MaxQ; q++ {
-				m, err := FitOrder(series, p, d, q)
+				if lenW < needObs(p, d, q) {
+					continue
+				}
+				m, err := fitARMA(ctx, centered, mean, p, d, q)
 				if err != nil {
 					continue
 				}
@@ -173,30 +291,29 @@ func Fit(series []float64, opt Options) (*Model, error) {
 	if best == nil {
 		return nil, ErrTooShort
 	}
+	best.series = append([]float64(nil), series...)
 	return best, nil
 }
 
 // fitAR estimates AR(p) coefficients by OLS on lagged values.
-func fitAR(x []float64, p int) ([]float64, bool) {
+func fitAR(ctx *fitCtx, x []float64, p int) ([]float64, bool) {
 	n := len(x)
 	if n <= p {
 		return nil, false
 	}
-	rows := make([][]float64, 0, n-p)
-	ys := make([]float64, 0, n-p)
+	rows, ys := ctx.designRows(n-p, p)
 	for t := p; t < n; t++ {
-		row := make([]float64, p)
+		row := rows[t-p]
 		for j := 0; j < p; j++ {
 			row[j] = x[t-1-j]
 		}
-		rows = append(rows, row)
-		ys = append(ys, x[t])
+		ys[t-p] = x[t]
 	}
-	return stats.OLS(rows, ys)
+	return stats.OLSInto(&ctx.ls, rows, ys)
 }
 
 // hannanRissanen performs the two-stage ARMA estimation.
-func hannanRissanen(x []float64, p, q int) (ar, ma []float64, ok bool) {
+func hannanRissanen(ctx *fitCtx, x []float64, p, q int) (ar, ma []float64, ok bool) {
 	n := len(x)
 	// Stage 1: long AR to estimate innovations.
 	m := maxInt(p, q) + 2
@@ -206,11 +323,15 @@ func hannanRissanen(x []float64, p, q int) (ar, ma []float64, ok bool) {
 	if m < 1 {
 		return nil, nil, false
 	}
-	longAR, ok := fitAR(x, m)
+	longAR, ok := fitAR(ctx, x, m)
 	if !ok {
 		return nil, nil, false
 	}
-	eps := make([]float64, n)
+	ctx.eps = grow(ctx.eps, n)
+	eps := ctx.eps
+	for t := 0; t < m; t++ {
+		eps[t] = 0
+	}
 	for t := m; t < n; t++ {
 		pred := 0.0
 		for j := 0; j < m; j++ {
@@ -223,20 +344,18 @@ func hannanRissanen(x []float64, p, q int) (ar, ma []float64, ok bool) {
 	if start >= n {
 		return nil, nil, false
 	}
-	rows := make([][]float64, 0, n-start)
-	ys := make([]float64, 0, n-start)
+	rows, ys := ctx.designRows(n-start, p+q)
 	for t := start; t < n; t++ {
-		row := make([]float64, p+q)
+		row := rows[t-start]
 		for j := 0; j < p; j++ {
 			row[j] = x[t-1-j]
 		}
 		for j := 0; j < q; j++ {
 			row[p+j] = eps[t-1-j]
 		}
-		rows = append(rows, row)
-		ys = append(ys, x[t])
+		ys[t-start] = x[t]
 	}
-	beta, ok := stats.OLS(rows, ys)
+	beta, ok := stats.OLSInto(&ctx.ls, rows, ys)
 	if !ok {
 		return nil, nil, false
 	}
@@ -246,26 +365,20 @@ func hannanRissanen(x []float64, p, q int) (ar, ma []float64, ok bool) {
 // refineCSS polishes ARMA coefficients by minimizing the conditional
 // sum of squares, keeping the result only if it improves and remains
 // numerically sane.
-func refineCSS(x []float64, ar, ma []float64) ([]float64, []float64) {
+func refineCSS(ctx *fitCtx, x []float64, ar, ma []float64) ([]float64, []float64) {
 	p, q := len(ar), len(ma)
-	params := make([]float64, 0, p+q)
-	params = append(params, ar...)
-	params = append(params, ma...)
+	ctx.params = grow(ctx.params[:0], p+q)
+	params := ctx.params
+	copy(params[:p], ar)
+	copy(params[p:], ma)
+	ctx.resid = grow(ctx.resid, len(x))
 	css := func(theta []float64) float64 {
 		for _, v := range theta {
 			if math.Abs(v) > 10 {
 				return math.Inf(1)
 			}
 		}
-		resid := residuals(x, theta[:p], theta[p:])
-		var rss float64
-		for _, e := range resid {
-			rss += e * e
-			if math.IsInf(rss, 1) || math.IsNaN(rss) {
-				return math.Inf(1)
-			}
-		}
-		return rss
+		return cssRSS(ctx.resid, x, theta[:p], theta[p:])
 	}
 	before := css(params)
 	refined, after := stats.NelderMead(css, params, stats.NelderMeadOptions{MaxIter: 300, Tol: 1e-10})
@@ -278,19 +391,115 @@ func refineCSS(x []float64, ar, ma []float64) ([]float64, []float64) {
 // residuals computes one-step-ahead in-sample residuals of an ARMA
 // model on a centered series, conditioning on zero pre-sample values.
 func residuals(x []float64, ar, ma []float64) []float64 {
+	return residualsInto(make([]float64, len(x)), x, ar, ma)
+}
+
+// cssRSS computes the conditional sum of squares of the ARMA(p,q)
+// residuals in a single fused pass — the inner loop of every
+// Nelder–Mead objective evaluation. The residual values, the order of
+// the squared-term additions, and the +Inf result on overflow are
+// bit-identical to residualsInto followed by a separate summation (an
+// Inf or NaN entering rss is absorbing, so one final check replaces
+// the per-element one). The small fixed orders the CSS refinement
+// visits get dedicated steady-state loops that carry the one-step
+// lags in registers.
+func cssRSS(eps, x []float64, ar, ma []float64) float64 {
 	p, q := len(ar), len(ma)
-	eps := make([]float64, len(x))
-	for t := range x {
+	lo := maxInt(p, q)
+	if lo > len(x) {
+		lo = len(x)
+	}
+	var rss float64
+	for t := 0; t < lo; t++ {
 		pred := 0.0
-		for j := 0; j < p; j++ {
-			if t-1-j >= 0 {
+		for j := 0; j < p && j < t; j++ {
+			pred += ar[j] * x[t-1-j]
+		}
+		for j := 0; j < q && j < t; j++ {
+			pred += ma[j] * eps[t-1-j]
+		}
+		e := x[t] - pred
+		eps[t] = e
+		rss += e * e
+	}
+	switch {
+	case p == 1 && q == 1 && lo >= 1:
+		a0, m0 := ar[0], ma[0]
+		x1, e1 := x[lo-1], eps[lo-1]
+		for t := lo; t < len(x); t++ {
+			e := x[t] - (a0*x1 + m0*e1)
+			eps[t] = e
+			rss += e * e
+			x1, e1 = x[t], e
+		}
+	case p == 2 && q == 1 && lo >= 2:
+		a0, a1, m0 := ar[0], ar[1], ma[0]
+		x1, x2, e1 := x[lo-1], x[lo-2], eps[lo-1]
+		for t := lo; t < len(x); t++ {
+			e := x[t] - (a0*x1 + a1*x2 + m0*e1)
+			eps[t] = e
+			rss += e * e
+			x2, x1, e1 = x1, x[t], e
+		}
+	case p == 0 && q == 1 && lo >= 1:
+		m0 := ma[0]
+		e1 := eps[lo-1]
+		for t := lo; t < len(x); t++ {
+			e := x[t] - m0*e1
+			eps[t] = e
+			rss += e * e
+			e1 = e
+		}
+	default:
+		for t := lo; t < len(x); t++ {
+			pred := 0.0
+			for j := 0; j < p; j++ {
 				pred += ar[j] * x[t-1-j]
 			}
-		}
-		for j := 0; j < q; j++ {
-			if t-1-j >= 0 {
+			for j := 0; j < q; j++ {
 				pred += ma[j] * eps[t-1-j]
 			}
+			e := x[t] - pred
+			eps[t] = e
+			rss += e * e
+		}
+	}
+	if math.IsInf(rss, 1) || math.IsNaN(rss) {
+		return math.Inf(1)
+	}
+	return rss
+}
+
+// residualsInto is residuals writing into eps (len(eps) == len(x)).
+// Every entry is written in index order before it is read, so eps need
+// not be cleared. The warm-up prefix (t < max(p,q)) carries the
+// pre-sample guards; past it all lags exist, so the steady-state loop
+// — the hot path of every CSS objective evaluation — is branch-free.
+// Term order matches the guarded loop exactly (the guard only skips
+// trailing lags), so the sums are bit-identical.
+func residualsInto(eps, x []float64, ar, ma []float64) []float64 {
+	p, q := len(ar), len(ma)
+	lo := maxInt(p, q)
+	if lo > len(x) {
+		lo = len(x)
+	}
+	for t := 0; t < lo; t++ {
+		pred := 0.0
+		for j := 0; j < p && j < t; j++ {
+			pred += ar[j] * x[t-1-j]
+		}
+		for j := 0; j < q && j < t; j++ {
+			pred += ma[j] * eps[t-1-j]
+		}
+		eps[t] = x[t] - pred
+	}
+	for t := lo; t < len(x); t++ {
+		pred := 0.0
+		for j := 0; j < p; j++ {
+			pred += ar[j] * x[t-1-j]
+		}
+		for j := 0; j < q; j++ {
+			pred += ma[j] * eps[t-1-j]
 		}
 		eps[t] = x[t] - pred
 	}
@@ -302,23 +511,39 @@ func (m *Model) Forecast(h int) []float64 {
 	if h <= 0 {
 		return nil
 	}
-	// Build the difference pyramid to recover integration constants.
+	ctx := getFitCtx()
+	defer putFitCtx(ctx)
+	// Build the difference pyramid to recover integration constants,
+	// differencing in place one level at a time.
 	lasts := make([]float64, m.D)
-	cur := m.series
+	ctx.diff = grow(ctx.diff, len(m.series))
+	cur := ctx.diff
+	copy(cur, m.series)
+	ln := len(m.series)
 	for i := 0; i < m.D; i++ {
-		lasts[i] = cur[len(cur)-1]
-		cur = Difference(cur, 1)
+		lasts[i] = cur[ln-1]
+		for j := 1; j < ln; j++ {
+			cur[j-1] = cur[j] - cur[j-1]
+		}
+		ln--
 	}
+	cur = cur[:ln]
 	// cur is now the d-times differenced series.
-	centered := make([]float64, len(cur))
+	ctx.centered = grow(ctx.centered, ln)
+	centered := ctx.centered
 	for i, v := range cur {
 		centered[i] = v - m.Mean
 	}
-	eps := residuals(centered, m.AR, m.MA)
+	ctx.resid = grow(ctx.resid, ln)
+	eps := residualsInto(ctx.resid, centered, m.AR, m.MA)
 
 	// Iterate forward; future innovations are zero.
-	extended := append([]float64(nil), centered...)
-	extEps := append([]float64(nil), eps...)
+	ctx.ext = grow(ctx.ext, ln+h)
+	extended := ctx.ext[:ln]
+	copy(extended, centered)
+	ctx.extEps = grow(ctx.extEps, ln+h)
+	extEps := ctx.extEps[:ln]
+	copy(extEps, eps)
 	fc := make([]float64, h)
 	for step := 0; step < h; step++ {
 		t := len(extended)
@@ -337,7 +562,16 @@ func (m *Model) Forecast(h int) []float64 {
 		extEps = append(extEps, 0)
 		fc[step] = pred + m.Mean
 	}
-	return Integrate(fc, lasts)
+	// Integrate in place (same arithmetic as Integrate, without the
+	// defensive copy).
+	for level := len(lasts) - 1; level >= 0; level-- {
+		cum := lasts[level]
+		for i := range fc {
+			cum += fc[i]
+			fc[i] = cum
+		}
+	}
+	return fc
 }
 
 // ForecastNext returns the one-step-ahead forecast.

@@ -77,9 +77,10 @@ func Decode(data []byte) (*Histogram, error) {
 		if c > 0 {
 			h.counts[i] = int64(c)
 			h.total += int64(c)
-			h.binCV.Replace(0, float64(c))
+			h.cvReplace(0, float64(c))
 		}
 	}
+	h.rebuildCursors()
 	return h, nil
 }
 
@@ -103,8 +104,9 @@ func (h *Histogram) Merge(other *Histogram, weight float64) error {
 		old := float64(h.counts[i])
 		h.counts[i] += add
 		h.total += add
-		h.binCV.Replace(old, float64(h.counts[i]))
+		h.cvReplace(old, float64(h.counts[i]))
 	}
 	h.oob += int64(float64(other.oob)*weight + 0.5)
+	h.rebuildCursors()
 	return nil
 }

@@ -1,0 +1,190 @@
+package ithist
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// bruteWindows recomputes the windows from scratch with the reference
+// full-scan percentileBin, bypassing the cursors and the memo.
+func bruteWindows(h *Histogram) (preWarm, keepAlive time.Duration, ok bool) {
+	if h.total == 0 {
+		return 0, 0, false
+	}
+	headBin := h.percentileBin(h.cfg.HeadPercentile)
+	tailBin := h.percentileBin(h.cfg.TailPercentile)
+	pw, ka := marginWindows(h.cfg, headBin, tailBin)
+	return pw, ka, true
+}
+
+// randomIT draws an idle time spanning in-bounds bins, the OOB region,
+// and occasionally negative values.
+func randomIT(r *stats.RNG, rng time.Duration) time.Duration {
+	switch r.Intn(10) {
+	case 0:
+		return rng + time.Duration(r.Float64()*float64(time.Hour)) // OOB
+	case 1:
+		return -time.Duration(r.Float64() * float64(time.Minute)) // negative
+	default:
+		return time.Duration(r.Float64() * float64(rng)) // in-bounds
+	}
+}
+
+// TestWindowsMatchesBruteForce drives random observation sequences —
+// including a Reset mid-stream — and asserts after every observation
+// that the memoized, cursor-maintained Windows agrees exactly with a
+// brute-force recompute from the raw counts.
+func TestWindowsMatchesBruteForce(t *testing.T) {
+	cfgs := []Config{
+		DefaultConfig(),
+		{BinWidth: time.Minute, NumBins: 60, HeadPercentile: 5, TailPercentile: 99, Margin: 0.10},
+		{BinWidth: 30 * time.Second, NumBins: 17, HeadPercentile: 0, TailPercentile: 100, Margin: 0},
+		{BinWidth: time.Minute, NumBins: 240, HeadPercentile: 50, TailPercentile: 50, Margin: 0.25},
+	}
+	check := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		cfg := cfgs[r.Intn(len(cfgs))]
+		h := New(cfg)
+		steps := 100 + r.Intn(400)
+		resetAt := -1
+		if r.Intn(2) == 0 {
+			resetAt = r.Intn(steps)
+		}
+		for i := 0; i < steps; i++ {
+			if i == resetAt {
+				h.Reset()
+			}
+			h.Observe(randomIT(r, h.Range()))
+			pw, ka, ok := h.Windows()
+			bpw, bka, bok := bruteWindows(h)
+			if ok != bok || pw != bpw || ka != bka {
+				t.Logf("seed %d step %d: got (%v,%v,%v) want (%v,%v,%v)",
+					seed, i, pw, ka, ok, bpw, bka, bok)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowsLazySyncMatchesBruteForce interleaves stretches where
+// Windows is not consulted (the cursors fall behind and must catch up
+// by walking) with consultations, and checks exact agreement.
+func TestWindowsLazySyncMatchesBruteForce(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		h := New(DefaultConfig())
+		for i := 0; i < 50; i++ {
+			burst := 1 + r.Intn(40)
+			for j := 0; j < burst; j++ {
+				h.Observe(randomIT(r, h.Range()))
+			}
+			pw, ka, ok := h.Windows()
+			bpw, bka, bok := bruteWindows(h)
+			if ok != bok || pw != bpw || ka != bka {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecideSeqMatchesStepwise feeds the same idle sequence to the
+// batch kernel and to a step-by-step Observe/OOBHeavy/CVBelow/Windows
+// replica on an independent histogram, asserting the expanded runs
+// agree observation by observation and the two histograms end in
+// states that keep agreeing on subsequent windows.
+func TestDecideSeqMatchesStepwise(t *testing.T) {
+	const (
+		minObs = 2
+		oobThr = 0.5
+		cvThr  = 2.0
+	)
+	check := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 2 + r.Intn(300)
+		idles := make([]time.Duration, n)
+		for i := range idles {
+			idles[i] = randomIT(r, 4*time.Hour)
+		}
+
+		batch := New(DefaultConfig())
+		runs := batch.DecideSeq(idles, minObs, oobThr, cvThr, nil)
+
+		// Expand runs to one entry per observation.
+		var flat []WindowRun
+		for _, run := range runs {
+			for k := int32(0); k < run.Count; k++ {
+				flat = append(flat, WindowRun{PreWarm: run.PreWarm, KeepAlive: run.KeepAlive, Regime: run.Regime, Count: 1})
+			}
+		}
+		if len(flat) != n-1 {
+			t.Logf("seed %d: runs cover %d observations, want %d", seed, len(flat), n-1)
+			return false
+		}
+
+		step := New(DefaultConfig())
+		for i := 1; i < n; i++ {
+			step.Observe(idles[i])
+			want := WindowRun{Regime: RegimeStandard, Count: 1}
+			cnt := step.Total() + step.OutOfBounds()
+			if cnt >= minObs && step.OOBHeavy(oobThr) {
+				want.Regime = RegimeOOB
+			} else if cnt < minObs || step.CVBelow(cvThr) {
+				// standard
+			} else if pw, ka, ok := step.Windows(); ok {
+				want = WindowRun{PreWarm: pw, KeepAlive: ka, Regime: RegimeWindows, Count: 1}
+			}
+			if flat[i-1] != want {
+				t.Logf("seed %d obs %d: batch %+v stepwise %+v", seed, i, flat[i-1], want)
+				return false
+			}
+		}
+
+		// The spilled state must continue to agree with the stepwise
+		// histogram on further observations.
+		for i := 0; i < 20; i++ {
+			it := randomIT(r, 4*time.Hour)
+			batch.Observe(it)
+			step.Observe(it)
+			bpw, bka, bok := batch.Windows()
+			spw, ska, sok := step.Windows()
+			if bok != sok || bpw != spw || bka != ska ||
+				batch.Total() != step.Total() ||
+				batch.OutOfBounds() != step.OutOfBounds() ||
+				batch.BinCountCV() != step.BinCountCV() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObserveAllocs pins the steady-state per-observation cost of the
+// histogram update to zero allocations.
+func TestObserveAllocs(t *testing.T) {
+	h := New(DefaultConfig())
+	r := stats.NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		h.Observe(randomIT(r, h.Range()))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(37 * time.Minute)
+		h.Windows()
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe+Windows allocs/op = %v, want 0", allocs)
+	}
+}

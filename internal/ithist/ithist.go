@@ -11,13 +11,18 @@
 // for safety. Representativeness is judged by the coefficient of
 // variation of the bin counts, tracked incrementally with Welford's
 // algorithm so each update is O(1).
+//
+// The percentile bins that drive Windows are maintained incrementally:
+// each Observe adjusts a head and a tail cursor (amortized O(1), worst
+// case one walk over the bins), and Windows memoizes the derived
+// window pair keyed on the cursor bins, so the per-invocation decision
+// cost is constant instead of an O(NumBins) scan.
 package ithist
 
 import (
 	"fmt"
+	"math"
 	"time"
-
-	"repro/internal/stats"
 )
 
 // Config parameterizes the histogram. The zero value is invalid; use
@@ -73,13 +78,45 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// cursor incrementally tracks the bin containing one percentile of the
+// in-bounds distribution: bin is the smallest index whose inclusive
+// prefix count reaches the percentile target, and cum is that prefix
+// count. Maintaining the pair under single-count increments is
+// amortized O(1) because the target moves by at most frac per
+// observation.
+type cursor struct {
+	bin int
+	cum int64
+}
+
 // Histogram tracks an application's idle-time distribution.
 type Histogram struct {
 	cfg    Config
 	counts []int64
 	total  int64 // in-bounds observations
 	oob    int64 // out-of-bounds observations
-	binCV  stats.Welford
+
+	// Welford state over the bin counts (n is always NumBins: a count
+	// moving from c to c+1 is a Replace, never an Add). Kept as plain
+	// fields rather than a stats.Welford so the batch decision kernel
+	// can carry them in registers; every update reproduces
+	// stats.Welford.Replace bit for bit.
+	cvMean float64
+	cvM2   float64
+
+	// Precomputed constants for the hot path.
+	invBins  float64 // 1 / NumBins, for the O(1) CV update
+	headFrac float64 // HeadPercentile / 100
+	tailFrac float64 // TailPercentile / 100
+
+	head, tail cursor
+	syncedAt   int64 // h.total value at the last cursor sync
+
+	// Memoized Windows result, valid for (winHead, winTail).
+	winHead, winTail int
+	winPreWarm       time.Duration
+	winKeepAlive     time.Duration
+	winValid         bool
 }
 
 // New creates a histogram with the given configuration. It panics on
@@ -88,10 +125,15 @@ func New(cfg Config) *Histogram {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	h := &Histogram{cfg: cfg, counts: make([]int64, cfg.NumBins)}
-	for range h.counts {
-		h.binCV.Add(0)
+	h := &Histogram{
+		cfg:      cfg,
+		counts:   make([]int64, cfg.NumBins),
+		invBins:  1 / float64(cfg.NumBins),
+		headFrac: cfg.HeadPercentile / 100,
+		tailFrac: cfg.TailPercentile / 100,
 	}
+	h.head = cursor{bin: -1}
+	h.tail = cursor{bin: -1}
 	return h
 }
 
@@ -105,20 +147,286 @@ func (h *Histogram) Range() time.Duration {
 
 // Observe records one idle time. ITs at or beyond the range (or
 // negative) count as out-of-bounds and do not enter the bins.
+//
+// Only the cursors' prefix counts are maintained here (two compares);
+// restoring the percentile invariant — which can require walking bins
+// — is deferred to syncCursors, so applications whose windows are
+// never consulted (the policy's standard-fallback regime) don't pay
+// for it.
 func (h *Histogram) Observe(it time.Duration) {
 	if it < 0 {
 		h.oob++
 		return
 	}
-	idx := int(it / h.cfg.BinWidth)
-	if idx >= h.cfg.NumBins {
+	var idx int
+	if h.cfg.BinWidth == time.Minute {
+		// Constant divisor lets the compiler avoid a hardware divide on
+		// the common path (the paper's 1-minute bins).
+		idx = int(it / time.Minute)
+	} else {
+		idx = int(it / h.cfg.BinWidth)
+	}
+	if idx >= len(h.counts) { // len(counts) == cfg.NumBins; elides the bound check below
 		h.oob++
 		return
 	}
 	old := float64(h.counts[idx])
 	h.counts[idx]++
 	h.total++
-	h.binCV.Replace(old, old+1)
+	h.cvInc1(old)
+
+	if idx <= h.head.bin {
+		h.head.cum++
+	}
+	if idx <= h.tail.bin {
+		h.tail.cum++
+	}
+}
+
+// cvInc1 is stats.Welford.Replace(old, old+1) with n fixed at NumBins
+// and the 1/n quotient precomputed — bit-identical (the delta is
+// exactly 1 for integer counts), without the division.
+func (h *Histogram) cvInc1(old float64) {
+	oldMean := h.cvMean
+	h.cvMean += h.invBins
+	h.cvM2 += (old + 1) - h.cvMean + old - oldMean
+	if h.cvM2 < 0 {
+		h.cvM2 = 0
+	}
+}
+
+// cvReplace is stats.Welford.Replace(old, new) with n fixed at
+// NumBins, for the bulk mutation paths (Decode, Merge).
+func (h *Histogram) cvReplace(old, new float64) {
+	delta := new - old
+	oldMean := h.cvMean
+	h.cvMean += delta / float64(h.cfg.NumBins)
+	h.cvM2 += delta * (new - h.cvMean + old - oldMean)
+	if h.cvM2 < 0 {
+		h.cvM2 = 0
+	}
+}
+
+// Regime labels which path of the hybrid policy's Figure 10 flow the
+// histogram state selects for one observation.
+type Regime uint8
+
+// Regime values, in the order Figure 10 evaluates them.
+const (
+	RegimeStandard Regime = iota // unrepresentative: conservative fallback
+	RegimeWindows                // representative: histogram windows apply
+	RegimeOOB                    // out-of-bounds heavy: time-series path
+)
+
+// WindowRun is a run of consecutive observations sharing a regime and
+// (for RegimeWindows) a window pair, the unit DecideSeq emits.
+type WindowRun struct {
+	PreWarm   time.Duration
+	KeepAlive time.Duration
+	Regime    Regime
+	Count     int32
+}
+
+// DecideSeq records idles[1:] in order (idles[0] precedes an app's
+// first invocation, which observes nothing) and appends the
+// per-observation regime evaluation to runs, run-length encoded. It
+// is the batch equivalent of, per observation:
+//
+//	Observe(it)
+//	cnt := Total() + OutOfBounds()
+//	cnt >= minObs && OOBHeavy(oobThr) -> RegimeOOB
+//	cnt < minObs || CVBelow(cvThr)    -> RegimeStandard
+//	pw, ka, ok := Windows(); !ok      -> RegimeStandard
+//	otherwise                         -> RegimeWindows with (pw, ka)
+//
+// producing bit-identical regimes and windows, but with the whole
+// histogram state — counters, Welford CV accumulator, percentile
+// cursors, window memo — carried in locals across the loop, so the
+// per-observation cost is a handful of register operations instead of
+// memory round-trips through three method calls. This is the §5.3
+// per-invocation budget realized: the policy layer consumes the runs
+// and only materializes per-invocation work on the rare regime
+// changes.
+func (h *Histogram) DecideSeq(idles []time.Duration, minObs int64, oobThr, cvThr float64, runs []WindowRun) []WindowRun {
+	if len(idles) <= 1 {
+		return runs
+	}
+	counts := h.counts
+	binW := h.cfg.BinWidth
+	binIsMinute := binW == time.Minute
+	invBins := h.invBins
+	nf := float64(h.cfg.NumBins)
+	headFrac, tailFrac := h.headFrac, h.tailFrac
+	total, oob := h.total, h.oob
+	totalF := float64(total) // exact: counts stay far below 2^53
+	mean, m2 := h.cvMean, h.cvM2
+	head, tail := h.head, h.tail
+	syncedAt := h.syncedAt
+	winHead, winTail := h.winHead, h.winTail
+	winPW, winKA := h.winPreWarm, h.winKeepAlive
+	winValid := h.winValid
+	var cur WindowRun
+	have := false
+	for _, it := range idles[1:] {
+		// Observe.
+		if it < 0 {
+			oob++
+		} else {
+			var idx int
+			if binIsMinute {
+				idx = int(it / time.Minute)
+			} else {
+				idx = int(it / binW)
+			}
+			if idx >= len(counts) {
+				oob++
+			} else {
+				old := float64(counts[idx])
+				counts[idx]++
+				total++
+				totalF++
+				oldMean := mean
+				mean += invBins
+				m2 += (old + 1) - mean + old - oldMean
+				if m2 < 0 {
+					m2 = 0
+				}
+				if idx <= head.bin {
+					head.cum++
+				}
+				if idx <= tail.bin {
+					tail.cum++
+				}
+			}
+		}
+		// Regime selection, exactly as the single-call path orders it.
+		step := WindowRun{Regime: RegimeStandard, Count: 1}
+		cnt := total + oob
+		if cnt >= minObs && oob != 0 && float64(oob) > oobThr*float64(cnt) {
+			step.Regime = RegimeOOB
+		} else if cnt < minObs || cvBelow(mean, m2, nf, cvThr) {
+			// RegimeStandard: too few observations or CV below the
+			// representativeness threshold.
+		} else if total == 0 {
+			// No in-bounds mass: Windows would report !ok.
+		} else {
+			if syncedAt != total {
+				syncedAt = total
+				if head.bin < 0 {
+					head = cursorAtN(counts, headFrac, total)
+					tail = cursorAtN(counts, tailFrac, total)
+				} else {
+					head.walkF(counts, headFrac*totalF)
+					tail.walkF(counts, tailFrac*totalF)
+				}
+			}
+			if !winValid || winHead != head.bin || winTail != tail.bin {
+				winHead, winTail = head.bin, tail.bin
+				winPW, winKA = marginWindows(h.cfg, head.bin, tail.bin)
+				winValid = true
+			}
+			step = WindowRun{PreWarm: winPW, KeepAlive: winKA, Regime: RegimeWindows, Count: 1}
+		}
+		if have && step.Regime == cur.Regime && step.PreWarm == cur.PreWarm && step.KeepAlive == cur.KeepAlive {
+			cur.Count++
+		} else {
+			if have {
+				runs = append(runs, cur)
+			}
+			cur, have = step, true
+		}
+	}
+	runs = append(runs, cur)
+
+	// Spill the carried state back into the histogram.
+	h.total, h.oob = total, oob
+	h.cvMean, h.cvM2 = mean, m2
+	h.head, h.tail = head, tail
+	h.syncedAt = syncedAt
+	h.winHead, h.winTail = winHead, winTail
+	h.winPreWarm, h.winKeepAlive = winPW, winKA
+	h.winValid = winValid
+	return runs
+}
+
+// cvBelow is the CVBelow comparison on explicit state. It must use
+// the exact expression sqrt(m2/n)/|mean| < thr: the CV lands exactly
+// on the paper's threshold of 2 for structurally common count
+// patterns (e.g. two observations in two distinct bins), so an
+// algebraically equivalent squared comparison rounds differently and
+// flips real decisions.
+func cvBelow(mean, m2, nf, thr float64) bool {
+	if mean == 0 {
+		return 0 < thr
+	}
+	return math.Sqrt(m2/nf)/math.Abs(mean) < thr
+}
+
+// syncCursors restores both percentile-cursor invariants after any
+// number of Observe calls. The prefix counts are kept exact by
+// Observe, so the walk is amortized O(1): each cursor moves only as
+// far as the percentile target drifted.
+func (h *Histogram) syncCursors() {
+	if h.syncedAt == h.total {
+		// Nothing observed in-bounds since the last sync (the targets
+		// only depend on the in-bounds total).
+		return
+	}
+	h.syncedAt = h.total
+	if h.head.bin < 0 {
+		// First consultation since Reset: locate the cursors by scan.
+		h.head = h.cursorAt(h.headFrac)
+		h.tail = h.cursorAt(h.tailFrac)
+		return
+	}
+	h.head.walk(h.counts, effTarget(h.headFrac, h.total))
+	h.tail.walk(h.counts, effTarget(h.tailFrac, h.total))
+}
+
+// effTarget converts a percentile fraction into the prefix-count
+// target. The percentile scan's "cumulative >= target" test over
+// integer prefix counts is unchanged by raising any target below 0.5
+// to 0.5 (a zero or tiny target is first satisfied at the first
+// occupied bin either way), which gives the cursors a single uniform
+// invariant.
+func effTarget(frac float64, total int64) float64 {
+	t := frac * float64(total)
+	if t < 0.5 {
+		t = 0.5
+	}
+	return t
+}
+
+// walk restores the cursor invariant given an up-to-date prefix count:
+// bin becomes the smallest index with inclusive prefix count cum >=
+// target, with counts[bin] > 0. Prefix counts are exact in float64
+// (they are integers far below 2^53), so the comparisons reproduce the
+// full percentile scan bit for bit.
+// walkF is walk with the target supplied as frac*total, unclamped (the
+// batch kernel tracks the float total incrementally); it applies the
+// same sub-half clamp as effTarget.
+func (c *cursor) walkF(counts []int64, target float64) {
+	if target < 0.5 {
+		target = 0.5
+	}
+	c.walk(counts, target)
+}
+
+func (c *cursor) walk(counts []int64, target float64) {
+	for float64(c.cum) < target {
+		c.bin++
+		for counts[c.bin] == 0 {
+			c.bin++
+		}
+		c.cum += counts[c.bin]
+	}
+	for float64(c.cum-counts[c.bin]) >= target {
+		c.cum -= counts[c.bin]
+		c.bin--
+		for counts[c.bin] == 0 {
+			c.bin--
+		}
+	}
 }
 
 // Total returns the number of in-bounds idle times observed.
@@ -137,11 +445,30 @@ func (h *Histogram) OOBFraction() float64 {
 	return float64(h.oob) / float64(n)
 }
 
+// OOBHeavy reports whether the out-of-bounds fraction exceeds thr
+// (thr > 0), without the division OOBFraction pays. The common
+// all-in-bounds case exits on an integer test.
+func (h *Histogram) OOBHeavy(thr float64) bool {
+	return h.oob != 0 && float64(h.oob) > thr*float64(h.total+h.oob)
+}
+
 // BinCountCV returns the coefficient of variation of the bin counts,
 // maintained incrementally. High CV means the ITs concentrate in few
 // bins (the histogram is representative); CV near zero means the mass
 // is spread out or absent.
-func (h *Histogram) BinCountCV() float64 { return h.binCV.CV() }
+func (h *Histogram) BinCountCV() float64 {
+	if h.cvMean == 0 {
+		return 0
+	}
+	return math.Sqrt(h.cvM2/float64(h.cfg.NumBins)) / math.Abs(h.cvMean)
+}
+
+// CVBelow reports BinCountCV() < thr without computing a square root
+// or division. This is the per-invocation representativeness gate of
+// the hybrid policy.
+func (h *Histogram) CVBelow(thr float64) bool {
+	return cvBelow(h.cvMean, h.cvM2, float64(h.cfg.NumBins), thr)
+}
 
 // Count returns the count in bin idx.
 func (h *Histogram) Count(idx int) int64 { return h.counts[idx] }
@@ -154,7 +481,10 @@ func (h *Histogram) Counts() []int64 {
 }
 
 // percentileBin returns the index of the bin containing percentile p
-// of the in-bounds distribution. Caller guarantees total > 0.
+// of the in-bounds distribution by a full scan. Caller guarantees
+// total > 0. The incremental cursors make this cold-path only; it is
+// retained as the reference implementation the property tests compare
+// the cursors against.
 func (h *Histogram) percentileBin(p float64) int {
 	target := p / 100 * float64(h.total)
 	var cum float64
@@ -189,30 +519,91 @@ func (h *Histogram) percentileBin(p float64) int {
 //     preWarm (so that pre-warm + keep-alive spans the IT range the
 //     histogram predicts).
 //
+// The windows depend only on the head and tail percentile bins, which
+// the cursors keep current, so repeated calls are O(1): the margin
+// arithmetic reruns only when a cursor actually moved.
+//
 // ok is false when the histogram has no in-bounds observations.
 func (h *Histogram) Windows() (preWarm, keepAlive time.Duration, ok bool) {
 	if h.total == 0 {
 		return 0, 0, false
 	}
-	headBin := h.percentileBin(h.cfg.HeadPercentile)
-	tailBin := h.percentileBin(h.cfg.TailPercentile)
+	h.syncCursors()
+	if !h.winValid || h.winHead != h.head.bin || h.winTail != h.tail.bin {
+		h.computeWindows()
+	}
+	return h.winPreWarm, h.winKeepAlive, true
+}
 
+// computeWindows derives the memoized window pair from the cursor bins.
+func (h *Histogram) computeWindows() {
+	h.winHead, h.winTail = h.head.bin, h.tail.bin
+	h.winPreWarm, h.winKeepAlive = marginWindows(h.cfg, h.head.bin, h.tail.bin)
+	h.winValid = true
+}
+
+// marginWindows derives the window pair from the percentile bins (the
+// §4.2 rounding and margin rules; see Windows).
+func marginWindows(cfg Config, headBin, tailBin int) (preWarm, keepAlive time.Duration) {
 	// Round head down, tail up, to whole-bin edges.
-	head := time.Duration(headBin) * h.cfg.BinWidth
-	tail := time.Duration(tailBin+1) * h.cfg.BinWidth
+	head := time.Duration(headBin) * cfg.BinWidth
+	tail := time.Duration(tailBin+1) * cfg.BinWidth
 
 	// Apply the margin: pre-warm earlier, keep alive longer.
-	preWarm = time.Duration(float64(head) * (1 - h.cfg.Margin))
-	tailM := time.Duration(float64(tail) * (1 + h.cfg.Margin))
-	if tailM > h.Range() {
+	preWarm = time.Duration(float64(head) * (1 - cfg.Margin))
+	tailM := time.Duration(float64(tail) * (1 + cfg.Margin))
+	if r := cfg.BinWidth * time.Duration(cfg.NumBins); tailM > r {
 		// Never promise a keep-alive beyond the histogram's knowledge.
-		tailM = h.Range()
+		tailM = r
 	}
 	keepAlive = tailM - preWarm
-	if keepAlive < h.cfg.BinWidth {
-		keepAlive = h.cfg.BinWidth
+	if keepAlive < cfg.BinWidth {
+		keepAlive = cfg.BinWidth
 	}
-	return preWarm, keepAlive, true
+	return preWarm, keepAlive
+}
+
+// rebuildCursors recomputes the percentile cursors and invalidates the
+// window memo after a bulk mutation of the counts (Decode, Merge). The
+// incremental path in Observe only handles single-count increments.
+func (h *Histogram) rebuildCursors() {
+	h.winValid = false
+	h.syncedAt = h.total
+	if h.total == 0 {
+		h.head = cursor{bin: -1}
+		h.tail = cursor{bin: -1}
+		return
+	}
+	h.head = h.cursorAt(h.headFrac)
+	h.tail = h.cursorAt(h.tailFrac)
+}
+
+// cursorAt locates the percentile cursor by a full scan (cold path).
+func (h *Histogram) cursorAt(frac float64) cursor {
+	return cursorAtN(h.counts, frac, h.total)
+}
+
+// cursorAtN is cursorAt on explicit state, for the batch kernel.
+func cursorAtN(counts []int64, frac float64, total int64) cursor {
+	target := effTarget(frac, total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if float64(cum) >= target {
+			return cursor{bin: i, cum: cum}
+		}
+	}
+	// Unreachable for valid targets (target <= total); fall back to the
+	// last occupied bin, mirroring percentileBin.
+	for i := len(counts) - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			return cursor{bin: i, cum: total}
+		}
+	}
+	return cursor{bin: -1}
 }
 
 // Reset clears all state (used when an application is redeployed).
@@ -221,15 +612,20 @@ func (h *Histogram) Reset() {
 		h.counts[i] = 0
 	}
 	h.total, h.oob = 0, 0
-	h.binCV.Reset()
-	for range h.counts {
-		h.binCV.Add(0)
-	}
+	h.cvMean, h.cvM2 = 0, 0
+	h.head = cursor{bin: -1}
+	h.tail = cursor{bin: -1}
+	h.syncedAt = 0
+	h.winValid = false
 }
 
-// MemoryFootprintBytes returns the approximate size of the histogram's
-// counters, to document the §6 claim of ~960 bytes per app with 240
-// 4-byte buckets. (We store int64 counters, so 8 bytes per bin.)
+// MemoryFootprintBytes returns the approximate per-app size of the
+// histogram state, to document the §6 claim of ~960 bytes per app with
+// 240 4-byte buckets. (We store int64 counters, so 8 bytes per bin,
+// plus a constant-size block of incremental percentile-cursor, CV, and
+// memoized-window state.)
 func (h *Histogram) MemoryFootprintBytes() int {
-	return 8 * len(h.counts)
+	const fixed = 24 /* Welford */ + 2*16 /* cursors */ +
+		24 /* precomputed fractions */ + 48 /* generation + window memo */
+	return 8*len(h.counts) + fixed
 }

@@ -236,8 +236,12 @@ func TestReset(t *testing.T) {
 
 func TestMemoryFootprint(t *testing.T) {
 	h := defaultHist()
-	if got := h.MemoryFootprintBytes(); got != 240*8 {
-		t.Fatalf("footprint = %d", got)
+	got := h.MemoryFootprintBytes()
+	// 240 8-byte counters plus a constant-size block for the incremental
+	// percentile cursors, CV accumulator, and window memo; the counters
+	// must dominate (the §6 per-app budget is of order 1KB).
+	if extra := got - 240*8; extra < 0 || extra > 256 {
+		t.Fatalf("footprint = %d (extra %d outside [0,256])", got, got-240*8)
 	}
 }
 

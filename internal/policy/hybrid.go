@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/arima"
@@ -121,19 +122,129 @@ func (p *Hybrid) Name() string {
 // Config returns the policy configuration.
 func (p *Hybrid) Config() HybridConfig { return p.cfg }
 
-// NewApp implements Policy.
+// hybridAppPool recycles per-app policy state across NewApp/Release
+// cycles (sim walks hundreds of thousands of apps per policy sweep; a
+// recycled app reuses its histogram and ring-buffer backing instead of
+// allocating ~2KB each).
+var hybridAppPool sync.Pool
+
+// NewApp implements Policy. If a previously Released app with the same
+// histogram configuration is pooled, its backing state is reused.
 func (p *Hybrid) NewApp(string) AppPolicy {
-	return &hybridApp{
-		cfg:  p.cfg,
-		hist: ithist.New(p.cfg.Histogram),
+	if v := hybridAppPool.Get(); v != nil {
+		a := v.(*hybridApp)
+		if a.hist.Config() == p.cfg.Histogram {
+			a.reset(p.cfg)
+			return a
+		}
+		// Incompatible histogram shape: drop it and build fresh.
 	}
+	a := &hybridApp{hist: ithist.New(p.cfg.Histogram)}
+	a.reset(p.cfg)
+	return a
+}
+
+// defaultForecaster is the paper's default ARIMA order search, boxed
+// once so recycling an app never re-allocates the interface value.
+var defaultForecaster forecast.Forecaster = forecast.ARIMA{
+	Options: arima.Options{MaxP: 2, MaxD: 1, MaxQ: 1},
+}
+
+// resolveForecaster returns the configured forecaster or the paper's
+// default ARIMA order search.
+func resolveForecaster(cfg HybridConfig) forecast.Forecaster {
+	if cfg.Forecaster != nil {
+		return cfg.Forecaster
+	}
+	return defaultForecaster
 }
 
 type hybridApp struct {
 	cfg  HybridConfig
 	hist *ithist.Histogram
-	// its is the retained idle-time series in minutes, feeding ARIMA.
-	its []float64
+	fc   forecast.Forecaster
+
+	// its is the retained idle-time series feeding the forecaster: a
+	// fixed-capacity ring (capacity ARIMAMaxSeries) holding the raw
+	// durations, oldest at itsHead once wrapped. Durations convert to
+	// the forecaster's minutes scale only at fit time, so the common
+	// per-invocation path does no float division. obsSeen counts every
+	// recorded IT and keys the decision and forecast memos.
+	its     []time.Duration
+	itsHead int
+	obsSeen uint64
+
+	series []float64          // scratch: linearized minutes series for fits
+	wruns  []ithist.WindowRun // scratch: batch kernel output
+
+	// Decision memo: the last decision remains valid until new data
+	// arrives (the decision is a pure function of histogram and series
+	// state, and every NextWindows observation bumps obsSeen), so
+	// back-to-back queries without an observation are free.
+	lastDecision Decision
+	lastSeen     uint64
+	lastValid    bool
+
+	// Forecast memo: prediction fitted when obsSeen was fitSeen. The
+	// paper refits after every invocation of an ARIMA-managed app; the
+	// memo only skips refits when no new IT arrived, preserving that
+	// semantics.
+	fitSeen  uint64
+	fitPred  float64
+	fitOK    bool
+	fitValid bool
+}
+
+// reset prepares a fresh or recycled app for a new lifetime.
+func (a *hybridApp) reset(cfg HybridConfig) {
+	a.cfg = cfg
+	a.fc = resolveForecaster(cfg)
+	a.hist.Reset()
+	a.its = a.its[:0]
+	a.itsHead = 0
+	a.obsSeen = 0
+	a.lastValid = false
+	a.fitValid = false
+}
+
+// Release implements Releasable: the app's state returns to the pool
+// for a future NewApp. The caller must not use the app afterwards.
+func (a *hybridApp) Release() { hybridAppPool.Put(a) }
+
+// pushIT records one idle time in the ring buffer. The buffer grows
+// geometrically to its fixed capacity, then overwrites the oldest
+// entry, so steady state allocates nothing.
+func (a *hybridApp) pushIT(idle time.Duration) {
+	a.obsSeen++
+	if len(a.its) < a.cfg.ARIMAMaxSeries {
+		a.its = append(a.its, idle)
+		return
+	}
+	a.its[a.itsHead] = idle
+	a.itsHead++
+	if a.itsHead == len(a.its) {
+		a.itsHead = 0
+	}
+}
+
+// seriesMinutes linearizes the ring into the scratch slice, oldest
+// first, converted to minutes (the forecaster's scale).
+func (a *hybridApp) seriesMinutes() []float64 {
+	n := len(a.its)
+	if cap(a.series) < n {
+		a.series = make([]float64, n)
+	}
+	s := a.series[:n]
+	k := 0
+	for _, d := range a.its[a.itsHead:] {
+		s[k] = d.Minutes()
+		k++
+	}
+	for _, d := range a.its[:a.itsHead] {
+		s[k] = d.Minutes()
+		k++
+	}
+	return s
 }
 
 // NextWindows implements AppPolicy, following Figure 10: update the IT
@@ -143,20 +254,150 @@ type hybridApp struct {
 func (a *hybridApp) NextWindows(idle time.Duration, first bool) Decision {
 	if !first {
 		a.hist.Observe(idle)
-		a.its = append(a.its, idle.Minutes())
-		if len(a.its) > a.cfg.ARIMAMaxSeries {
-			a.its = a.its[len(a.its)-a.cfg.ARIMAMaxSeries:]
-		}
+		a.pushIT(idle)
+		// No memo write: the observation just invalidated any cached
+		// decision, and the next call observes again, so a cache filled
+		// here could never be read.
+		return a.decide()
 	}
+	if a.lastValid && a.lastSeen == a.obsSeen {
+		// No new data since the last decision: the decision pipeline is
+		// deterministic, so the cached decision is exact.
+		return a.lastDecision
+	}
+	d := a.decide()
+	a.lastDecision = d
+	a.lastSeen = a.obsSeen
+	a.lastValid = true
+	return d
+}
 
+// NextWindowsSeq implements SequencePolicy. The histogram work — the
+// dominant per-invocation cost — runs as one batch kernel
+// (ithist.DecideSeq) that emits run-length-encoded regimes; this
+// method maps regime runs to decisions, expanding per invocation only
+// on the rare time-series path, whose refit-per-invocation semantics
+// the paper mandates. The retained IT series at invocation j is by
+// construction the last ARIMAMaxSeries entries of idles[1:j+1], so the
+// ring buffer is not consulted during the batch and is rebuilt once at
+// the end.
+func (a *hybridApp) NextWindowsSeq(idles []time.Duration, runs []DecisionRun) []DecisionRun {
+	if len(idles) == 0 {
+		return runs
+	}
+	if a.obsSeen != 0 {
+		// Not a fresh app: the batch path reconstructs the ARIMA
+		// series from idles alone and rebuilds the ring from it, which
+		// would silently drop the previously recorded ITs. Fall back
+		// to the per-call loop, which handles accumulated state.
+		acc := runAcc{cur: a.NextWindows(idles[0], true), curN: 1, runs: runs}
+		for i := 1; i < len(idles); i++ {
+			acc.emit(a.NextWindows(idles[i], false), 1)
+		}
+		return append(acc.runs, DecisionRun{D: acc.cur, N: acc.curN})
+	}
+	acc := runAcc{runs: runs, cur: a.NextWindows(idles[0], true), curN: 1}
+	if len(idles) > 1 {
+		a.wruns = a.hist.DecideSeq(idles, a.cfg.MinObservations, a.cfg.OOBThreshold, a.cfg.CVThreshold, a.wruns[:0])
+		standard := a.standard()
+		disablePW := a.cfg.DisablePreWarm
+		idx := 1 // invocation index of the next run's first observation
+		for _, wr := range a.wruns {
+			switch wr.Regime {
+			case ithist.RegimeWindows:
+				if disablePW {
+					// Keep the app loaded from execution end through
+					// the tail.
+					acc.emit(Decision{PreWarm: 0, KeepAlive: wr.PreWarm + wr.KeepAlive, Mode: ModeHistogram}, wr.Count)
+				} else {
+					acc.emit(Decision{PreWarm: wr.PreWarm, KeepAlive: wr.KeepAlive, Mode: ModeHistogram}, wr.Count)
+				}
+			case ithist.RegimeStandard:
+				acc.emit(standard, wr.Count)
+			default: // ithist.RegimeOOB: refit per invocation (§4.2)
+				for k := 0; k < int(wr.Count); k++ {
+					d, ok := a.arimaDecisionAt(idles, idx+k)
+					if !ok {
+						d = standard
+					}
+					acc.emit(d, 1)
+				}
+			}
+			idx += int(wr.Count)
+		}
+		// Leave the ring and counters as the per-call path would have,
+		// so subsequent single NextWindows calls continue correctly.
+		a.rebuildRing(idles[1:])
+	}
+	a.lastValid = false
+	a.fitValid = false
+	return append(acc.runs, DecisionRun{D: acc.cur, N: acc.curN})
+}
+
+// runAcc accumulates run-length-encoded decisions.
+type runAcc struct {
+	runs []DecisionRun
+	cur  Decision
+	curN int32
+}
+
+func (r *runAcc) emit(d Decision, n int32) {
+	if d == r.cur {
+		r.curN += n
+	} else {
+		r.runs = append(r.runs, DecisionRun{D: r.cur, N: r.curN})
+		r.cur, r.curN = d, n
+	}
+}
+
+// arimaDecisionAt is arimaDecision with the IT series sliced directly
+// out of the idle sequence: after invocation j, the retained series is
+// the last ARIMAMaxSeries entries of idles[1 : j+1].
+func (a *hybridApp) arimaDecisionAt(idles []time.Duration, j int) (Decision, bool) {
+	if a.cfg.DisableARIMA || j < a.cfg.ARIMAMinSamples {
+		return Decision{}, false
+	}
+	lo := 1
+	if m := j - a.cfg.ARIMAMaxSeries + 1; m > lo {
+		lo = m
+	}
+	n := j - lo + 1
+	if cap(a.series) < n {
+		a.series = make([]float64, n)
+	}
+	s := a.series[:n]
+	for k := range s {
+		s[k] = idles[lo+k].Minutes()
+	}
+	predMinutes, ok := a.fc.PredictNext(s)
+	if !ok {
+		return Decision{}, false
+	}
+	return a.arimaWindows(predMinutes), true
+}
+
+// rebuildRing replaces the ring contents with the tail of the observed
+// idle sequence, in oldest-first order, and advances the observation
+// counter — the state the per-call path would have accumulated.
+func (a *hybridApp) rebuildRing(observed []time.Duration) {
+	a.obsSeen += uint64(len(observed))
+	if len(observed) > a.cfg.ARIMAMaxSeries {
+		observed = observed[len(observed)-a.cfg.ARIMAMaxSeries:]
+	}
+	a.its = append(a.its[:0], observed...)
+	a.itsHead = 0
+}
+
+// decide runs the Figure 10 regime selection on the current state.
+func (a *hybridApp) decide() Decision {
 	total := a.hist.Total() + a.hist.OutOfBounds()
-	if total >= a.cfg.MinObservations && a.hist.OOBFraction() > a.cfg.OOBThreshold {
+	if total >= a.cfg.MinObservations && a.hist.OOBHeavy(a.cfg.OOBThreshold) {
 		if d, ok := a.arimaDecision(); ok {
 			return d
 		}
 		return a.standard()
 	}
-	if total < a.cfg.MinObservations || a.hist.BinCountCV() < a.cfg.CVThreshold {
+	if total < a.cfg.MinObservations || a.hist.CVBelow(a.cfg.CVThreshold) {
 		return a.standard()
 	}
 	pw, ka, ok := a.hist.Windows()
@@ -186,15 +427,23 @@ func (a *hybridApp) arimaDecision() (Decision, bool) {
 	}
 	// The paper rebuilds the model after every invocation of an
 	// ARIMA-managed app (§4.2); these apps are invoked rarely, so the
-	// cost is off the critical path and negligible in aggregate.
-	fc := a.cfg.Forecaster
-	if fc == nil {
-		fc = forecast.ARIMA{Options: arima.Options{MaxP: 2, MaxD: 1, MaxQ: 1}}
+	// cost is off the critical path and negligible in aggregate. The
+	// memo only short-circuits refits on an unchanged series.
+	if !a.fitValid || a.fitSeen != a.obsSeen {
+		a.fitPred, a.fitOK = a.fc.PredictNext(a.seriesMinutes())
+		a.fitSeen = a.obsSeen
+		a.fitValid = true
 	}
-	predMinutes, ok := fc.PredictNext(a.its)
-	if !ok {
+	if !a.fitOK {
 		return Decision{}, false
 	}
+	return a.arimaWindows(a.fitPred), true
+}
+
+// arimaWindows converts a next-IT prediction (in minutes) into the
+// margin windows: pre-warm = pred*(1-margin), keep-alive =
+// 2*margin*pred (margin on each side of the prediction).
+func (a *hybridApp) arimaWindows(predMinutes float64) Decision {
 	pred := time.Duration(predMinutes * float64(time.Minute))
 	m := a.cfg.ARIMAMargin
 	pw := time.Duration(float64(pred) * (1 - m))
@@ -202,5 +451,5 @@ func (a *hybridApp) arimaDecision() (Decision, bool) {
 	if ka < a.cfg.Histogram.BinWidth {
 		ka = a.cfg.Histogram.BinWidth
 	}
-	return Decision{PreWarm: pw, KeepAlive: ka, Mode: ModeARIMA}, true
+	return Decision{PreWarm: pw, KeepAlive: ka, Mode: ModeARIMA}
 }

@@ -140,7 +140,7 @@ func TestHybridARIMAMarginExample(t *testing.T) {
 	cfg := DefaultHybridConfig()
 	a := NewHybrid(cfg).NewApp("app").(*hybridApp)
 	for i := 0; i < 10; i++ {
-		a.its = append(a.its, 300) // 5h in minutes, constant series
+		a.pushIT(5 * time.Hour) // constant series
 	}
 	d, ok := a.arimaDecision()
 	if !ok {

@@ -74,6 +74,66 @@ type Policy interface {
 	NewApp(appID string) AppPolicy
 }
 
+// Releasable is implemented by AppPolicy values whose state can be
+// recycled through an internal pool. Callers that are finished with an
+// app (e.g. the simulator after walking one application's trace) may
+// call Release exactly once and must not use the value afterwards;
+// a subsequent NewApp on the same policy configuration may then reuse
+// the backing state instead of allocating.
+type Releasable interface {
+	Release()
+}
+
+// DecisionRun is a run-length-encoded span of identical consecutive
+// decisions, the unit SequencePolicy implementations emit. Decisions
+// change rarely relative to invocations (the histogram windows are
+// memoized and the fallback regimes are constant), so run-length
+// encoding keeps batch decision traffic proportional to the number of
+// changes rather than the number of invocations.
+type DecisionRun struct {
+	D Decision
+	N int32 // number of consecutive invocations governed by D
+}
+
+// SequencePolicy is an optional AppPolicy extension for batch
+// decision-making: the appended runs expand to exactly the decisions
+// the per-call NextWindows(idles[i], i == 0) walk would produce from
+// the app's current state (for the common case of a freshly created
+// app, its whole decision history). Implementations must produce
+// decisions identical to the per-call path; they exist so bulk
+// consumers (the simulator) can avoid one interface dispatch per
+// invocation and keep the per-invocation state in registers.
+type SequencePolicy interface {
+	// NextWindowsSeq appends the decision runs for idles to runs
+	// (typically runs[:0] of a reused buffer) and returns the result.
+	NextWindowsSeq(idles []time.Duration, runs []DecisionRun) []DecisionRun
+}
+
+// fixedApp and noUnloadApp produce constant decisions, so their batch
+// paths are single runs.
+
+// NextWindowsSeq implements SequencePolicy.
+func (a fixedApp) NextWindowsSeq(idles []time.Duration, runs []DecisionRun) []DecisionRun {
+	if len(idles) == 0 {
+		return runs
+	}
+	return append(runs, DecisionRun{
+		D: Decision{PreWarm: 0, KeepAlive: a.ka, Mode: ModeFixed},
+		N: int32(len(idles)),
+	})
+}
+
+// NextWindowsSeq implements SequencePolicy.
+func (noUnloadApp) NextWindowsSeq(idles []time.Duration, runs []DecisionRun) []DecisionRun {
+	if len(idles) == 0 {
+		return runs
+	}
+	return append(runs, DecisionRun{
+		D: Decision{Forever: true, Mode: ModeNoUnload},
+		N: int32(len(idles)),
+	})
+}
+
 // FixedKeepAlive is the state-of-the-practice policy: keep the
 // application warm for a fixed duration after every execution
 // (10 minutes in AWS and OpenWhisk, 20 in Azure; §1, §2).

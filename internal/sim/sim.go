@@ -9,11 +9,21 @@
 // all applications are assumed to use the same amount of memory, so
 // wasted memory is reported in seconds. Exec-time-aware simulation is
 // available as an extension (Options.UseExecTime).
+//
+// The walk is organized for throughput: apps are scheduled
+// largest-first over a work-stealing atomic counter (no channel
+// handoff per app, no idle goroutines on tiny traces), each worker
+// owns a scratch arena reused across apps, and per-app policy state is
+// recycled through policy.Releasable, so repeated Simulate calls — the
+// Figures 14–19 sweeps run dozens of policy configurations — reach a
+// steady state that allocates almost nothing.
 package sim
 
 import (
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/policy"
@@ -23,7 +33,7 @@ import (
 // Options configures a simulation run.
 type Options struct {
 	// Workers is the number of apps simulated concurrently
-	// (default: GOMAXPROCS).
+	// (default: GOMAXPROCS, capped at the number of apps).
 	Workers int
 	// UseExecTime makes invocations occupy their function's average
 	// execution time instead of 0. Idle times then measure from
@@ -60,64 +70,165 @@ type Result struct {
 	Apps           []AppResult
 }
 
+// arena is per-worker scratch reused across apps (and, because workers
+// are created per Simulate call with pooled policy state, effectively
+// across Simulate calls too).
+type arena struct {
+	execs []float64
+	srcs  []mergeSrc
+	idles []time.Duration
+	runs  []policy.DecisionRun
+}
+
+// mergeSrc is one function's sorted invocation list during the k-way
+// exec-time merge.
+type mergeSrc struct {
+	times []float64
+	exec  float64
+	pos   int
+}
+
 // Simulate runs pol over tr and returns per-app outcomes. Apps are
 // independent, so they are simulated in parallel; results preserve
 // tr.Apps order and are deterministic.
 func Simulate(tr *trace.Trace, pol policy.Policy, opt Options) *Result {
+	n := len(tr.Apps)
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > n {
+		// Don't spin idle goroutines on tiny traces.
+		workers = n
+	}
 	res := &Result{
 		Policy:         pol.Name(),
 		HorizonSeconds: tr.Duration.Seconds(),
-		Apps:           make([]AppResult, len(tr.Apps)),
+		Apps:           make([]AppResult, n),
+	}
+	if n == 0 {
+		return res
 	}
 
+	// Schedule the largest apps first. App sizes in the dataset are
+	// heavily skewed (§3), so a naive in-order walk can leave one huge
+	// app to a single worker at the end of the run; claiming the
+	// giants first bounds that tail at the size of the largest app.
+	// Sizes are precomputed once: the comparator runs O(n log n) times.
+	sizes := make([]int32, n)
+	for i, app := range tr.Apps {
+		sizes[i] = int32(app.TotalInvocations())
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sizes[order[a]] != sizes[order[b]] {
+			return sizes[order[a]] > sizes[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	runOne := func(ar *arena, idx int32) {
+		app := tr.Apps[idx]
+		ap := pol.NewApp(app.ID)
+		res.Apps[idx] = simulateApp(ar, app, ap, res.HorizonSeconds, opt)
+		if r, ok := ap.(policy.Releasable); ok {
+			r.Release()
+		}
+	}
+
+	if workers == 1 {
+		var ar arena
+		for _, idx := range order {
+			runOne(&ar, idx)
+		}
+		return res
+	}
+
+	// Work stealing over an atomic cursor with tapered chunking: the
+	// head of the queue holds the heavy apps (largest-first order), so
+	// those are claimed one at a time — batching them would serialize
+	// the very giants the sort spreads out — while claims grow toward
+	// the light tail to amortize the atomic.
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range work {
-				app := tr.Apps[idx]
-				res.Apps[idx] = simulateApp(app, pol.NewApp(app.ID), res.HorizonSeconds, opt)
+			var ar arena
+			for {
+				pos := next.Load()
+				if pos >= int64(n) {
+					return
+				}
+				chunk := pos / int64(4*workers)
+				if chunk < 1 {
+					chunk = 1
+				}
+				start := next.Add(chunk) - chunk
+				if start >= int64(n) {
+					return
+				}
+				end := start + chunk
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for i := start; i < end; i++ {
+					runOne(&ar, order[i])
+				}
 			}
 		}()
 	}
-	for i := range tr.Apps {
-		work <- i
-	}
-	close(work)
 	wg.Wait()
 	return res
 }
 
-// execSeconds returns per-invocation execution times for the app, in
-// invocation-time order, or nil for all-zero.
-func execSeconds(app *trace.App, opt Options) []float64 {
+// execSecondsInto fills the arena's exec buffer with per-invocation
+// execution times for the app, in invocation-time order, or returns
+// nil for all-zero. Each function's invocation list is already sorted,
+// so the lists are k-way merged (ties resolved to the earlier
+// function, matching a stable sort of the concatenated lists).
+func execSecondsInto(ar *arena, app *trace.App, opt Options) []float64 {
 	if !opt.UseExecTime {
 		return nil
 	}
-	// Merge (time, exec) pairs across functions in timestamp order.
-	type inv struct{ t, exec float64 }
-	var all []inv
+	srcs := ar.srcs[:0]
+	total := 0
 	for _, fn := range app.Functions {
-		for _, t := range fn.Invocations {
-			all = append(all, inv{t, fn.ExecStats.AvgSeconds})
+		if len(fn.Invocations) == 0 {
+			continue
 		}
+		total += len(fn.Invocations)
+		srcs = append(srcs, mergeSrc{times: fn.Invocations, exec: fn.ExecStats.AvgSeconds})
 	}
-	// Insertion sort by time; app invocation lists are individually
-	// sorted so this is near-linear in practice for few functions.
-	for i := 1; i < len(all); i++ {
-		for j := i; j > 0 && all[j].t < all[j-1].t; j-- {
-			all[j], all[j-1] = all[j-1], all[j]
+	ar.srcs = srcs
+	if cap(ar.execs) < total {
+		ar.execs = make([]float64, total)
+	}
+	execs := ar.execs[:total]
+	if len(srcs) == 1 {
+		for i := range execs {
+			execs[i] = srcs[0].exec
 		}
+		return execs
 	}
-	execs := make([]float64, len(all))
-	for i, iv := range all {
-		execs[i] = iv.exec
+	for i := 0; i < total; i++ {
+		best := -1
+		var bt float64
+		for j := range srcs {
+			s := &srcs[j]
+			if s.pos >= len(s.times) {
+				continue
+			}
+			if t := s.times[s.pos]; best < 0 || t < bt {
+				best, bt = j, t
+			}
+		}
+		execs[i] = srcs[best].exec
+		srcs[best].pos++
 	}
 	return execs
 }
@@ -135,64 +246,117 @@ func execSeconds(app *trace.App, opt Options) []float64 {
 //   - Forever: loaded through the horizon.
 //
 // The first invocation is always cold (§5.1).
-func simulateApp(app *trace.App, ap policy.AppPolicy, horizon float64, opt Options) AppResult {
+func simulateApp(ar *arena, app *trace.App, ap policy.AppPolicy, horizon float64, opt Options) AppResult {
 	times := app.InvocationTimes()
-	res := AppResult{AppID: app.ID, Invocations: len(times)}
-	if len(times) == 0 {
+	n := len(times)
+	res := AppResult{AppID: app.ID, Invocations: n}
+	if n == 0 {
 		return res
 	}
-	execs := execSeconds(app, opt)
+	execs := execSecondsInto(ar, app, opt)
 
-	var d policy.Decision
-	var prevEnd float64 // end of previous execution
+	// Pass 1: idle times. The idle preceding invocation i depends only
+	// on the timestamps (and exec times), not on any decision, so the
+	// whole sequence is known up front.
+	if cap(ar.idles) < n {
+		ar.idles = make([]time.Duration, n)
+	}
+	idles := ar.idles[:n]
+	var prevEnd float64
 	for i, t := range times {
-		if i == 0 {
-			res.ColdStarts++
-		} else {
-			warm, wasted := classify(d, prevEnd, t)
-			if !warm {
-				res.ColdStarts++
-			}
-			res.WastedSeconds += wasted
-		}
 		idle := t - prevEnd
 		if idle < 0 {
 			// Overlapping executions (concurrency) are out of scope
 			// (§2); clamp so the policy sees a sane idle time.
 			idle = 0
 		}
-		var exec float64
+		idles[i] = secToDur(idle)
+		prevEnd = t
 		if execs != nil {
-			exec = execs[i]
+			prevEnd += execs[i]
 		}
-		end := t + exec
-		d = ap.NextWindows(secToDur(idle), i == 0)
-		res.ModeCounts[d.Mode]++
-		prevEnd = end
+	}
+
+	// Pass 2: decisions as run-length-encoded spans, in one batch call
+	// when the policy supports it (one interface dispatch per app
+	// instead of per invocation).
+	var runs []policy.DecisionRun
+	if sp, ok := ap.(policy.SequencePolicy); ok {
+		runs = sp.NextWindowsSeq(idles, ar.runs[:0])
+	} else {
+		runs = ar.runs[:0]
+		var cur policy.Decision
+		var curN int32
+		for i := range idles {
+			d := ap.NextWindows(idles[i], i == 0)
+			if i > 0 && d == cur {
+				curN++
+				continue
+			}
+			if curN > 0 {
+				runs = append(runs, policy.DecisionRun{D: cur, N: curN})
+			}
+			cur, curN = d, 1
+		}
+		runs = append(runs, policy.DecisionRun{D: cur, N: curN})
+	}
+	ar.runs = runs[:0]
+
+	// Pass 3: classify arrivals against the previous decision and
+	// accumulate wasted memory time (Figure 9 semantics). Mode counts
+	// and the window-to-seconds conversions are per run, not per
+	// invocation.
+	res.ColdStarts = 1 // the first invocation is always cold (§5.1)
+	var d policy.Decision
+	var pwSec, kaSec float64 // d's windows in seconds, converted once per run
+	ri := -1
+	var rem int32
+	prevEnd = 0
+	for i, t := range times {
+		if i > 0 {
+			warm, wasted := classify(d, pwSec, kaSec, prevEnd, t)
+			if !warm {
+				res.ColdStarts++
+			}
+			res.WastedSeconds += wasted
+		}
+		if rem == 0 {
+			ri++
+			d = runs[ri].D
+			rem = runs[ri].N
+			pwSec = d.PreWarm.Seconds()
+			kaSec = d.KeepAlive.Seconds()
+			res.ModeCounts[d.Mode] += int(rem)
+		}
+		rem--
+		prevEnd = t
+		if execs != nil {
+			prevEnd += execs[i]
+		}
 	}
 
 	// Trailing window after the last invocation, capped at horizon.
-	res.WastedSeconds += trailingWaste(d, prevEnd, horizon)
+	res.WastedSeconds += trailingWaste(d, pwSec, kaSec, prevEnd, horizon)
 	return res
 }
 
 // classify resolves one arrival at time t against the decision made at
-// prevEnd. It returns whether the start is warm and how much loaded-
-// but-idle time accrued between prevEnd and the arrival.
-func classify(d policy.Decision, prevEnd, t float64) (warm bool, wasted float64) {
+// prevEnd (pwSec/kaSec are d's windows in seconds). It returns whether
+// the start is warm and how much loaded-but-idle time accrued between
+// prevEnd and the arrival.
+func classify(d policy.Decision, pwSec, kaSec, prevEnd, t float64) (warm bool, wasted float64) {
 	if d.Forever {
 		return true, t - prevEnd
 	}
-	ka := d.KeepAlive.Seconds()
 	if d.PreWarm == 0 {
-		windowEnd := prevEnd + ka
+		windowEnd := prevEnd + kaSec
 		if t <= windowEnd {
 			return true, t - prevEnd
 		}
-		return false, ka
+		return false, kaSec
 	}
-	loadAt := prevEnd + d.PreWarm.Seconds()
-	windowEnd := loadAt + ka
+	loadAt := prevEnd + pwSec
+	windowEnd := loadAt + kaSec
 	switch {
 	case t < loadAt:
 		// Arrived before the pre-warm: cold, but nothing was loaded.
@@ -200,28 +364,27 @@ func classify(d policy.Decision, prevEnd, t float64) (warm bool, wasted float64)
 	case t <= windowEnd:
 		return true, t - loadAt
 	default:
-		return false, ka
+		return false, kaSec
 	}
 }
 
 // trailingWaste accounts for the window scheduled after the final
 // invocation, truncated at the trace horizon.
-func trailingWaste(d policy.Decision, prevEnd, horizon float64) float64 {
+func trailingWaste(d policy.Decision, pwSec, kaSec, prevEnd, horizon float64) float64 {
 	if prevEnd >= horizon {
 		return 0
 	}
 	if d.Forever {
 		return horizon - prevEnd
 	}
-	ka := d.KeepAlive.Seconds()
 	if d.PreWarm == 0 {
-		return minF(ka, horizon-prevEnd)
+		return minF(kaSec, horizon-prevEnd)
 	}
-	loadAt := prevEnd + d.PreWarm.Seconds()
+	loadAt := prevEnd + pwSec
 	if loadAt >= horizon {
 		return 0
 	}
-	return minF(ka, horizon-loadAt)
+	return minF(kaSec, horizon-loadAt)
 }
 
 func minF(a, b float64) float64 {

@@ -2,7 +2,6 @@ package stats
 
 import (
 	"math"
-	"sort"
 )
 
 // NelderMeadOptions configures the derivative-free simplex optimizer
@@ -16,6 +15,12 @@ type NelderMeadOptions struct {
 // NelderMead minimizes f starting from x0 and returns the best point
 // and its value. It never evaluates f outside what the caller's f
 // tolerates; f may return +Inf to reject a region.
+//
+// f must not retain the slice it is handed: candidate points are
+// written into a small set of rotating buffers (the optimizer runs in
+// the simulator's per-invocation ARIMA refit, where a fresh allocation
+// per trial point dominated the profile). The returned slice is owned
+// by the caller.
 func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) ([]float64, float64) {
 	if opt.MaxIter == 0 {
 		opt.MaxIter = 400
@@ -55,8 +60,32 @@ func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) 
 		sigma = 0.5 // shrink
 	)
 
+	// Scratch vectors. When a candidate is accepted into the simplex it
+	// swaps storage with the evicted worst vertex, so each iteration
+	// allocates nothing.
+	//
+	// sortSimplex is insertion sort, the exact algorithm sort.Slice
+	// applies to slices this small (n+1 <= dims+1), so the ordering —
+	// including the permutation of equal-valued vertices — matches the
+	// library sort while avoiding its per-call reflection allocation.
+	sortSimplex := func() {
+		for i := 1; i <= n; i++ {
+			for j := i; j > 0 && simplex[j].v < simplex[j-1].v; j-- {
+				simplex[j], simplex[j-1] = simplex[j-1], simplex[j]
+			}
+		}
+	}
+	centroid := make([]float64, n)
+	cand := make([]float64, n)  // reflection candidate
+	cand2 := make([]float64, n) // expansion/contraction candidate
+	accept := func(x []float64, v float64) []float64 {
+		old := simplex[n].x
+		simplex[n] = vertex{x: x, v: v}
+		return old
+	}
+
 	for iter := 0; iter < opt.MaxIter; iter++ {
-		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+		sortSimplex()
 		// Converged only when both the value spread and the simplex
 		// diameter are small; a value check alone stops early when the
 		// simplex straddles a minimum symmetrically.
@@ -74,7 +103,9 @@ func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) 
 		}
 
 		// Centroid of all but worst.
-		centroid := make([]float64, n)
+		for j := 0; j < n; j++ {
+			centroid[j] = 0
+		}
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				centroid[j] += simplex[i].x[j]
@@ -85,7 +116,7 @@ func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) 
 		}
 
 		worst := simplex[n]
-		reflect := make([]float64, n)
+		reflect := cand
 		for j := 0; j < n; j++ {
 			reflect[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
 		}
@@ -94,25 +125,25 @@ func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) 
 		switch {
 		case rv < simplex[0].v:
 			// Try expansion.
-			expand := make([]float64, n)
+			expand := cand2
 			for j := 0; j < n; j++ {
 				expand[j] = centroid[j] + gamma*(reflect[j]-centroid[j])
 			}
 			if ev := f(expand); ev < rv {
-				simplex[n] = vertex{x: expand, v: ev}
+				cand2 = accept(expand, ev)
 			} else {
-				simplex[n] = vertex{x: reflect, v: rv}
+				cand = accept(reflect, rv)
 			}
 		case rv < simplex[n-1].v:
-			simplex[n] = vertex{x: reflect, v: rv}
+			cand = accept(reflect, rv)
 		default:
 			// Contraction.
-			contract := make([]float64, n)
+			contract := cand2
 			for j := 0; j < n; j++ {
 				contract[j] = centroid[j] + rho*(worst.x[j]-centroid[j])
 			}
 			if cv := f(contract); cv < worst.v {
-				simplex[n] = vertex{x: contract, v: cv}
+				cand2 = accept(contract, cv)
 			} else {
 				// Shrink toward best.
 				for i := 1; i <= n; i++ {
@@ -124,25 +155,73 @@ func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) 
 			}
 		}
 	}
-	sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+	sortSimplex()
 	return simplex[0].x, simplex[0].v
+}
+
+// LSScratch holds reusable buffers for the least-squares routines, so
+// hot callers (the per-invocation ARIMA refit) avoid re-allocating the
+// small normal-equation and elimination matrices on every fit. The
+// zero value is ready; a nil *LSScratch falls back to fresh
+// allocations. Results are always freshly allocated — only internal
+// workspace is reused.
+type LSScratch struct {
+	xtx    [][]float64
+	xtxBuf []float64
+	xty    []float64
+	aug    [][]float64
+	augBuf []float64
+}
+
+// matrix returns a rows x cols matrix backed by buf, zeroed when asked.
+func lsMatrix(hdrs *[][]float64, buf *[]float64, rows, cols int, zero bool) [][]float64 {
+	if cap(*hdrs) < rows {
+		*hdrs = make([][]float64, rows)
+	}
+	m := (*hdrs)[:rows]
+	if cap(*buf) < rows*cols {
+		*buf = make([]float64, rows*cols)
+	}
+	flat := (*buf)[:rows*cols]
+	if zero {
+		for i := range flat {
+			flat[i] = 0
+		}
+	}
+	for i := 0; i < rows; i++ {
+		m[i] = flat[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return m
 }
 
 // SolveLinear solves A x = b by Gaussian elimination with partial
 // pivoting. A is row-major n x n and is not modified. It returns false
 // if the system is singular (to working precision).
 func SolveLinear(a [][]float64, b []float64) ([]float64, bool) {
+	return SolveLinearInto(nil, a, b)
+}
+
+// SolveLinearInto is SolveLinear with workspace drawn from s (may be
+// nil). The arithmetic is identical; only allocation behavior differs.
+func SolveLinearInto(s *LSScratch, a [][]float64, b []float64) ([]float64, bool) {
 	n := len(b)
 	if len(a) != n {
 		panic("stats: SolveLinear dimension mismatch")
 	}
 	// Copy into augmented matrix.
-	m := make([][]float64, n)
+	var m [][]float64
+	if s != nil {
+		m = lsMatrix(&s.aug, &s.augBuf, n, n+1, false)
+	} else {
+		m = make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n+1)
+		}
+	}
 	for i := 0; i < n; i++ {
 		if len(a[i]) != n {
 			panic("stats: SolveLinear requires square A")
 		}
-		m[i] = make([]float64, n+1)
 		copy(m[i], a[i])
 		m[i][n] = b[i]
 	}
@@ -180,6 +259,13 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, bool) {
 // equations (X'X) beta = X'y. X is row-major with one row per
 // observation. It returns false if X'X is singular.
 func OLS(x [][]float64, y []float64) ([]float64, bool) {
+	return OLSInto(nil, x, y)
+}
+
+// OLSInto is OLS with workspace drawn from s (may be nil). The
+// arithmetic — including the accumulation order of the normal
+// equations — is identical; only allocation behavior differs.
+func OLSInto(s *LSScratch, x [][]float64, y []float64) ([]float64, bool) {
 	nobs := len(x)
 	if nobs == 0 || nobs != len(y) {
 		return nil, false
@@ -188,11 +274,24 @@ func OLS(x [][]float64, y []float64) ([]float64, bool) {
 	if k == 0 {
 		return nil, false
 	}
-	xtx := make([][]float64, k)
-	for i := range xtx {
-		xtx[i] = make([]float64, k)
+	var xtx [][]float64
+	var xty []float64
+	if s != nil {
+		xtx = lsMatrix(&s.xtx, &s.xtxBuf, k, k, true)
+		if cap(s.xty) < k {
+			s.xty = make([]float64, k)
+		}
+		xty = s.xty[:k]
+		for i := range xty {
+			xty[i] = 0
+		}
+	} else {
+		xtx = make([][]float64, k)
+		for i := range xtx {
+			xtx[i] = make([]float64, k)
+		}
+		xty = make([]float64, k)
 	}
-	xty := make([]float64, k)
 	for r := 0; r < nobs; r++ {
 		row := x[r]
 		if len(row) != k {
@@ -210,5 +309,5 @@ func OLS(x [][]float64, y []float64) ([]float64, bool) {
 			xtx[i][j] = xtx[j][i]
 		}
 	}
-	return SolveLinear(xtx, xty)
+	return SolveLinearInto(s, xtx, xty)
 }
