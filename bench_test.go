@@ -1,6 +1,7 @@
 package wild
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -145,7 +146,7 @@ func BenchmarkFigure20(b *testing.B) {
 	pop := benchPopulation(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure20(pop.Trace, experiments.PlatformConfig{
+		fig, err := experiments.Figure20(context.Background(), pop.Trace, experiments.PlatformConfig{
 			Apps: 12, Window: 30 * time.Minute, Scale: 7200, Invokers: 4, Seed: uint64(i + 1),
 		})
 		if err != nil {

@@ -2,27 +2,37 @@
 // (synthetic or an AzurePublicDataset invocations CSV) and prints the
 // cold-start / wasted-memory comparison of §5.2.
 //
+// Policies are registry specs; traces stream. A CSV trace is re-read
+// per policy in constant memory (apps are simulated as rows arrive),
+// so traces far larger than RAM work. -shard i/n restricts the run to
+// an interleaved shard of the apps, the unit of multi-process
+// scale-out.
+//
 // Usage:
 //
-//	coldsim -apps 400 -days 7                 # synthetic trace
-//	coldsim -trace trace/invocations.csv      # real/saved trace
-//	coldsim -policy hybrid -range 4h
+//	coldsim -apps 400 -days 7                  # synthetic trace
+//	coldsim -trace trace/invocations.csv       # real/saved trace
+//	coldsim -policies 'fixed?ka=20m,hybrid?range=4h&cv=5'
+//	coldsim -trace big.csv -shard 0/4          # first of 4 shards
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
-	"repro/internal/metrics"
-	"repro/internal/policy"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	wild "repro"
 )
+
+const defaultPolicies = "nounload,fixed?ka=10m,fixed?ka=1h,fixed?ka=2h,hybrid"
+
+// baselineSpec normalizes wasted memory, as throughout §5.2.
+const baselineSpec = "fixed?ka=10m"
 
 func main() {
 	log.SetFlags(0)
@@ -33,62 +43,96 @@ func main() {
 		apps      = flag.Int("apps", 400, "apps to synthesize when -trace is empty")
 		days      = flag.Float64("days", 7, "days to synthesize when -trace is empty")
 		seed      = flag.Uint64("seed", 42, "random seed for synthesis")
-		histRange = flag.Duration("range", 4*time.Hour, "hybrid histogram range")
+		policies  = flag.String("policies", defaultPolicies,
+			fmt.Sprintf("comma-separated policy specs (registered: %v)", wild.PolicySpecs()))
+		shard = flag.String("shard", "", "i/n: simulate only the i-th of n interleaved app shards")
 	)
 	flag.Parse()
 
-	tr := loadTrace(*tracePath, *apps, *days, *seed)
-	fmt.Printf("trace: %d apps, %d invocations over %v\n\n",
-		len(tr.Apps), tr.TotalInvocations(), tr.Duration)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	base := sim.Simulate(tr, policy.FixedKeepAlive{KeepAlive: 10 * time.Minute}, sim.Options{})
-	pols := []policy.Policy{
-		policy.NoUnloading{},
-		policy.FixedKeepAlive{KeepAlive: 10 * time.Minute},
-		policy.FixedKeepAlive{KeepAlive: time.Hour},
-		policy.FixedKeepAlive{KeepAlive: 2 * time.Hour},
-		hybrid(*histRange),
-	}
-	fmt.Printf("%-28s %12s %12s %14s\n", "policy", "coldQ3(%)", "coldMed(%)", "wastedMem(%)")
-	for _, p := range pols {
-		r := sim.Simulate(tr, p, sim.Options{})
-		cps := r.ColdPercents()
-		med := 0.0
-		if len(cps) > 0 {
-			med = stats.Percentile(cps, 50)
-		}
-		fmt.Printf("%-28s %12.2f %12.2f %14.2f\n",
-			r.Policy, metrics.ThirdQuartileColdPercent(r), med,
-			metrics.NormalizedWastedMemory(r, base))
-	}
-}
+	newSource := sourceFactory(*tracePath, *apps, *days, *seed, *shard)
 
-func hybrid(histRange time.Duration) policy.Policy {
-	cfg := policy.DefaultHybridConfig()
-	cfg.Histogram.NumBins = int(histRange / cfg.Histogram.BinWidth)
-	return policy.NewHybrid(cfg)
-}
-
-func loadTrace(path string, apps int, days float64, seed uint64) *trace.Trace {
-	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		tr, err := trace.ReadInvocationsCSV(f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return tr
-	}
-	pop, err := workload.Generate(workload.Config{
-		Seed: seed, NumApps: apps,
-		Duration:     time.Duration(days * 24 * float64(time.Hour)),
-		MaxDailyRate: 2000, MaxEventsPerFunction: 20000,
-	})
-	if err != nil {
+	// One probe pass sizes the trace for the header line.
+	probe := wild.NewWastedMemorySink()
+	src, cleanup := newSource()
+	if _, err := wild.Run(ctx, src, wild.MustFromSpec(baselineSpec), wild.WithSink(probe)); err != nil {
 		log.Fatal(err)
 	}
-	return pop.Trace
+	fmt.Printf("trace: %d apps, %d invocations over %v\n\n",
+		probe.Apps(), probe.TotalInvocations(), src.Horizon())
+	cleanup()
+	wastedBase := probe.TotalWastedSeconds()
+
+	fmt.Printf("%-28s %12s %12s %14s\n", "policy", "coldQ3(%)", "coldMed(%)", "wastedMem(%)")
+	for _, spec := range splitSpecs(*policies) {
+		pol, err := wild.FromSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cold := wild.NewColdStartSink()
+		wasted := wild.NewWastedMemorySink()
+		src, cleanup := newSource()
+		if _, err := wild.Run(ctx, src, pol,
+			wild.WithSink(cold), wild.WithSink(wasted)); err != nil {
+			log.Fatal(err)
+		}
+		cleanup()
+		fmt.Printf("%-28s %12.2f %12.2f %14.2f\n",
+			pol.Name(), cold.ThirdQuartile(), cold.Quantile(50),
+			wasted.NormalizedTo(wastedBase))
+	}
+}
+
+// sourceFactory returns a function producing a fresh source (plus a
+// cleanup) per policy run: a re-opened streaming CSV, or a
+// once-generated in-memory synthetic trace (which Run simulates on
+// the batch fast path).
+func sourceFactory(path string, apps int, days float64, seed uint64, shard string) func() (wild.TraceSource, func()) {
+	var base func() (wild.TraceSource, func())
+	if path != "" {
+		base = func() (wild.TraceSource, func()) {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			src, err := wild.StreamInvocationsCSV(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return src, func() { f.Close() }
+		}
+	} else {
+		pop, err := wild.Generate(wild.WorkloadConfig{
+			Seed: seed, NumApps: apps,
+			Duration:     time.Duration(days * 24 * float64(time.Hour)),
+			MaxDailyRate: 2000, MaxEventsPerFunction: 20000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base = func() (wild.TraceSource, func()) { return wild.SourceFromTrace(pop.Trace), func() {} }
+	}
+	if shard == "" {
+		return base
+	}
+	i, n, err := wild.ParseShard(shard)
+	if err != nil {
+		log.Fatalf("-shard: %v", err)
+	}
+	return func() (wild.TraceSource, func()) {
+		src, cleanup := base()
+		return wild.Shard(src, i, n), cleanup
+	}
+}
+
+func splitSpecs(s string) []string {
+	var specs []string
+	for _, spec := range strings.Split(s, ",") {
+		if spec = strings.TrimSpace(spec); spec != "" {
+			specs = append(specs, spec)
+		}
+	}
+	return specs
 }

@@ -1,18 +1,24 @@
 // Command experiments regenerates every table and figure of the
 // paper's evaluation (Figures 1-8 characterization, Figures 14-19
 // simulation, Figure 20 platform replay) and writes a text report.
+// Ctrl-C cancels the run cleanly (figure sweeps and the scaled-time
+// platform replay both honor the signal).
 //
 // Usage:
 //
 //	experiments -apps 1000 -days 7 -out experiments.txt
 //	experiments -skip-platform          # omit the scaled-time replay
+//	experiments -policies 'hybrid?cv=5,fixed?ka=30m'   # extra sweep
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -31,6 +37,7 @@ func main() {
 		platApps = flag.Int("platform-apps", 68, "apps in the platform replay")
 		platHrs  = flag.Float64("platform-hours", 8, "platform replay window (hours)")
 		scale    = flag.Float64("platform-scale", 1800, "platform clock speedup")
+		policies = flag.String("policies", "", "comma-separated policy specs for an extra sweep (e.g. 'hybrid?cv=5,fixed?ka=30m')")
 	)
 	flag.Parse()
 
@@ -46,9 +53,19 @@ func main() {
 			Seed:   *seed,
 		},
 	}
+	if *policies != "" {
+		for _, spec := range strings.Split(*policies, ",") {
+			if spec = strings.TrimSpace(spec); spec != "" {
+				cfg.PolicySpecs = append(cfg.PolicySpecs, spec)
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	start := time.Now()
-	figs, err := experiments.RunAll(cfg, os.Stderr)
+	figs, err := experiments.RunAll(ctx, cfg, os.Stderr)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	faasd -listen :8080 -policy hybrid
+//	faasd -listen :8080 -policy 'hybrid?range=4h'
+//	faasd -policy 'fixed?ka=20m'
 //	curl -X PUT  localhost:8080/actions/hello -d '{"exec_ms":50,"memory_mb":128}'
 //	curl -X POST localhost:8080/invoke/hello
 //	curl         localhost:8080/stats
@@ -26,27 +27,17 @@ func main() {
 	log.SetPrefix("faasd: ")
 
 	var (
-		listen    = flag.String("listen", ":8080", "HTTP listen address")
-		polName   = flag.String("policy", "hybrid", "keep-alive policy: hybrid | fixed | nounload")
-		keepAlive = flag.Duration("keep-alive", 10*time.Minute, "fixed policy keep-alive")
-		histRange = flag.Duration("range", 4*time.Hour, "hybrid histogram range")
+		listen  = flag.String("listen", ":8080", "HTTP listen address")
+		polSpec = flag.String("policy", "hybrid",
+			fmt.Sprintf("keep-alive policy spec, e.g. 'hybrid?range=4h' or 'fixed?ka=20m' (registered: %v)", policy.SpecNames()))
 		invokers  = flag.Int("invokers", 4, "invoker count")
 		coldStart = flag.Duration("cold-start", 500*time.Millisecond, "simulated container cold start")
 	)
 	flag.Parse()
 
-	var pol policy.Policy
-	switch *polName {
-	case "hybrid":
-		cfg := policy.DefaultHybridConfig()
-		cfg.Histogram.NumBins = int(*histRange / cfg.Histogram.BinWidth)
-		pol = policy.NewHybrid(cfg)
-	case "fixed":
-		pol = policy.FixedKeepAlive{KeepAlive: *keepAlive}
-	case "nounload":
-		pol = policy.NoUnloading{}
-	default:
-		log.Fatalf("unknown policy %q", *polName)
+	pol, err := policy.FromSpec(*polSpec)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	p := platform.NewPlatform(platform.Config{

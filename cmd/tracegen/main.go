@@ -6,9 +6,13 @@
 // Usage:
 //
 //	tracegen -apps 500 -days 7 -seed 42 -out ./trace
+//	tracegen -apps 100000 -shard 2/8 -out ./trace-shard2
 //
 // produces trace/invocations.csv, trace/durations.csv and
-// trace/memory.csv.
+// trace/memory.csv. With -shard i/n only the i-th of n interleaved
+// app shards is written — n invocations of tracegen (same seed)
+// partition one large population across files for multi-process
+// simulation sweeps.
 package main
 
 import (
@@ -34,16 +38,31 @@ func main() {
 		maxRate = flag.Float64("max-rate", 20000, "cap on realized invocations/day per function")
 		maxEvts = flag.Int("max-events", 200000, "cap on events per function")
 		out     = flag.String("out", "trace", "output directory")
+		shard   = flag.String("shard", "", "i/n: write only the i-th of n interleaved app shards")
 	)
 	flag.Parse()
 
-	pop, err := workload.Generate(workload.Config{
+	// The population streams out of the generator source app by app;
+	// only the (possibly sharded) subset being written is retained.
+	src, err := workload.NewSource(workload.Config{
 		Seed:                 *seed,
 		NumApps:              *apps,
 		Duration:             time.Duration(*days * 24 * float64(time.Hour)),
 		MaxDailyRate:         *maxRate,
 		MaxEventsPerFunction: *maxEvts,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var picked trace.Source = src
+	if *shard != "" {
+		i, n, err := trace.ParseShard(*shard)
+		if err != nil {
+			log.Fatalf("-shard: %v", err)
+		}
+		picked = trace.Shard(src, i, n)
+	}
+	tr, err := trace.Collect(picked)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,15 +83,14 @@ func main() {
 		fmt.Printf("wrote %s\n", path)
 	}
 	write("invocations.csv", func(f *os.File) error {
-		return trace.WriteInvocationsCSV(f, pop.Trace)
+		return trace.WriteInvocationsCSV(f, tr)
 	})
 	write("durations.csv", func(f *os.File) error {
-		return trace.WriteDurationsCSV(f, pop.Trace)
+		return trace.WriteDurationsCSV(f, tr)
 	})
 	write("memory.csv", func(f *os.File) error {
-		return trace.WriteMemoryCSV(f, pop.Trace)
+		return trace.WriteMemoryCSV(f, tr)
 	})
 	fmt.Printf("generated %d apps, %d functions, %d invocations over %v\n",
-		len(pop.Trace.Apps), pop.Trace.TotalFunctions(),
-		pop.Trace.TotalInvocations(), pop.Trace.Duration)
+		len(tr.Apps), tr.TotalFunctions(), tr.TotalInvocations(), tr.Duration)
 }

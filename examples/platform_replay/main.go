@@ -5,8 +5,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	wild "repro"
@@ -16,6 +19,9 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	// Replays run in (scaled) real time; Ctrl-C cancels mid-flight.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	pop, err := wild.Generate(wild.WorkloadConfig{
 		Seed:                 11,
@@ -38,7 +44,7 @@ func main() {
 			Clock:       wild.NewScaledClock(3600),
 		}, pol)
 		defer p.Stop()
-		rep, err := wild.Replay(p, sel, wild.ReplayOptions{
+		rep, err := wild.ReplayContext(ctx, p, sel, wild.ReplayOptions{
 			Limit: window, UseExecTime: true, Concurrency: 128,
 		})
 		if err != nil {
@@ -49,8 +55,8 @@ func main() {
 
 	fmt.Printf("replaying %d apps for %v of trace time (3600x real time)...\n\n",
 		len(sel.Apps), window)
-	fixed := run(wild.FixedKeepAlive{KeepAlive: 10 * time.Minute})
-	hybrid := run(wild.NewHybrid(wild.DefaultHybridConfig()))
+	fixed := run(wild.MustFromSpec("fixed?ka=10m"))
+	hybrid := run(wild.MustFromSpec("hybrid"))
 
 	show := func(name string, r *wild.ReplayReport) {
 		var cold, inv int

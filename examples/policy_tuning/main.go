@@ -1,7 +1,8 @@
 // Policy tuning: sweep the hybrid policy's histogram range, cutoff
 // percentiles and CV threshold over one workload, and print the
 // (cold starts, wasted memory) trade-off table — the §5.2 sensitivity
-// studies (Figures 15, 16 and 18) in miniature.
+// studies (Figures 15, 16 and 18) in miniature. Every variant is a
+// registry spec string, so the whole sweep is data, not plumbing.
 package main
 
 import (
@@ -24,37 +25,41 @@ func main() {
 		log.Fatal(err)
 	}
 	tr := pop.Trace
-	base := wild.Simulate(tr, wild.FixedKeepAlive{KeepAlive: 10 * time.Minute})
-	row := func(name string, pol wild.Policy) {
+	base := wild.Simulate(tr, wild.MustFromSpec("fixed?ka=10m"))
+	row := func(spec string) {
+		pol, err := wild.FromSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
 		r := wild.Simulate(tr, pol)
-		fmt.Printf("%-26s  coldQ3=%6.2f%%  wastedMem=%7.2f%%\n",
-			name, wild.ThirdQuartileColdPercent(r), wild.NormalizedWastedMemory(r, base))
+		fmt.Printf("%-34s  coldQ3=%6.2f%%  wastedMem=%7.2f%%\n",
+			spec, wild.ThirdQuartileColdPercent(r), wild.NormalizedWastedMemory(r, base))
 	}
 
-	fmt.Println("— histogram range sweep (Figure 15) —")
-	for _, rng := range []time.Duration{time.Hour, 2 * time.Hour, 4 * time.Hour} {
-		cfg := wild.DefaultHybridConfig()
-		cfg.Histogram.NumBins = int(rng / cfg.Histogram.BinWidth)
-		row(fmt.Sprintf("hybrid range=%v", rng), wild.NewHybrid(cfg))
+	sweeps := []struct {
+		title string
+		specs []string
+	}{
+		{"histogram range sweep (Figure 15)", []string{
+			"hybrid?range=1h", "hybrid?range=2h", "hybrid?range=4h",
+		}},
+		{"cutoff percentile sweep (Figure 16)", []string{
+			"hybrid?head=0&tail=100", "hybrid?head=5&tail=99", "hybrid?head=5&tail=95",
+		}},
+		{"CV threshold sweep (Figure 18)", []string{
+			"hybrid?cv=0", "hybrid?cv=2", "hybrid?cv=10",
+		}},
+		{"fixed keep-alive reference points", []string{
+			"fixed?ka=10m", "fixed?ka=1h", "fixed?ka=2h",
+		}},
 	}
-
-	fmt.Println("\n— cutoff percentile sweep (Figure 16) —")
-	for _, c := range []struct{ head, tail float64 }{{0, 100}, {5, 99}, {5, 95}} {
-		cfg := wild.DefaultHybridConfig()
-		cfg.Histogram.HeadPercentile = c.head
-		cfg.Histogram.TailPercentile = c.tail
-		row(fmt.Sprintf("hybrid cutoffs [%g,%g]", c.head, c.tail), wild.NewHybrid(cfg))
-	}
-
-	fmt.Println("\n— CV threshold sweep (Figure 18) —")
-	for _, cv := range []float64{0, 2, 10} {
-		cfg := wild.DefaultHybridConfig()
-		cfg.CVThreshold = cv
-		row(fmt.Sprintf("hybrid CV threshold=%g", cv), wild.NewHybrid(cfg))
-	}
-
-	fmt.Println("\n— fixed keep-alive reference points —")
-	for _, ka := range []time.Duration{10 * time.Minute, time.Hour, 2 * time.Hour} {
-		row(fmt.Sprintf("fixed keep-alive=%v", ka), wild.FixedKeepAlive{KeepAlive: ka})
+	for i, s := range sweeps {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("— %s —\n", s.title)
+		for _, spec := range s.specs {
+			row(spec)
+		}
 	}
 }

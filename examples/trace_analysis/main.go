@@ -30,7 +30,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		tr, err := trace.ReadInvocationsCSV(f)
+		// Characterization needs the whole population, so the streamed
+		// apps are collected; simulation-only consumers would instead
+		// pass the source straight to wild.Run and stay constant-memory.
+		src, err := trace.StreamInvocationsCSV(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := trace.Collect(src)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)

@@ -21,11 +21,11 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_si
 // raw IEEE-754 bit pattern so the comparison is byte-identical, not
 // merely within a tolerance.
 type goldenApp struct {
-	ID         string `json:"id"`
-	Inv        int    `json:"inv"`
-	Cold       int    `json:"cold"`
-	WastedBits uint64 `json:"wastedBits"`
-	Modes      [5]int `json:"modes"`
+	ID         string               `json:"id"`
+	Inv        int                  `json:"inv"`
+	Cold       int                  `json:"cold"`
+	WastedBits uint64               `json:"wastedBits"`
+	Modes      [policy.NumModes]int `json:"modes"`
 }
 
 type goldenScenario struct {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -256,6 +257,35 @@ func Figure19(tr *trace.Trace, workers int) *Figure {
 	return f
 }
 
+// PolicySweep simulates an arbitrary set of registry policy specs
+// (e.g. "hybrid?cv=5", "fixed?ka=30m") over tr and tabulates their
+// (cold starts, wasted memory) trade-off against the 10-minute fixed
+// baseline — the Figure 15 plane for user-supplied policies.
+func PolicySweep(tr *trace.Trace, specs []string, workers int) (*Figure, error) {
+	f := &Figure{
+		ID: "extra-policy-sweep", Title: "Custom policy sweep (registry specs)",
+		XLabel: "3rd-quartile app cold start (%)", YLabel: "normalized wasted memory (%)",
+	}
+	base := baseline10min(tr, workers)
+	f.Table = [][]string{{"Spec", "Policy", "ColdQ3 (%)", "WastedMem (% of fixed-10m)"}}
+	var pts []stats.Point
+	for _, spec := range specs {
+		pol, err := policy.FromSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		r := sim.Simulate(tr, pol, sim.Options{Workers: workers})
+		q3 := metrics.ThirdQuartileColdPercent(r)
+		wm := metrics.NormalizedWastedMemory(r, base)
+		pts = append(pts, stats.Point{X: q3, Y: wm})
+		f.Table = append(f.Table, []string{
+			spec, r.Policy, fmt.Sprintf("%.2f", q3), fmt.Sprintf("%.2f", wm),
+		})
+	}
+	f.Series = []Series{{Name: "custom policies", Points: pts}}
+	return f, nil
+}
+
 // PlatformConfig parameterizes the Figure 20 platform experiment.
 type PlatformConfig struct {
 	// Apps is the number of mid-popularity apps to replay (paper: 68).
@@ -290,7 +320,8 @@ func (c PlatformConfig) withDefaults() PlatformConfig {
 // policy vs the 10-minute fixed keep-alive on the in-process platform,
 // replaying mid-popularity apps. It reports the cold-start CDFs, the
 // worker-memory reduction, latency improvements and policy overhead.
-func Figure20(tr *trace.Trace, cfg PlatformConfig) (*Figure, error) {
+// The replay runs in scaled real time; ctx cancels it mid-flight.
+func Figure20(ctx context.Context, tr *trace.Trace, cfg PlatformConfig) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	f := &Figure{
 		ID: "figure-20", Title: "Cold start behavior of fixed and hybrid policies on the platform",
@@ -321,7 +352,7 @@ func Figure20(tr *trace.Trace, cfg PlatformConfig) (*Figure, error) {
 			Clock:       platform.NewScaledClock(cfg.Scale),
 		}, pol)
 		defer p.Stop()
-		return replay.Replay(p, sel, replay.Options{
+		return replay.Replay(ctx, p, sel, replay.Options{
 			Limit:       cfg.Window,
 			Concurrency: 256,
 		})

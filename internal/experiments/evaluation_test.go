@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -150,7 +151,7 @@ func TestFigure20PlatformExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := Figure20(pop.Trace, PlatformConfig{
+	f, err := Figure20(context.Background(), pop.Trace, PlatformConfig{
 		Apps: 20, Window: time.Hour, Scale: 3600, Invokers: 4, Seed: 1,
 	})
 	if err != nil {
@@ -166,7 +167,7 @@ func TestRunAllSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full pipeline")
 	}
-	figs, err := RunAll(Config{
+	figs, err := RunAll(context.Background(), Config{
 		Seed: 3, NumApps: 80, Duration: 24 * time.Hour,
 		MaxDailyRate: 500, MaxEventsPerFunction: 2000,
 		SkipPlatform: true,

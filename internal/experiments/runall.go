@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -26,6 +27,10 @@ type Config struct {
 	SkipPlatform bool
 	// Platform configures Figure 20.
 	Platform PlatformConfig
+	// PolicySpecs adds a custom policy sweep (registry specs such as
+	// "hybrid?cv=5" or "fixed?ka=30m") rendered as an extra tradeoff
+	// table after the paper's figures.
+	PolicySpecs []string
 }
 
 func (c Config) withDefaults() Config {
@@ -45,8 +50,10 @@ func (c Config) withDefaults() Config {
 }
 
 // RunAll regenerates every figure. Progress lines go to progress (may
-// be nil).
-func RunAll(cfg Config, progress io.Writer) ([]*Figure, error) {
+// be nil). Cancellation via ctx is honored between figures and inside
+// the platform replay (the longest single step); a canceled run
+// returns ctx.Err() with no figures.
+func RunAll(ctx context.Context, cfg Config, progress io.Writer) ([]*Figure, error) {
 	cfg = cfg.withDefaults()
 	logf := func(format string, args ...any) {
 		if progress != nil {
@@ -69,36 +76,70 @@ func RunAll(cfg Config, progress io.Writer) ([]*Figure, error) {
 		len(pop.Trace.Apps), pop.Trace.TotalFunctions(), pop.Trace.TotalInvocations())
 
 	var figs []*Figure
-	add := func(name string, fn func() *Figure) {
+	add := func(name string, fn func() *Figure) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		start := time.Now()
 		fig := fn()
 		logf("%s done in %v", name, time.Since(start).Round(time.Millisecond))
 		figs = append(figs, fig)
+		return nil
 	}
 
-	add("figure-01", func() *Figure { return Figure1(pop) })
-	add("figure-02", func() *Figure { return Figure2(pop) })
-	add("figure-03", func() *Figure { return Figure3(pop) })
-	add("figure-04", func() *Figure { return Figure4(pop) })
-	add("figure-05", func() *Figure { return Figure5(pop) })
-	add("figure-06", func() *Figure { return Figure6(pop) })
-	add("figure-07", func() *Figure { return Figure7(pop) })
-	add("figure-08", func() *Figure { return Figure8(pop) })
-	add("figure-12", func() *Figure { return Figure12(pop) })
-
+	steps := []struct {
+		name string
+		fn   func() *Figure
+	}{
+		{"figure-01", func() *Figure { return Figure1(pop) }},
+		{"figure-02", func() *Figure { return Figure2(pop) }},
+		{"figure-03", func() *Figure { return Figure3(pop) }},
+		{"figure-04", func() *Figure { return Figure4(pop) }},
+		{"figure-05", func() *Figure { return Figure5(pop) }},
+		{"figure-06", func() *Figure { return Figure6(pop) }},
+		{"figure-07", func() *Figure { return Figure7(pop) }},
+		{"figure-08", func() *Figure { return Figure8(pop) }},
+		{"figure-12", func() *Figure { return Figure12(pop) }},
+	}
 	tr := pop.Trace
-	add("figure-14", func() *Figure { return Figure14(tr, cfg.Workers) })
-	add("figure-15", func() *Figure { return Figure15(tr, cfg.Workers) })
-	add("figure-16", func() *Figure { return Figure16(tr, cfg.Workers) })
-	add("figure-17", func() *Figure { return Figure17(tr, cfg.Workers) })
-	add("figure-18", func() *Figure { return Figure18(tr, cfg.Workers) })
-	add("figure-19", func() *Figure { return Figure19(tr, cfg.Workers) })
-	add("figure-19b", func() *Figure { return ForecasterAblation(tr, cfg.Workers) })
-	add("extra-range-sweep", func() *Figure { return RangeSweep(tr, cfg.Workers) })
+	steps = append(steps, []struct {
+		name string
+		fn   func() *Figure
+	}{
+		{"figure-14", func() *Figure { return Figure14(tr, cfg.Workers) }},
+		{"figure-15", func() *Figure { return Figure15(tr, cfg.Workers) }},
+		{"figure-16", func() *Figure { return Figure16(tr, cfg.Workers) }},
+		{"figure-17", func() *Figure { return Figure17(tr, cfg.Workers) }},
+		{"figure-18", func() *Figure { return Figure18(tr, cfg.Workers) }},
+		{"figure-19", func() *Figure { return Figure19(tr, cfg.Workers) }},
+		{"figure-19b", func() *Figure { return ForecasterAblation(tr, cfg.Workers) }},
+		{"extra-range-sweep", func() *Figure { return RangeSweep(tr, cfg.Workers) }},
+	}...)
+	for _, s := range steps {
+		if err := add(s.name, s.fn); err != nil {
+			return nil, err
+		}
+	}
+
+	if len(cfg.PolicySpecs) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		fig, err := PolicySweep(tr, cfg.PolicySpecs, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: policy sweep: %w", err)
+		}
+		logf("extra-policy-sweep done in %v", time.Since(start).Round(time.Millisecond))
+		figs = append(figs, fig)
+	}
 
 	if !cfg.SkipPlatform {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start := time.Now()
-		fig20, err := Figure20(tr, cfg.Platform)
+		fig20, err := Figure20(ctx, tr, cfg.Platform)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: figure 20: %w", err)
 		}

@@ -58,9 +58,9 @@ func TestNormalizedWastedMemory(t *testing.T) {
 
 func TestTradeoffAndPareto(t *testing.T) {
 	baseline := mkResult("base", 100, 50, 50, 50, 50)
-	r1 := mkResult("good", 80, 10, 10, 10, 10)   // dominates r2
-	r2 := mkResult("bad", 120, 30, 30, 30, 30)   // dominated
-	r3 := mkResult("cheap", 40, 60, 60, 60, 60)  // frontier (cheapest)
+	r1 := mkResult("good", 80, 10, 10, 10, 10)  // dominates r2
+	r2 := mkResult("bad", 120, 30, 30, 30, 30)  // dominated
+	r3 := mkResult("cheap", 40, 60, 60, 60, 60) // frontier (cheapest)
 	pts := Tradeoff([]*sim.Result{r1, r2, r3}, baseline)
 	if len(pts) != 3 {
 		t.Fatalf("pts = %d", len(pts))

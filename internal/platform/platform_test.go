@@ -180,7 +180,7 @@ func TestMemoryAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.cfg.Clock.Sleep(30 * time.Second) // half the keep-alive
-	s := p.ClusterStats()                // settles memory
+	s := p.ClusterStats()               // settles memory
 	// ~30 virtual seconds at 100MB → ~3000 MB·s; generous tolerance for
 	// scheduler jitter at 1000x.
 	if s.MemoryMBSeconds < 1000 || s.MemoryMBSeconds > 12000 {

@@ -35,6 +35,12 @@ const (
 	ModeStandard  // hybrid's conservative fallback
 	ModeHistogram // hybrid's histogram windows
 	ModeARIMA     // hybrid's time-series path
+
+	// NumModes is the number of provenance labels. Attribution arrays
+	// (sim.AppResult.ModeCounts) are sized by it, so a policy mode
+	// added above extends them at compile time instead of silently
+	// corrupting per-mode tallies.
+	NumModes = int(ModeARIMA) + 1
 )
 
 // String returns a short label for the mode.

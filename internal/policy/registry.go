@@ -1,0 +1,279 @@
+package policy
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/forecast"
+)
+
+// The policy registry maps short names to builders so every binary,
+// example and experiment selects and configures policies through one
+// parsed-spec path instead of hand-rolling flag plumbing. A spec is
+//
+//	name?key=value&key=value
+//
+// with URL query syntax, e.g. "fixed?ka=20m", "hybrid?cv=2&range=4h",
+// "hybrid?arima=off". Unknown names and unknown keys are errors (a
+// typo fails fast instead of silently simulating the default).
+
+// SpecParams carries a spec's parsed parameters to a Builder. Typed
+// accessors record which keys were consumed; FromSpec rejects specs
+// with leftover (misspelled) keys afterwards.
+type SpecParams struct {
+	vals url.Values
+	used map[string]bool
+}
+
+// Duration returns the named parameter parsed by time.ParseDuration,
+// or def when absent.
+func (p *SpecParams) Duration(key string, def time.Duration) (time.Duration, error) {
+	s, ok := p.take(key)
+	if !ok {
+		return def, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %w", key, err)
+	}
+	return d, nil
+}
+
+// Float returns the named float parameter, or def when absent.
+func (p *SpecParams) Float(key string, def float64) (float64, error) {
+	s, ok := p.take(key)
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %w", key, err)
+	}
+	return f, nil
+}
+
+// Int returns the named integer parameter, or def when absent.
+func (p *SpecParams) Int(key string, def int) (int, error) {
+	s, ok := p.take(key)
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %w", key, err)
+	}
+	return n, nil
+}
+
+// Bool returns the named boolean parameter (true/false, on/off, 1/0),
+// or def when absent.
+func (p *SpecParams) Bool(key string, def bool) (bool, error) {
+	s, ok := p.take(key)
+	if !ok {
+		return def, nil
+	}
+	switch s {
+	case "true", "on", "1", "yes":
+		return true, nil
+	case "false", "off", "0", "no":
+		return false, nil
+	}
+	return false, fmt.Errorf("parameter %s: invalid boolean %q", key, s)
+}
+
+// String returns the named string parameter, or def when absent.
+func (p *SpecParams) String(key, def string) string {
+	if s, ok := p.take(key); ok {
+		return s
+	}
+	return def
+}
+
+func (p *SpecParams) take(key string) (string, bool) {
+	if !p.vals.Has(key) {
+		return "", false
+	}
+	p.used[key] = true
+	return p.vals.Get(key), true
+}
+
+func (p *SpecParams) unused() []string {
+	var left []string
+	for k := range p.vals {
+		if !p.used[k] {
+			left = append(left, k)
+		}
+	}
+	sort.Strings(left)
+	return left
+}
+
+// Builder constructs a policy from a spec's parameters.
+type Builder func(p *SpecParams) (Policy, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Builder{}
+)
+
+// Register adds a named policy builder. Downstream users extend the
+// spec language with their own policies the same way the built-ins
+// are wired. Registering a duplicate name panics (programming error).
+func Register(name string, b Builder) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("policy: Register(%q) called twice", name))
+	}
+	registry[name] = b
+}
+
+// SpecNames returns the registered policy names, sorted.
+func SpecNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FromSpec parses a policy spec ("hybrid?cv=2&range=4h") and builds
+// the policy through the registry.
+func FromSpec(spec string) (Policy, error) {
+	name, query := spec, ""
+	if i := strings.IndexByte(spec, '?'); i >= 0 {
+		name, query = spec[:i], spec[i+1:]
+	}
+	regMu.RLock()
+	b, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (registered: %v)", name, SpecNames())
+	}
+	vals, err := url.ParseQuery(query)
+	if err != nil {
+		return nil, fmt.Errorf("policy: spec %q: %w", spec, err)
+	}
+	p := &SpecParams{vals: vals, used: map[string]bool{}}
+	pol, err := b(p)
+	if err != nil {
+		return nil, fmt.Errorf("policy: spec %q: %w", spec, err)
+	}
+	if left := p.unused(); len(left) > 0 {
+		return nil, fmt.Errorf("policy: spec %q: unknown parameters %v", spec, left)
+	}
+	return pol, nil
+}
+
+// MustFromSpec is FromSpec panicking on error, for code-supplied specs.
+func MustFromSpec(spec string) Policy {
+	pol, err := FromSpec(spec)
+	if err != nil {
+		panic(err)
+	}
+	return pol
+}
+
+// Built-in policies.
+func init() {
+	Register("fixed", buildFixed)
+	Register("nounload", buildNoUnload)
+	Register("no-unloading", buildNoUnload)
+	Register("hybrid", buildHybrid)
+}
+
+// buildFixed builds the provider baseline: fixed?ka=10m.
+func buildFixed(p *SpecParams) (Policy, error) {
+	ka, err := p.Duration("ka", 10*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	if ka <= 0 {
+		return nil, fmt.Errorf("parameter ka: must be positive, got %v", ka)
+	}
+	return FixedKeepAlive{KeepAlive: ka}, nil
+}
+
+func buildNoUnload(*SpecParams) (Policy, error) { return NoUnloading{}, nil }
+
+// buildHybrid builds the paper's hybrid histogram policy. Keys:
+//
+//	range     histogram range (duration; NumBins = range / binwidth)
+//	binwidth  histogram bin width (duration, default 1m)
+//	bins      histogram bin count (overrides range)
+//	head      pre-warm cutoff percentile
+//	tail      keep-alive cutoff percentile
+//	margin    window widening fraction
+//	cv        representativeness (CV) threshold
+//	oob       out-of-bounds fraction switching to the forecast path
+//	arima     on/off — off disables the time-series path (Figure 19)
+//	arima-margin  forecast error allowance
+//	prewarm   on/off — off is the "no PW, KA:99th" Figure 17 variant
+//	forecaster    arima (default) or ses (exponential smoothing)
+func buildHybrid(p *SpecParams) (Policy, error) {
+	cfg := DefaultHybridConfig()
+	binWidth, err := p.Duration("binwidth", cfg.Histogram.BinWidth)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Histogram.BinWidth = binWidth
+	if histRange, err := p.Duration("range", 0); err != nil {
+		return nil, err
+	} else if histRange > 0 {
+		if binWidth <= 0 {
+			return nil, fmt.Errorf("parameter binwidth: must be positive, got %v", binWidth)
+		}
+		cfg.Histogram.NumBins = int(histRange / binWidth)
+	}
+	if cfg.Histogram.NumBins, err = p.Int("bins", cfg.Histogram.NumBins); err != nil {
+		return nil, err
+	}
+	if cfg.Histogram.HeadPercentile, err = p.Float("head", cfg.Histogram.HeadPercentile); err != nil {
+		return nil, err
+	}
+	if cfg.Histogram.TailPercentile, err = p.Float("tail", cfg.Histogram.TailPercentile); err != nil {
+		return nil, err
+	}
+	if cfg.Histogram.Margin, err = p.Float("margin", cfg.Histogram.Margin); err != nil {
+		return nil, err
+	}
+	if cfg.CVThreshold, err = p.Float("cv", cfg.CVThreshold); err != nil {
+		return nil, err
+	}
+	if cfg.OOBThreshold, err = p.Float("oob", cfg.OOBThreshold); err != nil {
+		return nil, err
+	}
+	if cfg.ARIMAMargin, err = p.Float("arima-margin", cfg.ARIMAMargin); err != nil {
+		return nil, err
+	}
+	arimaOn, err := p.Bool("arima", true)
+	if err != nil {
+		return nil, err
+	}
+	cfg.DisableARIMA = !arimaOn
+	preWarm, err := p.Bool("prewarm", true)
+	if err != nil {
+		return nil, err
+	}
+	cfg.DisablePreWarm = !preWarm
+	switch fc := p.String("forecaster", "arima"); fc {
+	case "arima":
+		// cfg.Forecaster nil selects the paper's default ARIMA search.
+	case "ses":
+		cfg.Forecaster = forecast.ExpSmoothing{}
+	default:
+		return nil, fmt.Errorf("parameter forecaster: unknown %q (arima, ses)", fc)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return NewHybrid(cfg), nil
+}

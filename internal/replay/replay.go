@@ -8,6 +8,7 @@
 package replay
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -55,8 +56,12 @@ type event struct {
 	mem  float64
 }
 
-// Replay fires tr's invocations at p and blocks until all complete.
-func Replay(p *platform.Platform, tr *trace.Trace, opt Options) (*Report, error) {
+// Replay fires tr's invocations at p and blocks until all complete or
+// ctx is canceled. A replay runs in (scaled) real time — hours of
+// trace at low scale factors — so cancellation is checked before every
+// event and interrupts waits on the virtual clock; on cancellation the
+// in-flight invocations are drained and ctx.Err() is returned.
+func Replay(ctx context.Context, p *platform.Platform, tr *trace.Trace, opt Options) (*Report, error) {
 	if opt.Concurrency <= 0 {
 		opt.Concurrency = 64
 	}
@@ -93,7 +98,11 @@ func Replay(p *platform.Platform, tr *trace.Trace, opt Options) (*Report, error)
 		// Wait on the virtual clock until the event is due.
 		due := start.Add(time.Duration(ev.t * float64(time.Second)))
 		if wait := due.Sub(clock.Now()); wait > 0 {
-			clock.Sleep(wait)
+			if err := sleepCtx(ctx, clock, wait); err != nil {
+				break
+			}
+		} else if ctx.Err() != nil {
+			break
 		}
 		sem <- struct{}{}
 		wg.Add(1)
@@ -106,6 +115,9 @@ func Replay(p *platform.Platform, tr *trace.Trace, opt Options) (*Report, error)
 		}(ev)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -127,6 +139,27 @@ func Replay(p *platform.Platform, tr *trace.Trace, opt Options) (*Report, error)
 	}
 	rep.PolicyOverheadMean, _ = p.Controller().PolicyOverhead()
 	return rep, nil
+}
+
+// sleepCtx waits d on the (possibly scaled) clock, returning early
+// with ctx.Err() on cancellation. Clock sleeps don't take a context,
+// so the sleep runs in a goroutine raced against ctx; on cancellation
+// the goroutine is abandoned and expires with its timer.
+func sleepCtx(ctx context.Context, clock platform.Clock, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	go func() {
+		clock.Sleep(d)
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // ColdPercents returns the per-app cold-start percentages of a report.

@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -39,7 +40,7 @@ func smallTrace() *trace.Trace {
 func TestReplayFixedPolicy(t *testing.T) {
 	p := fastPlatform(policy.FixedKeepAlive{KeepAlive: 2 * time.Minute})
 	defer p.Stop()
-	rep, err := Replay(p, smallTrace(), Options{})
+	rep, err := Replay(context.Background(), p, smallTrace(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestReplayFixedPolicy(t *testing.T) {
 func TestReplayLimit(t *testing.T) {
 	p := fastPlatform(policy.FixedKeepAlive{KeepAlive: time.Minute})
 	defer p.Stop()
-	rep, err := Replay(p, smallTrace(), Options{Limit: 90 * time.Second})
+	rep, err := Replay(context.Background(), p, smallTrace(), Options{Limit: 90 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestReplayLimit(t *testing.T) {
 func TestReplayWithExecTime(t *testing.T) {
 	p := fastPlatform(policy.FixedKeepAlive{KeepAlive: 2 * time.Minute})
 	defer p.Stop()
-	rep, err := Replay(p, smallTrace(), Options{UseExecTime: true})
+	rep, err := Replay(context.Background(), p, smallTrace(), Options{UseExecTime: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,13 +114,13 @@ func TestReplayHybridReducesColdStarts(t *testing.T) {
 	}
 
 	pf := fastPlatform(policy.FixedKeepAlive{KeepAlive: time.Minute})
-	fixedRep, err := Replay(pf, tr, Options{})
+	fixedRep, err := Replay(context.Background(), pf, tr, Options{})
 	pf.Stop()
 	if err != nil {
 		t.Fatal(err)
 	}
 	ph := fastPlatform(policy.NewHybrid(policy.DefaultHybridConfig()))
-	hybridRep, err := Replay(ph, tr, Options{})
+	hybridRep, err := Replay(context.Background(), ph, tr, Options{})
 	ph.Stop()
 	if err != nil {
 		t.Fatal(err)
@@ -133,7 +134,7 @@ func TestReplayHybridReducesColdStarts(t *testing.T) {
 func TestReplayAfterStopErrors(t *testing.T) {
 	p := fastPlatform(policy.FixedKeepAlive{KeepAlive: time.Minute})
 	p.Stop()
-	if _, err := Replay(p, smallTrace(), Options{}); err == nil {
+	if _, err := Replay(context.Background(), p, smallTrace(), Options{}); err == nil {
 		t.Fatal("expected error replaying on stopped platform")
 	}
 }
@@ -176,5 +177,42 @@ func TestSelectMidPopularityFewApps(t *testing.T) {
 	sel := SelectMidPopularity(tr, 50, 1)
 	if len(sel.Apps) > 2 {
 		t.Fatalf("selected %d from 2-app trace", len(sel.Apps))
+	}
+}
+
+// TestReplayCancellation proves a replay blocked on the virtual clock
+// returns promptly when its context is canceled — the previously
+// unstoppable long-run case. The platform runs at 1x real time with
+// events minutes apart, so only cancellation can end the replay fast.
+func TestReplayCancellation(t *testing.T) {
+	p := platform.NewPlatform(platform.Config{NumInvokers: 1}, policy.NoUnloading{})
+	defer p.Stop()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Replay(ctx, p, smallTrace(), Options{})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the replay park on the clock
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replay did not return after cancellation")
+	}
+}
+
+// TestReplayPreCanceled pins the immediate-return path.
+func TestReplayPreCanceled(t *testing.T) {
+	p := fastPlatform(policy.NoUnloading{})
+	defer p.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Replay(ctx, p, smallTrace(), Options{}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

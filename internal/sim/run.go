@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"context"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// RunInfo describes the run a sink is attached to.
+type RunInfo struct {
+	// Policy is the policy's report name.
+	Policy string
+	// HorizonSeconds is the trace horizon.
+	HorizonSeconds float64
+}
+
+// ResultSink consumes per-app outcomes as the engine produces them.
+// index is the 0-based position of the app in the source's sequence.
+// Run serializes Consume calls (no locking needed inside sinks), but
+// under parallelism they arrive in nondeterministic index order —
+// order-sensitive aggregates (e.g. float summation) may therefore
+// differ in low bits between runs; index-addressed sinks (Collector)
+// are fully deterministic.
+//
+// Sinks whose aggregates are commutative (totals, histograms) need
+// only Consume; sinks that also want the run's metadata additionally
+// implement RunStarter.
+type ResultSink interface {
+	Consume(index int, r AppResult)
+}
+
+// RunStarter is an optional ResultSink extension: Begin is called once
+// per run, before the first Consume.
+type RunStarter interface {
+	Begin(info RunInfo)
+}
+
+// Collector is the default collecting sink: it materializes the
+// classic *Result (per-app outcomes in source order). Memory grows
+// with the number of apps — for constant-memory streaming runs use
+// the incremental sinks in internal/metrics instead.
+type Collector struct {
+	res Result
+}
+
+// NewCollector returns an empty collecting sink.
+func NewCollector() *Collector { return &Collector{} }
+
+// Begin implements RunStarter.
+func (c *Collector) Begin(info RunInfo) {
+	c.res.Policy = info.Policy
+	c.res.HorizonSeconds = info.HorizonSeconds
+}
+
+// Consume implements ResultSink.
+func (c *Collector) Consume(index int, r AppResult) {
+	for index >= len(c.res.Apps) {
+		c.res.Apps = append(c.res.Apps, AppResult{})
+	}
+	c.res.Apps[index] = r
+}
+
+// Result returns the collected outcomes (source order).
+func (c *Collector) Result() *Result { return &c.res }
+
+// runConfig is the resolved option set of one Run call.
+type runConfig struct {
+	opt   Options
+	sinks []ResultSink
+}
+
+// Option configures Run (functional options over the former
+// sim.Options struct).
+type Option func(*runConfig)
+
+// WithWorkers bounds the number of apps simulated concurrently
+// (default GOMAXPROCS, capped at the number of apps).
+func WithWorkers(n int) Option {
+	return func(c *runConfig) { c.opt.Workers = n }
+}
+
+// WithExecTime makes invocations occupy their function's average
+// execution time instead of 0; idle times then measure from execution
+// end, exactly as the paper defines IT (§3.4).
+func WithExecTime(enabled bool) Option {
+	return func(c *runConfig) { c.opt.UseExecTime = enabled }
+}
+
+// WithSink attaches a ResultSink; may be repeated to fan results out
+// to several sinks. Attaching any sink disables the default collector
+// (Run then returns a nil *Result), keeping streaming runs free of
+// per-app storage.
+func WithSink(s ResultSink) Option {
+	return func(c *runConfig) { c.sinks = append(c.sinks, s) }
+}
+
+// Run simulates pol over the apps yielded by src, streaming each
+// app's outcome to the configured sinks. It is the superset of
+// Simulate: context-cancelable, source-fed, and sink-draining.
+//
+//   - With no WithSink option, a Collector is installed and its
+//     *Result — identical to Simulate's — is returned.
+//   - With explicit sinks, Run returns (nil, nil) on success; the
+//     caller reads aggregates out of its sinks. Nothing per-app is
+//     retained, so a constant-memory source (StreamInvocationsCSV, a
+//     generator) yields a constant-memory run.
+//
+// Sources backed by an in-memory trace (trace.NewTraceSource) are
+// detected and dispatched to the batch work-stealing walk; outcomes
+// are identical either way, app by app.
+func Run(ctx context.Context, src trace.Source, pol policy.Policy, opts ...Option) (*Result, error) {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var collector *Collector
+	if len(cfg.sinks) == 0 {
+		collector = NewCollector()
+		cfg.sinks = []ResultSink{collector}
+	}
+	info := RunInfo{Policy: pol.Name(), HorizonSeconds: src.Horizon().Seconds()}
+	for _, s := range cfg.sinks {
+		if st, ok := s.(RunStarter); ok {
+			st.Begin(info)
+		}
+	}
+
+	// In-memory sources upgrade to the batch work-stealing walk. The
+	// contract: Trace returns the not-yet-yielded remainder and Drain
+	// records that the batch walk consumed it, so a partially-Next'ed
+	// source behaves identically on either path.
+	type batchSource interface {
+		Trace() *trace.Trace
+		Drain()
+	}
+	if ts, ok := src.(batchSource); ok {
+		tr := ts.Trace()
+		ts.Drain()
+		if err := runBatch(ctx, tr, pol, cfg); err != nil {
+			return nil, err
+		}
+	} else if err := runStream(ctx, src, pol, cfg); err != nil {
+		return nil, err
+	}
+	if collector != nil {
+		return collector.Result(), nil
+	}
+	return nil, nil
+}
+
+// runBatch simulates an in-memory trace on the work-stealing fast
+// path, then drains the per-app outcomes to the sinks in app order.
+func runBatch(ctx context.Context, tr *trace.Trace, pol policy.Policy, cfg runConfig) error {
+	res, err := simulateCtx(ctx, tr, pol, cfg.opt)
+	if err != nil {
+		return err
+	}
+	for i, a := range res.Apps {
+		for _, s := range cfg.sinks {
+			s.Consume(i, a)
+		}
+	}
+	return nil
+}
+
+// runStream simulates a one-at-a-time source: a producer goroutine
+// pulls apps, a bounded channel caps the apps in flight at
+// O(workers), and workers push outcomes to the sinks under a mutex.
+func runStream(ctx context.Context, src trace.Source, pol policy.Policy, cfg runConfig) error {
+	workers := cfg.opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	horizon := src.Horizon().Seconds()
+
+	type item struct {
+		idx int
+		app *trace.App
+	}
+	ch := make(chan item, workers)
+	var srcErr error
+	go func() {
+		defer close(ch)
+		for i := 0; ; i++ {
+			app, err := src.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				srcErr = err
+				return
+			}
+			select {
+			case ch <- item{idx: i, app: app}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var mu sync.Mutex // serializes sink access
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ar arena
+			for it := range ch {
+				ap := pol.NewApp(it.app.ID)
+				r := simulateApp(&ar, it.app, ap, horizon, cfg.opt)
+				if rel, ok := ap.(policy.Releasable); ok {
+					rel.Release()
+				}
+				mu.Lock()
+				for _, s := range cfg.sinks {
+					s.Consume(it.idx, r)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return srcErr
+}

@@ -20,6 +20,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -51,7 +52,7 @@ type AppResult struct {
 	WastedSeconds float64
 	// ModeCounts tallies policy decisions by provenance (indexed by
 	// policy.Mode), attributing outcomes to hybrid components.
-	ModeCounts [5]int
+	ModeCounts [policy.NumModes]int
 }
 
 // ColdPercent returns the app's cold-start percentage (0 when the app
@@ -90,8 +91,17 @@ type mergeSrc struct {
 
 // Simulate runs pol over tr and returns per-app outcomes. Apps are
 // independent, so they are simulated in parallel; results preserve
-// tr.Apps order and are deterministic.
+// tr.Apps order and are deterministic. Simulate is the batch
+// entrypoint; Run is the context-cancelable, sink-feeding superset.
 func Simulate(tr *trace.Trace, pol policy.Policy, opt Options) *Result {
+	res, _ := simulateCtx(context.Background(), tr, pol, opt)
+	return res
+}
+
+// simulateCtx is the batch engine: the work-stealing parallel walk
+// over an in-memory trace, checking ctx once per work claim (one app
+// or chunk, never mid-app) so cancellation costs nothing measurable.
+func simulateCtx(ctx context.Context, tr *trace.Trace, pol policy.Policy, opt Options) (*Result, error) {
 	n := len(tr.Apps)
 	workers := opt.Workers
 	if workers <= 0 {
@@ -107,7 +117,7 @@ func Simulate(tr *trace.Trace, pol policy.Policy, opt Options) *Result {
 		Apps:           make([]AppResult, n),
 	}
 	if n == 0 {
-		return res
+		return res, nil
 	}
 
 	// Schedule the largest apps first. App sizes in the dataset are
@@ -142,9 +152,12 @@ func Simulate(tr *trace.Trace, pol policy.Policy, opt Options) *Result {
 	if workers == 1 {
 		var ar arena
 		for _, idx := range order {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			runOne(&ar, idx)
 		}
-		return res
+		return res, nil
 	}
 
 	// Work stealing over an atomic cursor with tapered chunking: the
@@ -160,6 +173,9 @@ func Simulate(tr *trace.Trace, pol policy.Policy, opt Options) *Result {
 			defer wg.Done()
 			var ar arena
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				pos := next.Load()
 				if pos >= int64(n) {
 					return
@@ -183,7 +199,10 @@ func Simulate(tr *trace.Trace, pol policy.Policy, opt Options) *Result {
 		}()
 	}
 	wg.Wait()
-	return res
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // execSecondsInto fills the arena's exec buffer with per-invocation

@@ -94,7 +94,7 @@ type prewarmPolicy struct {
 	pw, ka time.Duration
 }
 
-func (p prewarmPolicy) Name() string                  { return "test-prewarm" }
+func (p prewarmPolicy) Name() string                   { return "test-prewarm" }
 func (p prewarmPolicy) NewApp(string) policy.AppPolicy { return prewarmApp{p.pw, p.ka} }
 
 type prewarmApp struct{ pw, ka time.Duration }

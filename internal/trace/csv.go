@@ -107,12 +107,13 @@ func formatMillis(seconds float64) string {
 func ReadInvocationsCSV(r io.Reader) (*Trace, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading invocations header: %w", err)
 	}
-	if len(header) < 5 || header[0] != "HashOwner" || header[3] != "Trigger" {
-		return nil, fmt.Errorf("trace: unexpected invocations header %v", header[:min(4, len(header))])
+	if err := checkInvocationsHeader(header); err != nil {
+		return nil, err
 	}
 	minutes := len(header) - 4
 
@@ -126,32 +127,13 @@ func ReadInvocationsCSV(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: reading invocations line %d: %w", line, err)
 		}
-		if len(rec) != minutes+4 {
-			return nil, fmt.Errorf("trace: line %d has %d fields, want %d", line, len(rec), minutes+4)
-		}
-		trig, err := ParseTrigger(rec[3])
+		owner, appID, fn, err := parseInvocationRow(rec, minutes, line)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return nil, err
 		}
-		fn := &Function{ID: rec[2], Trigger: trig}
-		for m := 0; m < minutes; m++ {
-			n, err := strconv.Atoi(rec[4+m])
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d minute %d: %w", line, m+1, err)
-			}
-			if n < 0 {
-				return nil, fmt.Errorf("trace: line %d minute %d: negative count", line, m+1)
-			}
-			base := float64(m) * 60
-			for k := 0; k < n; k++ {
-				// Spread n invocations evenly across the minute.
-				fn.Invocations = append(fn.Invocations, base+60*float64(k)/float64(n))
-			}
-		}
-		appID := rec[1]
 		app, ok := apps[appID]
 		if !ok {
-			app = &App{ID: appID, Owner: rec[0]}
+			app = &App{ID: appID, Owner: owner}
 			apps[appID] = app
 			order = append(order, appID)
 		}

@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// syntheticCSVTrace builds a trace of identical-shape apps and its
+// invocations-CSV encoding, for streaming tests that need controlled
+// sizes.
+func syntheticCSVTrace(t *testing.T, apps, minutes, perMinute int) (*Trace, []byte) {
+	t.Helper()
+	tr := &Trace{Duration: time.Duration(minutes) * time.Minute}
+	for i := 0; i < apps; i++ {
+		app := &App{ID: fmt.Sprintf("app%05d", i), Owner: fmt.Sprintf("own%05d", i/3)}
+		for f := 0; f < 2; f++ {
+			fn := &Function{ID: fmt.Sprintf("fn%05d_%d", i, f), Trigger: TriggerHTTP}
+			for m := 0; m < minutes; m++ {
+				base := float64(m) * 60
+				for k := 0; k < perMinute; k++ {
+					fn.Invocations = append(fn.Invocations, base+60*float64(k)/float64(perMinute))
+				}
+			}
+			app.Functions = append(app.Functions, fn)
+		}
+		tr.Apps = append(tr.Apps, app)
+	}
+	var buf bytes.Buffer
+	if err := WriteInvocationsCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr, buf.Bytes()
+}
+
+// TestStreamMatchesBatchReader proves the streaming source and the
+// batch reader decode the same CSV into identical traces.
+func TestStreamMatchesBatchReader(t *testing.T) {
+	_, data := syntheticCSVTrace(t, 17, 12, 3)
+
+	batch, err := ReadInvocationsCSV(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := StreamInvocationsCSV(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if streamed.Duration != batch.Duration {
+		t.Fatalf("duration %v vs %v", streamed.Duration, batch.Duration)
+	}
+	if len(streamed.Apps) != len(batch.Apps) {
+		t.Fatalf("apps %d vs %d", len(streamed.Apps), len(batch.Apps))
+	}
+	for i, want := range batch.Apps {
+		got := streamed.Apps[i]
+		if got.ID != want.ID || got.Owner != want.Owner || len(got.Functions) != len(want.Functions) {
+			t.Fatalf("app %d: %s/%s/%d vs %s/%s/%d", i,
+				got.ID, got.Owner, len(got.Functions), want.ID, want.Owner, len(want.Functions))
+		}
+		for j, wfn := range want.Functions {
+			gfn := got.Functions[j]
+			if gfn.ID != wfn.ID || gfn.Trigger != wfn.Trigger {
+				t.Fatalf("app %s fn %d metadata differs", want.ID, j)
+			}
+			if len(gfn.Invocations) != len(wfn.Invocations) {
+				t.Fatalf("app %s fn %s: %d vs %d invocations",
+					want.ID, wfn.ID, len(gfn.Invocations), len(wfn.Invocations))
+			}
+			for k := range wfn.Invocations {
+				if gfn.Invocations[k] != wfn.Invocations[k] {
+					t.Fatalf("app %s fn %s invocation %d: %v vs %v",
+						want.ID, wfn.ID, k, gfn.Invocations[k], wfn.Invocations[k])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamMalformedRows mirrors the batch reader's error cases plus
+// the streaming-only non-contiguous-app detection.
+func TestStreamMalformedRows(t *testing.T) {
+	const header = "HashOwner,HashApp,HashFunction,Trigger,1\n"
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"empty", ""},
+		{"bad header", "A,B\n"},
+		{"bad trigger", header + "o,a,f,bogus,1\n"},
+		{"bad count", header + "o,a,f,http,x\n"},
+		{"negative count", header + "o,a,f,http,-1\n"},
+		{"short row", header + "o,a,f,http\n"},
+		{"long row", header + "o,a,f,http,1,2\n"},
+		{"split app", header + "o,a,f1,http,1\no,b,f2,http,1\no,a,f3,http,1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src, err := StreamInvocationsCSV(strings.NewReader(c.csv))
+			if err != nil {
+				return // header-level rejection is fine
+			}
+			for {
+				_, err := src.Next()
+				if err == io.EOF {
+					t.Fatalf("case %q: streamed cleanly, want error", c.name)
+				}
+				if err != nil {
+					// Errors are sticky.
+					if _, err2 := src.Next(); err2 != err {
+						t.Fatalf("case %q: error not sticky: %v then %v", c.name, err, err2)
+					}
+					return
+				}
+			}
+		})
+	}
+}
+
+// TestStreamErrorMessagesMatchBatch pins that shared-row parsing gives
+// both readers the same diagnostics.
+func TestStreamErrorMessagesMatchBatch(t *testing.T) {
+	const bad = "HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,1\no,b,g,bogus,2\n"
+	_, batchErr := ReadInvocationsCSV(strings.NewReader(bad))
+	if batchErr == nil {
+		t.Fatal("batch reader accepted bad trigger")
+	}
+	src, err := StreamInvocationsCSV(strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamErr error
+	for streamErr == nil {
+		_, streamErr = src.Next()
+	}
+	if streamErr == io.EOF {
+		t.Fatal("stream reader accepted bad trigger")
+	}
+	if streamErr.Error() != batchErr.Error() {
+		t.Fatalf("diagnostics differ:\n  stream: %v\n  batch:  %v", streamErr, batchErr)
+	}
+}
+
+// drainSource consumes src discarding apps, returning the app count.
+func drainSource(t *testing.T, src Source) int {
+	t.Helper()
+	n := 0
+	for {
+		_, err := src.Next()
+		if err == io.EOF {
+			return n
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+}
+
+// TestStreamConstantMemory is the allocs-per-app regression test for
+// the streaming path: the per-app allocation cost of draining a CSV
+// must not grow with the number of apps in the trace (no hidden
+// accumulation), and the live heap after a streaming drain must stay
+// far below the materialized trace.
+func TestStreamConstantMemory(t *testing.T) {
+	_, small := syntheticCSVTrace(t, 40, 30, 4)
+	_, large := syntheticCSVTrace(t, 160, 30, 4)
+
+	perApp := func(data []byte) float64 {
+		src, err := StreamInvocationsCSV(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		n := drainSource(t, src)
+		runtime.ReadMemStats(&after)
+		return float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+	}
+	// Warm up pools/laziness once before measuring.
+	perApp(small)
+
+	smallPer := perApp(small)
+	largePer := perApp(large)
+	if largePer > 1.5*smallPer {
+		t.Fatalf("allocs/app grew with trace size: %.0f B/app at 40 apps vs %.0f B/app at 160",
+			smallPer, largePer)
+	}
+
+	// Live-heap check: after draining (holding no apps), the retained
+	// memory must be a small fraction of what materializing retains.
+	measureLive := func(f func() any) (retained uint64, keep any) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		keep = f()
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		if after.HeapAlloc < before.HeapAlloc {
+			return 0, keep
+		}
+		return after.HeapAlloc - before.HeapAlloc, keep
+	}
+	streamed, _ := measureLive(func() any {
+		src, err := StreamInvocationsCSV(bytes.NewReader(large))
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainSource(t, src)
+		return src // retain only the source itself
+	})
+	materialized, tr := measureLive(func() any {
+		tr, err := ReadInvocationsCSV(bytes.NewReader(large))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	})
+	_ = tr
+	if materialized == 0 {
+		t.Skip("GC accounting too noisy to compare")
+	}
+	if streamed > materialized/4 {
+		t.Fatalf("streaming retained %d B, materialized %d B — not constant-memory", streamed, materialized)
+	}
+}

@@ -95,12 +95,12 @@ func TestReadInvocationsSpacesWithinMinute(t *testing.T) {
 
 func TestReadInvocationsErrors(t *testing.T) {
 	cases := []string{
-		"",                          // no header
-		"A,B\n",                     // malformed header
-		"HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,bogus,1\n",   // bad trigger
-		"HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,x\n",    // bad count
-		"HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,-1\n",   // negative count
-		"HashOwner,HashApp,HashFunction,Trigger,1,2\no,a,f,http,1\n",  // short row
+		"",      // no header
+		"A,B\n", // malformed header
+		"HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,bogus,1\n",  // bad trigger
+		"HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,x\n",   // bad count
+		"HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,-1\n",  // negative count
+		"HashOwner,HashApp,HashFunction,Trigger,1,2\no,a,f,http,1\n", // short row
 	}
 	for i, data := range cases {
 		if _, err := ReadInvocationsCSV(strings.NewReader(data)); err == nil {

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Source generates a synthetic population lazily, one application per
+// Next call, yielding exactly the app sequence Generate(cfg) would
+// materialize (same seed, same apps, same order) while holding only
+// the app in flight. It feeds simulations of populations far larger
+// than RAM; the per-app generation metadata Population carries is not
+// produced on this path.
+type Source struct {
+	cfg     Config
+	r       *stats.RNG
+	profile *DiurnalProfile
+	horizon float64
+	days    float64
+
+	idx       int
+	fnCounter int
+}
+
+// NewSource validates cfg and returns a lazy generator source.
+func NewSource(cfg Config) (*Source, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	horizon := cfg.Duration.Seconds()
+	return &Source{
+		cfg:     cfg,
+		r:       stats.NewRNG(cfg.Seed),
+		profile: NewDiurnalProfile(),
+		horizon: horizon,
+		days:    horizon / 86400,
+	}, nil
+}
+
+// Horizon implements trace.Source.
+func (s *Source) Horizon() time.Duration { return s.cfg.Duration }
+
+// Next implements trace.Source.
+func (s *Source) Next() (*trace.App, error) {
+	if s.idx >= s.cfg.NumApps {
+		return nil, io.EOF
+	}
+	appRNG := s.r.Split()
+	app, _ := generateApp(appRNG, s.idx, &s.fnCounter, s.cfg, s.profile, s.horizon, s.days)
+	s.idx++
+	return app, nil
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestSourceMatchesGenerate proves the lazy generator source yields
+// exactly the app sequence Generate materializes: same IDs, functions,
+// and bit-identical invocation timestamps.
+func TestSourceMatchesGenerate(t *testing.T) {
+	cfg := Config{
+		Seed: 17, NumApps: 60, Duration: 24 * time.Hour,
+		MaxDailyRate: 500, MaxEventsPerFunction: 2000,
+	}
+	pop, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Horizon() != cfg.Duration {
+		t.Fatalf("horizon %v, want %v", src.Horizon(), cfg.Duration)
+	}
+	for i, want := range pop.Trace.Apps {
+		got, err := src.Next()
+		if err != nil {
+			t.Fatalf("app %d: %v", i, err)
+		}
+		if got.ID != want.ID || got.Owner != want.Owner || got.MemoryMB != want.MemoryMB {
+			t.Fatalf("app %d: %s/%s/%v vs %s/%s/%v", i,
+				got.ID, got.Owner, got.MemoryMB, want.ID, want.Owner, want.MemoryMB)
+		}
+		if len(got.Functions) != len(want.Functions) {
+			t.Fatalf("app %s: %d functions, want %d", want.ID, len(got.Functions), len(want.Functions))
+		}
+		for j, wfn := range want.Functions {
+			gfn := got.Functions[j]
+			if gfn.ID != wfn.ID || gfn.Trigger != wfn.Trigger || gfn.ExecStats != wfn.ExecStats {
+				t.Fatalf("app %s fn %d metadata differs", want.ID, j)
+			}
+			if len(gfn.Invocations) != len(wfn.Invocations) {
+				t.Fatalf("app %s fn %s: %d invocations, want %d",
+					want.ID, wfn.ID, len(gfn.Invocations), len(wfn.Invocations))
+			}
+			for k := range wfn.Invocations {
+				if gfn.Invocations[k] != wfn.Invocations[k] {
+					t.Fatalf("app %s fn %s invocation %d differs", want.ID, wfn.ID, k)
+				}
+			}
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("after drain: %v, want io.EOF", err)
+	}
+}
+
+func TestSourceValidatesConfig(t *testing.T) {
+	if _, err := NewSource(Config{NumApps: -1, Duration: time.Hour}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

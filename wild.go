@@ -2,27 +2,45 @@
 // in the Wild: Characterizing and Optimizing the Serverless Workload
 // at a Large Cloud Provider" (Shahrad et al., USENIX ATC 2020).
 //
-// It re-exports the building blocks a downstream user needs:
+// The surface is organized around three composable abstractions:
 //
-//   - workload generation calibrated to the paper's published
-//     distributions (Figures 1-8), plus readers for the public
-//     AzurePublicDataset CSV traces;
-//   - the keep-alive policies: fixed keep-alive, no-unloading, and the
-//     paper's hybrid histogram policy (range-limited idle-time
-//     histogram + conservative fallback + ARIMA forecasting);
-//   - the cold-start simulator of §5.1 and the metrics of §5.2;
-//   - an in-process OpenWhisk-analogue FaaS platform with a trace
-//     replayer for §5.3-style end-to-end experiments;
-//   - the experiment harness regenerating every evaluation figure.
+//   - TraceSource yields applications one at a time. Sources exist
+//     for in-memory traces (SourceFromTrace), streaming
+//     AzurePublicDataset CSVs that never materialize the trace
+//     (StreamInvocationsCSV), lazy synthetic generation
+//     (GeneratorSource), and interleaved shards for multi-process
+//     scale-out (Shard).
+//   - Run is the simulation engine: context-cancelable, parallel, and
+//     sink-fed. With no sink it returns the classic *SimResult; with
+//     WithSink it streams per-app outcomes into incremental
+//     aggregates (ColdStartSink, WastedMemorySink, or your own
+//     ResultSink) so arbitrarily large traces simulate in constant
+//     memory.
+//   - The policy registry builds policies from compact specs —
+//     FromSpec("hybrid?cv=2&range=4h"), FromSpec("fixed?ka=20m") — so
+//     binaries, experiments and scripts share one configuration path;
+//     Register adds custom policies to the same spec language.
 //
-// Quick start:
+// Quick start (batch):
 //
 //	pop, _ := wild.Generate(wild.WorkloadConfig{Seed: 1, NumApps: 200})
-//	res := wild.Simulate(pop.Trace, wild.NewHybrid(wild.DefaultHybridConfig()))
+//	res := wild.Simulate(pop.Trace, wild.MustFromSpec("hybrid"))
 //	fmt.Println(wild.ThirdQuartileColdPercent(res))
+//
+// Quick start (streaming, constant memory):
+//
+//	src, _ := wild.StreamInvocationsCSV(file)
+//	cold := wild.NewColdStartSink()
+//	_, err := wild.Run(ctx, src, wild.MustFromSpec("hybrid"), wild.WithSink(cold))
+//	fmt.Println(cold.ThirdQuartile())
+//
+// The pre-redesign entry points (Simulate, SimulateOpts, Replay,
+// RunExperiments) remain as thin wrappers and produce byte-identical
+// results.
 package wild
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/experiments"
@@ -47,6 +65,41 @@ type (
 	TriggerType = trace.TriggerType
 )
 
+// Trace sources.
+type (
+	// TraceSource yields a workload's applications one at a time (see
+	// trace.Source). Sources stream: consumers hold only the app in
+	// flight, so traces larger than RAM flow through Run untouched.
+	TraceSource = trace.Source
+)
+
+// SourceFromTrace adapts an in-memory trace. Run detects this source
+// and takes its batch work-stealing fast path.
+func SourceFromTrace(tr *Trace) TraceSource { return trace.NewTraceSource(tr) }
+
+// StreamInvocationsCSV opens an AzurePublicDataset-style invocations
+// table as a constant-memory streaming source: rows parse as they are
+// read, and only one application is held at a time.
+func StreamInvocationsCSV(r io.Reader) (TraceSource, error) {
+	return trace.StreamInvocationsCSV(r)
+}
+
+// Shard restricts src to its i-th of n interleaved shards (apps i,
+// i+n, i+2n, ...). The n shards partition the source exactly, so n
+// processes each running one shard cover a trace with no
+// coordination.
+func Shard(src TraceSource, i, n int) TraceSource { return trace.Shard(src, i, n) }
+
+// ParseShard parses an "i/n" shard designator into Shard arguments.
+func ParseShard(s string) (i, n int, err error) { return trace.ParseShard(s) }
+
+// GeneratorSource lazily generates the synthetic population cfg
+// describes, yielding exactly the apps Generate would materialize.
+func GeneratorSource(cfg WorkloadConfig) (TraceSource, error) { return workload.NewSource(cfg) }
+
+// CollectTrace drains a source into a materialized *Trace.
+func CollectTrace(src TraceSource) (*Trace, error) { return trace.Collect(src) }
+
 // Workload generation.
 type (
 	// WorkloadConfig parameterizes synthetic trace generation.
@@ -60,7 +113,8 @@ type (
 func Generate(cfg WorkloadConfig) (*Population, error) { return workload.Generate(cfg) }
 
 // ReadInvocationsCSV parses an AzurePublicDataset-style invocation
-// table (real sanitized traces drop in here).
+// table into a fully materialized trace (see StreamInvocationsCSV for
+// the constant-memory alternative).
 func ReadInvocationsCSV(r io.Reader) (*Trace, error) { return trace.ReadInvocationsCSV(r) }
 
 // WriteInvocationsCSV writes a trace in the dataset's CSV schema.
@@ -78,6 +132,10 @@ type (
 	FixedKeepAlive = policy.FixedKeepAlive
 	// NoUnloading keeps everything warm forever (cost upper bound).
 	NoUnloading = policy.NoUnloading
+	// PolicyBuilder constructs a policy from parsed spec parameters.
+	PolicyBuilder = policy.Builder
+	// PolicySpecParams carries a spec's parameters to a builder.
+	PolicySpecParams = policy.SpecParams
 )
 
 // DefaultHybridConfig returns the paper's default parameters: 4-hour
@@ -88,15 +146,67 @@ func DefaultHybridConfig() HybridConfig { return policy.DefaultHybridConfig() }
 // NewHybrid constructs the paper's hybrid histogram policy.
 func NewHybrid(cfg HybridConfig) Policy { return policy.NewHybrid(cfg) }
 
+// Policy registry. Specs use URL query syntax after the policy name:
+// "fixed?ka=20m", "hybrid?cv=2&range=4h&arima=off", "nounload".
+
+// Register adds a named policy builder to the spec registry.
+func Register(name string, b PolicyBuilder) { policy.Register(name, b) }
+
+// FromSpec parses a policy spec and builds the policy.
+func FromSpec(spec string) (Policy, error) { return policy.FromSpec(spec) }
+
+// MustFromSpec is FromSpec panicking on error, for code-supplied
+// specs.
+func MustFromSpec(spec string) Policy { return policy.MustFromSpec(spec) }
+
+// PolicySpecs returns the registered policy names, sorted.
+func PolicySpecs() []string { return policy.SpecNames() }
+
 // Simulation.
 type (
-	// SimOptions configures the cold-start simulator.
+	// SimOptions configures the cold-start simulator (batch form).
 	SimOptions = sim.Options
 	// SimResult is a per-app simulation outcome set.
 	SimResult = sim.Result
+	// AppResult is the outcome for one application.
+	AppResult = sim.AppResult
+	// ResultSink consumes per-app outcomes as the engine produces
+	// them (calls serialized by Run).
+	ResultSink = sim.ResultSink
+	// RunInfo describes a run to its sinks.
+	RunInfo = sim.RunInfo
+	// RunOption configures Run.
+	RunOption = sim.Option
+	// Collector is the default collecting sink.
+	Collector = sim.Collector
 )
 
-// Simulate runs pol over tr with default options.
+// Run simulates pol over the apps yielded by src: the
+// context-cancelable, sink-fed superset of Simulate. With no WithSink
+// option it returns the collected *SimResult (identical to
+// Simulate's); with sinks it returns (nil, nil) on success and
+// retains nothing per-app.
+func Run(ctx context.Context, src TraceSource, pol Policy, opts ...RunOption) (*SimResult, error) {
+	return sim.Run(ctx, src, pol, opts...)
+}
+
+// WithWorkers bounds the number of apps simulated concurrently
+// (default GOMAXPROCS).
+func WithWorkers(n int) RunOption { return sim.WithWorkers(n) }
+
+// WithExecTime makes invocations occupy their function's average
+// execution time instead of 0 (§3.4 idle-time semantics).
+func WithExecTime(enabled bool) RunOption { return sim.WithExecTime(enabled) }
+
+// WithSink attaches a ResultSink (repeatable); attaching any sink
+// disables the default collector.
+func WithSink(s ResultSink) RunOption { return sim.WithSink(s) }
+
+// NewCollector returns the default collecting sink, for explicit use
+// alongside other sinks.
+func NewCollector() *Collector { return sim.NewCollector() }
+
+// Simulate runs pol over tr with default options (batch entry point).
 func Simulate(tr *Trace, pol Policy) *SimResult {
 	return sim.Simulate(tr, pol, sim.Options{})
 }
@@ -105,6 +215,23 @@ func Simulate(tr *Trace, pol Policy) *SimResult {
 func SimulateOpts(tr *Trace, pol Policy, opt SimOptions) *SimResult {
 	return sim.Simulate(tr, pol, opt)
 }
+
+// Streaming metrics sinks.
+type (
+	// ColdStartSink incrementally aggregates the per-app cold-start
+	// percentage distribution (quantiles, ECDF) without storing apps.
+	ColdStartSink = metrics.ColdStartSink
+	// WastedMemorySink incrementally totals wasted memory time and
+	// invocation counters.
+	WastedMemorySink = metrics.WastedMemorySink
+)
+
+// NewColdStartSink returns an empty streaming cold-start distribution
+// sink.
+func NewColdStartSink() *ColdStartSink { return metrics.NewColdStartSink() }
+
+// NewWastedMemorySink returns an empty streaming totals sink.
+func NewWastedMemorySink() *WastedMemorySink { return metrics.NewWastedMemorySink() }
 
 // ThirdQuartileColdPercent returns the 75th-percentile per-app cold
 // start percentage, the paper's headline metric.
@@ -139,9 +266,16 @@ func NewPlatform(cfg PlatformConfig, pol Policy) *Platform {
 // replaying hours of trace in seconds.
 func NewScaledClock(scale float64) platform.Clock { return platform.NewScaledClock(scale) }
 
-// Replay fires tr's invocations at p and reports outcomes.
+// ReplayContext fires tr's invocations at p and reports outcomes;
+// cancellation interrupts the (scaled) real-time replay mid-flight.
+func ReplayContext(ctx context.Context, p *Platform, tr *Trace, opt ReplayOptions) (*ReplayReport, error) {
+	return replay.Replay(ctx, p, tr, opt)
+}
+
+// Replay is ReplayContext with a background context (pre-redesign
+// signature).
 func Replay(p *Platform, tr *Trace, opt ReplayOptions) (*ReplayReport, error) {
-	return replay.Replay(p, tr, opt)
+	return replay.Replay(context.Background(), p, tr, opt)
 }
 
 // Experiments.
@@ -152,9 +286,17 @@ type (
 	Figure = experiments.Figure
 )
 
-// RunExperiments regenerates every evaluation figure.
+// RunExperimentsContext regenerates every evaluation figure,
+// honoring cancellation between figures and inside the platform
+// replay.
+func RunExperimentsContext(ctx context.Context, cfg ExperimentConfig, progress io.Writer) ([]*Figure, error) {
+	return experiments.RunAll(ctx, cfg, progress)
+}
+
+// RunExperiments is RunExperimentsContext with a background context
+// (pre-redesign signature).
 func RunExperiments(cfg ExperimentConfig, progress io.Writer) ([]*Figure, error) {
-	return experiments.RunAll(cfg, progress)
+	return experiments.RunAll(context.Background(), cfg, progress)
 }
 
 // RenderFigures writes text renderings of figures to w.

@@ -2,6 +2,7 @@ package wild
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 )
@@ -119,5 +120,66 @@ func TestRunExperimentsFacade(t *testing.T) {
 	RenderFigures(figs, &buf)
 	if buf.Len() == 0 {
 		t.Fatal("empty rendering")
+	}
+}
+
+// TestEndToEndStreamingAPI exercises the redesigned public surface:
+// registry specs, generator sources, shards, and streaming sinks.
+func TestEndToEndStreamingAPI(t *testing.T) {
+	cfg := WorkloadConfig{
+		Seed: 9, NumApps: 40, Duration: 12 * time.Hour,
+		MaxDailyRate: 300, MaxEventsPerFunction: 500,
+	}
+	pop, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := FromSpec("hybrid?range=1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Simulate(pop.Trace, pol)
+
+	// Generator source, no sinks: identical to batch Simulate.
+	src, err := GeneratorSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), src, MustFromSpec("hybrid?range=1h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Apps) != len(want.Apps) {
+		t.Fatalf("apps %d vs %d", len(got.Apps), len(want.Apps))
+	}
+	for i := range want.Apps {
+		if got.Apps[i] != want.Apps[i] {
+			t.Fatalf("app %d differs between generator-source Run and Simulate", i)
+		}
+	}
+
+	// Sharded sinks: totals over all shards must equal the whole.
+	const n = 3
+	var wastedTotal float64
+	var appTotal int64
+	for i := 0; i < n; i++ {
+		wasted := NewWastedMemorySink()
+		shardSrc, err := GeneratorSource(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(context.Background(), Shard(shardSrc, i, n),
+			MustFromSpec("hybrid?range=1h"), WithSink(wasted)); err != nil {
+			t.Fatal(err)
+		}
+		wastedTotal += wasted.TotalWastedSeconds()
+		appTotal += wasted.Apps()
+	}
+	if appTotal != int64(len(want.Apps)) {
+		t.Fatalf("shards covered %d apps, want %d", appTotal, len(want.Apps))
+	}
+	wantWasted := want.TotalWastedSeconds()
+	if diff := wastedTotal - wantWasted; diff > 1e-6*wantWasted || diff < -1e-6*wantWasted {
+		t.Fatalf("sharded wasted %v, whole %v", wastedTotal, wantWasted)
 	}
 }
