@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/arima"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/forecast"
 	"repro/internal/ithist"
@@ -234,6 +235,37 @@ func BenchmarkSimulatorHybrid(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := sim.Simulate(pop.Trace, policy.NewHybrid(policy.DefaultHybridConfig()), sim.Options{})
+		if res.TotalInvocations() == 0 {
+			b.Fatal("empty simulation")
+		}
+	}
+}
+
+// BenchmarkClusterHybrid measures the finite-memory cluster timeline
+// with the hybrid policy under real eviction pressure (8 nodes, 4 GB
+// each): kernel precompute + global event ordering + pressure
+// bookkeeping on top of the batch walk BenchmarkSimulatorHybrid
+// measures.
+func BenchmarkClusterHybrid(b *testing.B) {
+	pop := benchPopulation(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := cluster.Simulate(pop.Trace, policy.NewHybrid(policy.DefaultHybridConfig()),
+			cluster.Config{Nodes: 8, NodeMemMB: 4096})
+		if res.TotalInvocations() == 0 {
+			b.Fatal("empty simulation")
+		}
+	}
+}
+
+// BenchmarkClusterInfinite isolates the timeline's overhead against
+// the batch walk: no pressure, identical results to Simulate.
+func BenchmarkClusterInfinite(b *testing.B) {
+	pop := benchPopulation(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := cluster.Simulate(pop.Trace, policy.NewHybrid(policy.DefaultHybridConfig()),
+			cluster.Config{Nodes: 1})
 		if res.TotalInvocations() == 0 {
 			b.Fatal("empty simulation")
 		}

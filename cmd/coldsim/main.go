@@ -8,12 +8,21 @@
 // an interleaved shard of the apps, the unit of multi-process
 // scale-out.
 //
+// -cluster switches to the finite-memory multi-node engine: the trace
+// is materialized once (the discrete-event timeline needs the whole
+// workload) and each policy runs against nodes with real capacity, so
+// the report adds eviction-induced cold starts and node utilization —
+// the quantities the infinite-memory simulator cannot express.
+//
 // Usage:
 //
 //	coldsim -apps 400 -days 7                  # synthetic trace
 //	coldsim -trace trace/invocations.csv       # real/saved trace
+//	coldsim -trace inv.csv -memory mem.csv     # with per-app memory
 //	coldsim -policies 'fixed?ka=20m,hybrid?range=4h&cv=5'
 //	coldsim -trace big.csv -shard 0/4          # first of 4 shards
+//	coldsim -cluster nodes=8,mem=4096          # finite-memory cluster
+//	coldsim -cluster nodes=8,mem=4096,place=binpack
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,12 +50,15 @@ func main() {
 
 	var (
 		tracePath = flag.String("trace", "", "invocations CSV to replay (empty = synthesize)")
+		memPath   = flag.String("memory", "", "memory CSV for per-app MB (cluster runs; apps not covered take the paper's 170 MB median)")
 		apps      = flag.Int("apps", 400, "apps to synthesize when -trace is empty")
 		days      = flag.Float64("days", 7, "days to synthesize when -trace is empty")
 		seed      = flag.Uint64("seed", 42, "random seed for synthesis")
 		policies  = flag.String("policies", defaultPolicies,
 			fmt.Sprintf("comma-separated policy specs (registered: %v)", wild.PolicySpecs()))
-		shard = flag.String("shard", "", "i/n: simulate only the i-th of n interleaved app shards")
+		shard       = flag.String("shard", "", "i/n: simulate only the i-th of n interleaved app shards")
+		clusterFlag = flag.String("cluster", "",
+			fmt.Sprintf("nodes=N,mem=MB[,place=NAME]: simulate a finite-memory cluster (placements: %v)", wild.PlacementNames()))
 	)
 	flag.Parse()
 
@@ -53,6 +66,18 @@ func main() {
 	defer stop()
 
 	newSource := sourceFactory(*tracePath, *apps, *days, *seed, *shard)
+
+	if *clusterFlag != "" {
+		cfg, err := parseClusterFlag(*clusterFlag)
+		if err != nil {
+			log.Fatalf("-cluster: %v", err)
+		}
+		runCluster(ctx, newSource, cfg, *tracePath, *memPath, *policies)
+		return
+	}
+	if *memPath != "" {
+		log.Printf("warning: -memory is only used by -cluster runs; ignoring %s", *memPath)
+	}
 
 	// One probe pass sizes the trace for the header line.
 	probe := wild.NewWastedMemorySink()
@@ -83,6 +108,116 @@ func main() {
 			pol.Name(), cold.ThirdQuartile(), cold.Quantile(50),
 			wasted.NormalizedTo(wastedBase))
 	}
+}
+
+// runCluster materializes the trace once, applies the memory table,
+// and runs every policy spec through the finite-memory engine.
+func runCluster(ctx context.Context, newSource func() (wild.TraceSource, func()), cfg wild.ClusterConfig, tracePath, memPath, policies string) {
+	src, cleanup := newSource()
+	tr, err := wild.CollectTrace(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cleanup()
+
+	if memPath != "" {
+		f, err := os.Open(memPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defaulted, err := wild.ApplyMemoryCSVDefault(f, tr, 0)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if defaulted > 0 {
+			log.Printf("warning: %d of %d apps missing from %s; charged the %d MB default (they would otherwise be invisible to capacity accounting)",
+				defaulted, len(tr.Apps), memPath, int(wild.DefaultAppMemoryMB))
+		}
+	} else if tracePath != "" {
+		// CSV invocation tables carry no memory column at all.
+		log.Printf("warning: no -memory table; every app charged the %d MB default", int(wild.DefaultAppMemoryMB))
+	}
+
+	memLabel := "inf"
+	if cfg.NodeMemMB > 0 {
+		memLabel = fmt.Sprintf("%g MB", cfg.NodeMemMB)
+	}
+	fmt.Printf("trace: %d apps, %d invocations over %v\n", len(tr.Apps), tr.TotalInvocations(), src.Horizon())
+	fmt.Printf("cluster: %d nodes x %s, placement %s\n\n", cfg.Nodes, memLabel, cfg.Placement.Name())
+
+	// Baseline for the wasted-memory normalization, on the same
+	// cluster (ctx-aware like every other run, so Ctrl-C interrupts
+	// it too).
+	base, err := wild.RunCluster(ctx, wild.SourceFromTrace(tr), wild.MustFromSpec(baselineSpec), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wastedBase := base.TotalWastedSeconds()
+
+	fmt.Printf("%-28s %12s %12s %14s %12s %10s %9s\n",
+		"policy", "coldQ3(%)", "coldMed(%)", "wastedMem(%)", "evictCold(%)", "evictions", "util(%)")
+	for _, spec := range splitSpecs(policies) {
+		pol, err := wild.FromSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cold := wild.NewColdStartSink()
+		wasted := wild.NewWastedMemorySink()
+		attr := wild.NewClusterAttributionSink()
+		res, err := wild.RunCluster(ctx, wild.SourceFromTrace(tr), pol, cfg,
+			wild.WithClusterResultSink(cold), wild.WithClusterResultSink(wasted),
+			wild.WithClusterSink(attr))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %12.2f %12.2f %14.2f %12.2f %10d %9.1f\n",
+			pol.Name(), cold.ThirdQuartile(), cold.Quantile(50),
+			wasted.NormalizedTo(wastedBase),
+			attr.EvictionColdPercent(), attr.Evictions(),
+			wild.MeanClusterUtilizationPct(res))
+	}
+}
+
+// parseClusterFlag parses "nodes=8,mem=4096,place=hash" into a
+// cluster configuration.
+func parseClusterFlag(s string) (wild.ClusterConfig, error) {
+	cfg := wild.ClusterConfig{Nodes: 1}
+	place := "hash"
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cfg, fmt.Errorf("want key=value, got %q", kv)
+		}
+		switch key {
+		case "nodes":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return cfg, fmt.Errorf("nodes: invalid %q", val)
+			}
+			cfg.Nodes = n
+		case "mem":
+			mb, err := strconv.ParseFloat(val, 64)
+			if err != nil || mb < 0 {
+				return cfg, fmt.Errorf("mem: invalid %q (MB per node, 0 = infinite)", val)
+			}
+			cfg.NodeMemMB = mb
+		case "place":
+			place = val
+		default:
+			return cfg, fmt.Errorf("unknown key %q (nodes, mem, place)", key)
+		}
+	}
+	p, err := wild.NewPlacement(place)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Placement = p
+	return cfg, nil
 }
 
 // sourceFactory returns a function producing a fresh source (plus a

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Placement decides which node hosts an application. The engine calls
+// Place once per app, at the app's first container load; the choice is
+// sticky for the rest of the run (container images and data locality
+// make per-load migration unrealistic, and a sticky choice keeps runs
+// deterministic).
+type Placement interface {
+	// Name returns a short identifier used in reports.
+	Name() string
+	// Place returns the node index in [0, view.NumNodes()) for app.
+	Place(app Footprint, view View) int
+}
+
+// Footprint is the placement-relevant summary of one application.
+type Footprint struct {
+	ID string
+	// MemMB is the effective memory charge (after the default for apps
+	// with no memory row).
+	MemMB float64
+	// Invocations is the app's total invocation count.
+	Invocations int
+}
+
+// View exposes the cluster state a placement decision may consult.
+type View interface {
+	// NumNodes returns the node count.
+	NumNodes() int
+	// CapacityMB returns the per-node memory capacity (+Inf when the
+	// cluster is infinite).
+	CapacityMB() float64
+	// ResidentMB returns the memory currently resident on a node.
+	ResidentMB(node int) float64
+}
+
+// TracePreparer is an optional Placement extension for offline
+// policies that assign from the full application set before the run
+// (e.g. bin packing). Prepare is called once, before any Place, with
+// every app of the trace in trace order.
+type TracePreparer interface {
+	Prepare(apps []Footprint, nodes int, capacityMB float64)
+}
+
+// HashPlacement spreads apps by a stable hash of their ID: stateless,
+// coordination-free, and what a consistent-hashing front end degrades
+// to. It ignores load, so skewed app sizes skew nodes.
+type HashPlacement struct{}
+
+// Name implements Placement.
+func (HashPlacement) Name() string { return "hash" }
+
+// Place implements Placement.
+func (HashPlacement) Place(app Footprint, view View) int {
+	h := fnv.New64a()
+	h.Write([]byte(app.ID))
+	return int(h.Sum64() % uint64(view.NumNodes()))
+}
+
+// LeastLoadedPlacement puts each app, at its first load, on the node
+// with the least resident memory at that instant (ties to the lowest
+// index) — the greedy online policy of most schedulers.
+type LeastLoadedPlacement struct{}
+
+// Name implements Placement.
+func (LeastLoadedPlacement) Name() string { return "least-loaded" }
+
+// Place implements Placement.
+func (LeastLoadedPlacement) Place(app Footprint, view View) int {
+	best, bestMB := 0, view.ResidentMB(0)
+	for n := 1; n < view.NumNodes(); n++ {
+		if mb := view.ResidentMB(n); mb < bestMB {
+			best, bestMB = n, mb
+		}
+	}
+	return best
+}
+
+// BinPackPlacement assigns offline by first-fit decreasing: apps
+// sorted by memory footprint (largest first) are packed onto the
+// first node whose static assignment still fits the capacity; when
+// nothing fits, the least-assigned node takes the overflow. It needs
+// the whole trace up front (TracePreparer) and models a planner with
+// global knowledge — the strongest static baseline against the online
+// policies.
+type BinPackPlacement struct {
+	assign map[string]int
+}
+
+// Name implements Placement.
+func (*BinPackPlacement) Name() string { return "binpack" }
+
+// Prepare implements TracePreparer.
+func (p *BinPackPlacement) Prepare(apps []Footprint, nodes int, capacityMB float64) {
+	order := make([]int, len(apps))
+	for i := range order {
+		order[i] = i
+	}
+	// Largest-first; ties keep trace order for determinism.
+	sort.SliceStable(order, func(a, b int) bool {
+		return apps[order[a]].MemMB > apps[order[b]].MemMB
+	})
+	assigned := make([]float64, nodes)
+	p.assign = make(map[string]int, len(apps))
+	for _, i := range order {
+		app := apps[i]
+		node := -1
+		for n := 0; n < nodes; n++ {
+			if assigned[n]+app.MemMB <= capacityMB {
+				node = n
+				break
+			}
+		}
+		if node < 0 {
+			// Nothing fits statically: spill to the least-assigned node
+			// and let runtime eviction arbitrate.
+			node = 0
+			for n := 1; n < nodes; n++ {
+				if assigned[n] < assigned[node] {
+					node = n
+				}
+			}
+		}
+		assigned[node] += app.MemMB
+		p.assign[app.ID] = node
+	}
+}
+
+// Place implements Placement.
+func (p *BinPackPlacement) Place(app Footprint, view View) int {
+	if node, ok := p.assign[app.ID]; ok {
+		return node
+	}
+	// Unknown app (not in the prepared trace): fall back to hashing.
+	return HashPlacement{}.Place(app, view)
+}
+
+// The placement registry mirrors the policy registry: short names so
+// binaries and examples configure placements through one path.
+
+var (
+	placementMu  sync.RWMutex
+	placementReg = map[string]func() Placement{}
+)
+
+// RegisterPlacement adds a named placement constructor. Registering a
+// duplicate name panics (programming error).
+func RegisterPlacement(name string, ctor func() Placement) {
+	placementMu.Lock()
+	defer placementMu.Unlock()
+	if _, dup := placementReg[name]; dup {
+		panic(fmt.Sprintf("cluster: RegisterPlacement(%q) called twice", name))
+	}
+	placementReg[name] = ctor
+}
+
+// NewPlacement builds a registered placement by name.
+func NewPlacement(name string) (Placement, error) {
+	placementMu.RLock()
+	ctor, ok := placementReg[name]
+	placementMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown placement %q (registered: %v)", name, PlacementNames())
+	}
+	return ctor(), nil
+}
+
+// PlacementNames returns the registered placement names, sorted.
+func PlacementNames() []string {
+	placementMu.RLock()
+	defer placementMu.RUnlock()
+	names := make([]string, 0, len(placementReg))
+	for n := range placementReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterPlacement("hash", func() Placement { return HashPlacement{} })
+	RegisterPlacement("least-loaded", func() Placement { return LeastLoadedPlacement{} })
+	RegisterPlacement("binpack", func() Placement { return &BinPackPlacement{} })
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// fakeView is a placement test double.
+type fakeView struct {
+	cap float64
+	mbs []float64
+}
+
+func (v fakeView) NumNodes() int               { return len(v.mbs) }
+func (v fakeView) CapacityMB() float64         { return v.cap }
+func (v fakeView) ResidentMB(node int) float64 { return v.mbs[node] }
+
+func TestHashPlacementDeterministicAndSpread(t *testing.T) {
+	view := fakeView{cap: 1024, mbs: make([]float64, 8)}
+	counts := make([]int, 8)
+	for i := 0; i < 400; i++ {
+		app := Footprint{ID: fmt.Sprintf("app-%d", i)}
+		n := HashPlacement{}.Place(app, view)
+		if n2 := (HashPlacement{}).Place(app, view); n2 != n {
+			t.Fatalf("hash placement not deterministic for %s: %d then %d", app.ID, n, n2)
+		}
+		counts[n]++
+	}
+	for n, c := range counts {
+		if c == 0 {
+			t.Errorf("node %d received no apps from 400 hashed placements", n)
+		}
+	}
+}
+
+func TestLeastLoadedPlacement(t *testing.T) {
+	view := fakeView{cap: 1024, mbs: []float64{300, 100, 100, 500}}
+	// Ties resolve to the lowest index.
+	if n := (LeastLoadedPlacement{}).Place(Footprint{ID: "x"}, view); n != 1 {
+		t.Fatalf("placed on node %d, want 1 (least loaded, lowest index)", n)
+	}
+}
+
+func TestBinPackLargestFirst(t *testing.T) {
+	var p BinPackPlacement
+	apps := []Footprint{
+		{ID: "small-1", MemMB: 100},
+		{ID: "big", MemMB: 900},
+		{ID: "mid", MemMB: 600},
+		{ID: "small-2", MemMB: 100},
+	}
+	p.Prepare(apps, 2, 1000)
+	view := fakeView{cap: 1000, mbs: make([]float64, 2)}
+	// Largest-first: big(900)→node0, mid(600)→node1 (doesn't fit with
+	// big), small-1(100)→node0 (fits: 900+100), small-2(100)→node1.
+	want := map[string]int{"big": 0, "mid": 1, "small-1": 0, "small-2": 1}
+	for id, wantNode := range want {
+		if n := p.Place(Footprint{ID: id}, view); n != wantNode {
+			t.Errorf("%s placed on node %d, want %d", id, n, wantNode)
+		}
+	}
+	// Unknown apps fall back to hashing, in range.
+	if n := p.Place(Footprint{ID: "unknown"}, view); n < 0 || n > 1 {
+		t.Errorf("unknown app placed out of range: %d", n)
+	}
+}
+
+func TestBinPackSpillsToLeastAssigned(t *testing.T) {
+	var p BinPackPlacement
+	apps := []Footprint{
+		{ID: "a", MemMB: 800},
+		{ID: "b", MemMB: 800},
+		{ID: "c", MemMB: 800},
+	}
+	p.Prepare(apps, 2, 1000)
+	view := fakeView{cap: 1000, mbs: make([]float64, 2)}
+	na, nb := p.Place(Footprint{ID: "a"}, view), p.Place(Footprint{ID: "b"}, view)
+	if na == nb {
+		t.Fatalf("a and b share node %d; first-fit should separate them", na)
+	}
+	// c fits nowhere statically; it spills to some node (deterministic).
+	if n := p.Place(Footprint{ID: "c"}, view); n != p.Place(Footprint{ID: "c"}, view) {
+		t.Fatal("spill placement not deterministic")
+	}
+}
+
+// TestPlacementRegistry exercises the spec path used by coldsim.
+func TestPlacementRegistry(t *testing.T) {
+	names := PlacementNames()
+	want := []string{"binpack", "hash", "least-loaded"}
+	if len(names) != len(want) {
+		t.Fatalf("registered %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registered %v, want %v", names, want)
+		}
+	}
+	for _, n := range want {
+		p, err := NewPlacement(n)
+		if err != nil {
+			t.Fatalf("NewPlacement(%s): %v", n, err)
+		}
+		if p.Name() != n {
+			t.Errorf("placement %q reports name %q", n, p.Name())
+		}
+	}
+	if _, err := NewPlacement("nope"); err == nil {
+		t.Fatal("unknown placement accepted")
+	}
+}
+
+// TestPlacementSticky: an app keeps its node across evictions and
+// reloads (least-loaded would otherwise migrate on every cold start).
+func TestPlacementSticky(t *testing.T) {
+	appA := &trace.App{ID: "a", MemoryMB: 150, Functions: []*trace.Function{
+		{ID: "fa", Invocations: []float64{0, 200, 400, 600, 800}},
+	}}
+	appB := &trace.App{ID: "b", MemoryMB: 150, Functions: []*trace.Function{
+		{ID: "fb", Invocations: []float64{100, 300, 500, 700}},
+	}}
+	tr := &trace.Trace{Duration: 1000 * time.Second, Apps: []*trace.App{appA, appB}}
+	res := Simulate(tr, policy.FixedKeepAlive{KeepAlive: 600 * time.Second},
+		Config{Nodes: 1, NodeMemMB: 200, Placement: LeastLoadedPlacement{}})
+	for _, a := range res.Apps {
+		if a.Node != 0 {
+			t.Errorf("app %s on node %d, want 0", a.AppID, a.Node)
+		}
+	}
+	if res.Apps[0].Evictions == 0 {
+		t.Fatal("expected ping-pong evictions")
+	}
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// Cluster sinks and summaries: the finite-memory engine's outcomes
+// separated into the quantities the infinite-memory evaluation cannot
+// express — cold starts the policy caused vs cold starts capacity
+// caused, and how full each node actually ran.
+
+// ClusterAttributionSink incrementally splits cold starts by cause as
+// cluster app outcomes stream past: eviction-induced (an
+// infinite-memory run would have served the arrival warm) vs
+// policy-induced (the keep-alive window genuinely missed). It
+// implements cluster.Sink and plugs into cluster.Run via
+// cluster.WithClusterSink.
+type ClusterAttributionSink struct {
+	apps          int64
+	invocations   int64
+	coldStarts    int64
+	evictionColds int64
+	evictions     int64
+}
+
+// NewClusterAttributionSink returns an empty attribution sink.
+func NewClusterAttributionSink() *ClusterAttributionSink { return &ClusterAttributionSink{} }
+
+// Consume implements cluster.Sink.
+func (s *ClusterAttributionSink) Consume(_ int, r cluster.AppResult) {
+	s.apps++
+	s.invocations += int64(r.Invocations)
+	s.coldStarts += int64(r.ColdStarts)
+	s.evictionColds += int64(r.EvictionColdStarts)
+	s.evictions += int64(r.Evictions)
+}
+
+// Apps returns the number of apps consumed.
+func (s *ClusterAttributionSink) Apps() int64 { return s.apps }
+
+// TotalInvocations returns the accumulated invocation count.
+func (s *ClusterAttributionSink) TotalInvocations() int64 { return s.invocations }
+
+// TotalColdStarts returns all cold starts.
+func (s *ClusterAttributionSink) TotalColdStarts() int64 { return s.coldStarts }
+
+// EvictionColdStarts returns the capacity-attributed cold starts.
+func (s *ClusterAttributionSink) EvictionColdStarts() int64 { return s.evictionColds }
+
+// PolicyColdStarts returns the cold starts the policy itself caused —
+// exactly the count the infinite-memory simulator reports.
+func (s *ClusterAttributionSink) PolicyColdStarts() int64 { return s.coldStarts - s.evictionColds }
+
+// Evictions returns the container evictions observed.
+func (s *ClusterAttributionSink) Evictions() int64 { return s.evictions }
+
+// EvictionColdPercent returns eviction-induced cold starts as a
+// percentage of all invocations.
+func (s *ClusterAttributionSink) EvictionColdPercent() float64 {
+	if s.invocations == 0 {
+		return 0
+	}
+	return 100 * float64(s.evictionColds) / float64(s.invocations)
+}
+
+// Merge folds other's counters into s (shard/run aggregation; all
+// counters are integers, so merging is exact).
+func (s *ClusterAttributionSink) Merge(other *ClusterAttributionSink) {
+	s.apps += other.apps
+	s.invocations += other.invocations
+	s.coldStarts += other.coldStarts
+	s.evictionColds += other.evictionColds
+	s.evictions += other.evictions
+}
+
+// String renders the attribution for reports.
+func (s *ClusterAttributionSink) String() string {
+	return fmt.Sprintf("cold=%d (policy=%d, eviction=%d) evictions=%d",
+		s.coldStarts, s.PolicyColdStarts(), s.evictionColds, s.evictions)
+}
+
+// NodeUtilization summarizes one node's memory utilization over a
+// cluster run.
+type NodeUtilization struct {
+	Node int
+	// MeanMB is the time-averaged resident memory.
+	MeanMB float64
+	// PeakMB is the high-water resident memory.
+	PeakMB float64
+	// MeanPct and PeakPct are the same against the node capacity
+	// (zero when the cluster is infinite).
+	MeanPct, PeakPct float64
+	// Evictions and FailedLoads echo the node's pressure activity.
+	Evictions, FailedLoads int
+}
+
+// ClusterUtilization derives per-node utilization summaries from a
+// cluster result; the full per-minute series stays available on
+// Result.NodeStats[i].UtilSeries.
+func ClusterUtilization(r *cluster.Result) []NodeUtilization {
+	out := make([]NodeUtilization, len(r.NodeStats))
+	for i, ns := range r.NodeStats {
+		u := NodeUtilization{
+			Node:        i,
+			PeakMB:      ns.PeakResidentMB,
+			Evictions:   ns.Evictions,
+			FailedLoads: ns.FailedLoads,
+		}
+		if r.HorizonSeconds > 0 {
+			u.MeanMB = ns.ResidentMBSeconds / r.HorizonSeconds
+		}
+		if r.NodeMemMB > 0 {
+			u.MeanPct = 100 * u.MeanMB / r.NodeMemMB
+			u.PeakPct = 100 * u.PeakMB / r.NodeMemMB
+		}
+		out[i] = u
+	}
+	return out
+}
+
+// MeanClusterUtilizationPct averages the per-node mean utilization
+// percentage (zero when the cluster is infinite).
+func MeanClusterUtilizationPct(r *cluster.Result) float64 {
+	if r.NodeMemMB <= 0 || len(r.NodeStats) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ns := range r.NodeStats {
+		sum += ns.ResidentMBSeconds
+	}
+	denom := r.HorizonSeconds * r.NodeMemMB * float64(len(r.NodeStats))
+	if denom == 0 {
+		return 0
+	}
+	return 100 * sum / denom
+}
+
+// PeakUtilizationMinute returns the minute index and mean resident MB
+// of the busiest minute across all nodes (-1 when there is no data) —
+// a quick read on when the cluster was tightest.
+func PeakUtilizationMinute(r *cluster.Result) (minute int, mb float64) {
+	minute, mb = -1, math.Inf(-1)
+	for _, ns := range r.NodeStats {
+		for m, v := range ns.UtilSeries {
+			if v > mb {
+				minute, mb = m, v
+			}
+		}
+	}
+	if minute < 0 {
+		return -1, 0
+	}
+	return minute, mb
+}

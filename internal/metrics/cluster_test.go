@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// TestNormalizedWastedMemoryMatchesSinkPath pins the satellite
+// unification: the batch facade is implemented on the streaming
+// sink's arithmetic and must match the direct formula bit for bit
+// (identical summation order).
+func TestNormalizedWastedMemoryMatchesSinkPath(t *testing.T) {
+	apps := fakeResults(300)
+	base := fakeResults(300)
+	r, b := batchResult(apps), batchResult(base)
+
+	got := NormalizedWastedMemory(r, b)
+	want := 100 * r.TotalWastedSeconds() / b.TotalWastedSeconds()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("batch facade %v, direct formula %v (bits differ)", got, want)
+	}
+
+	// And against the explicitly streamed sink.
+	sink := NewWastedMemorySink()
+	for i, a := range apps {
+		sink.Consume(i, a)
+	}
+	if math.Float64bits(got) != math.Float64bits(sink.NormalizedTo(b.TotalWastedSeconds())) {
+		t.Errorf("facade and sink disagree")
+	}
+
+	// Zero baseline degrades to 0 on both paths.
+	empty := batchResult(nil)
+	if NormalizedWastedMemory(r, empty) != 0 {
+		t.Errorf("zero baseline must normalize to 0")
+	}
+}
+
+func TestSinkMerge(t *testing.T) {
+	apps := fakeResults(400)
+	whole := NewColdStartSink()
+	wholeW := NewWastedMemorySink()
+	merged := NewColdStartSink()
+	mergedW := NewWastedMemorySink()
+	shards := []*ColdStartSink{NewColdStartSink(), NewColdStartSink(), NewColdStartSink()}
+	shardWs := []*WastedMemorySink{NewWastedMemorySink(), NewWastedMemorySink(), NewWastedMemorySink()}
+	for i, a := range apps {
+		whole.Consume(i, a)
+		wholeW.Consume(i, a)
+		shards[i%3].Consume(i, a)
+		shardWs[i%3].Consume(i, a)
+	}
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	for _, s := range shardWs {
+		mergedW.Merge(s)
+	}
+	if merged.AppCount() != whole.AppCount() {
+		t.Fatalf("merged apps %d, whole %d", merged.AppCount(), whole.AppCount())
+	}
+	// The distribution bins are integers: quantiles must agree exactly.
+	for _, p := range []float64{0, 25, 50, 75, 99, 100} {
+		if g, w := merged.Quantile(p), whole.Quantile(p); g != w {
+			t.Errorf("Quantile(%g): merged %v, whole %v", p, g, w)
+		}
+	}
+	if mergedW.TotalInvocations() != wholeW.TotalInvocations() ||
+		mergedW.TotalColdStarts() != wholeW.TotalColdStarts() ||
+		mergedW.Apps() != wholeW.Apps() {
+		t.Errorf("merged counters diverge from whole")
+	}
+	if g, w := mergedW.TotalWastedSeconds(), wholeW.TotalWastedSeconds(); math.Abs(g-w) > 1e-9*math.Abs(w) {
+		t.Errorf("merged waste %v, whole %v", g, w)
+	}
+}
+
+func clusterFixture() *cluster.Result {
+	appA := &trace.App{ID: "a", MemoryMB: 150, Functions: []*trace.Function{
+		{ID: "fa", Invocations: []float64{0, 200, 400}},
+	}}
+	appB := &trace.App{ID: "b", MemoryMB: 150, Functions: []*trace.Function{
+		{ID: "fb", Invocations: []float64{100, 300}},
+	}}
+	tr := &trace.Trace{Duration: 1000 * time.Second, Apps: []*trace.App{appA, appB}}
+	return cluster.Simulate(tr, policy.FixedKeepAlive{KeepAlive: 600 * time.Second},
+		cluster.Config{Nodes: 1, NodeMemMB: 200})
+}
+
+// TestClusterAttributionSink checks the cause split on the
+// hand-computed ping-pong fixture (3 eviction-induced cold starts out
+// of 5 total, 4 evictions).
+func TestClusterAttributionSink(t *testing.T) {
+	res := clusterFixture()
+	sink := NewClusterAttributionSink()
+	for i, a := range res.Apps {
+		sink.Consume(i, a)
+	}
+	if sink.Apps() != 2 || sink.TotalInvocations() != 5 {
+		t.Fatalf("apps=%d invocations=%d, want 2/5", sink.Apps(), sink.TotalInvocations())
+	}
+	if sink.TotalColdStarts() != 5 || sink.EvictionColdStarts() != 3 || sink.PolicyColdStarts() != 2 {
+		t.Errorf("attribution %s, want cold=5 policy=2 eviction=3", sink)
+	}
+	if sink.Evictions() != 4 {
+		t.Errorf("evictions %d, want 4", sink.Evictions())
+	}
+	if got, want := sink.EvictionColdPercent(), 100*3.0/5.0; got != want {
+		t.Errorf("eviction cold percent %v, want %v", got, want)
+	}
+
+	// Merge doubles every counter exactly.
+	twin := NewClusterAttributionSink()
+	for i, a := range res.Apps {
+		twin.Consume(i, a)
+	}
+	twin.Merge(sink)
+	if twin.TotalColdStarts() != 10 || twin.EvictionColdStarts() != 6 || twin.Evictions() != 8 {
+		t.Errorf("merged attribution %s", twin)
+	}
+}
+
+// TestClusterUtilization checks the summaries on the fixture: one
+// 150 MB container resident for the whole 1000 s horizon on a 200 MB
+// node.
+func TestClusterUtilization(t *testing.T) {
+	res := clusterFixture()
+	util := ClusterUtilization(res)
+	if len(util) != 1 {
+		t.Fatalf("%d nodes, want 1", len(util))
+	}
+	u := util[0]
+	if u.MeanMB != 150 || u.PeakMB != 150 {
+		t.Errorf("mean/peak %v/%v MB, want 150/150", u.MeanMB, u.PeakMB)
+	}
+	if u.MeanPct != 75 || u.PeakPct != 75 {
+		t.Errorf("mean/peak %v%%/%v%%, want 75/75", u.MeanPct, u.PeakPct)
+	}
+	if u.Evictions != 4 {
+		t.Errorf("evictions %d, want 4", u.Evictions)
+	}
+	if got := MeanClusterUtilizationPct(res); got != 75 {
+		t.Errorf("cluster mean utilization %v%%, want 75", got)
+	}
+	if m, mb := PeakUtilizationMinute(res); m != 0 || mb != 150 {
+		t.Errorf("peak minute %d@%vMB, want 0@150 (all minutes equal, first wins)", m, mb)
+	}
+
+	// Infinite clusters report no percentages.
+	appC := &trace.App{ID: "c", Functions: []*trace.Function{{ID: "fc", Invocations: []float64{0}}}}
+	tr := &trace.Trace{Duration: 600 * time.Second, Apps: []*trace.App{appC}}
+	inf := cluster.Simulate(tr, policy.FixedKeepAlive{KeepAlive: 60 * time.Second}, cluster.Config{Nodes: 1})
+	if pct := MeanClusterUtilizationPct(inf); pct != 0 {
+		t.Errorf("infinite cluster utilization %v%%, want 0", pct)
+	}
+	if u := ClusterUtilization(inf)[0]; u.MeanPct != 0 || u.PeakPct != 0 {
+		t.Errorf("infinite cluster per-node percentages %v/%v, want 0/0", u.MeanPct, u.PeakPct)
+	}
+}
+
+// TestClusterSinksThroughRun wires both sink kinds through
+// cluster.Run and cross-checks them against the returned result.
+func TestClusterSinksThroughRun(t *testing.T) {
+	appA := &trace.App{ID: "a", MemoryMB: 150, Functions: []*trace.Function{
+		{ID: "fa", Invocations: []float64{0, 200, 400}},
+	}}
+	appB := &trace.App{ID: "b", MemoryMB: 150, Functions: []*trace.Function{
+		{ID: "fb", Invocations: []float64{100, 300}},
+	}}
+	tr := &trace.Trace{Duration: 1000 * time.Second, Apps: []*trace.App{appA, appB}}
+	attr := NewClusterAttributionSink()
+	wasted := NewWastedMemorySink()
+	res, err := cluster.Run(t.Context(), trace.NewTraceSource(tr),
+		policy.FixedKeepAlive{KeepAlive: 600 * time.Second},
+		cluster.Config{Nodes: 1, NodeMemMB: 200},
+		cluster.WithClusterSink(attr), cluster.WithSink(wasted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(attr.TotalColdStarts()) != res.TotalColdStarts() {
+		t.Errorf("attribution sink cold %d, result %d", attr.TotalColdStarts(), res.TotalColdStarts())
+	}
+	if int(attr.EvictionColdStarts()) != res.TotalEvictionColdStarts() {
+		t.Errorf("attribution sink eviction cold %d, result %d",
+			attr.EvictionColdStarts(), res.TotalEvictionColdStarts())
+	}
+	if wasted.TotalWastedSeconds() != res.TotalWastedSeconds() {
+		t.Errorf("sim sink waste %v, result %v", wasted.TotalWastedSeconds(), res.TotalWastedSeconds())
+	}
+	if sr := res.SimResult(); ThirdQuartileColdPercent(sr) <= 0 {
+		t.Errorf("batch metrics over the projection returned %v", ThirdQuartileColdPercent(sr))
+	}
+}

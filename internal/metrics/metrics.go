@@ -33,12 +33,17 @@ func ThirdQuartileColdPercent(r *sim.Result) float64 {
 // NormalizedWastedMemory returns r's total wasted memory time as a
 // percentage of baseline's (100 = equal to baseline). The paper
 // normalizes to the 10-minute fixed keep-alive policy.
+//
+// The batch path is the streaming sink's arithmetic: the results are
+// replayed through a WastedMemorySink in app order (the same order
+// Result.TotalWastedSeconds sums, so the totals are bit-identical)
+// and normalized by NormalizedTo. One implementation, two facades.
 func NormalizedWastedMemory(r, baseline *sim.Result) float64 {
-	b := baseline.TotalWastedSeconds()
-	if b == 0 {
-		return 0
+	var s WastedMemorySink
+	for i, a := range r.Apps {
+		s.Consume(i, a)
 	}
-	return 100 * r.TotalWastedSeconds() / b
+	return s.NormalizedTo(baseline.TotalWastedSeconds())
 }
 
 // TradeoffPoint is one policy's position in the Figure 15 plane.

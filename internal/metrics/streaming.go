@@ -49,6 +49,17 @@ func (s *ColdStartSink) Consume(_ int, r sim.AppResult) {
 // excluded).
 func (s *ColdStartSink) AppCount() int64 { return s.count }
 
+// Merge folds other's distribution into s. The bins are integer
+// counts, so merging the sinks of a sharded run reproduces the
+// unsharded sink exactly — quantiles and ECDF included — which is
+// what makes the sink the multi-process scale-out aggregate.
+func (s *ColdStartSink) Merge(other *ColdStartSink) {
+	for b, n := range other.bins {
+		s.bins[b] += n
+	}
+	s.count += other.count
+}
+
 // Quantile returns the p-th percentile (p in [0, 100]) of the
 // cold-start percentage distribution, to the sink's 0.01-point
 // resolution. It mirrors stats.Percentile's convention (linear
@@ -136,6 +147,17 @@ func (s *WastedMemorySink) Consume(_ int, r sim.AppResult) {
 	s.invocations += int64(r.Invocations)
 	s.coldStarts += int64(r.ColdStarts)
 	s.apps++
+}
+
+// Merge folds other's totals into s (shard aggregation). The integer
+// counters merge exactly; the float total is one addition per merged
+// sink, so an n-shard merge differs from the unsharded sum only by
+// float association in the low bits.
+func (s *WastedMemorySink) Merge(other *WastedMemorySink) {
+	s.wastedSeconds += other.wastedSeconds
+	s.invocations += other.invocations
+	s.coldStarts += other.coldStarts
+	s.apps += other.apps
 }
 
 // TotalWastedSeconds returns the accumulated wasted memory time.

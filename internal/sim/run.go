@@ -129,17 +129,9 @@ func Run(ctx context.Context, src trace.Source, pol policy.Policy, opts ...Optio
 		}
 	}
 
-	// In-memory sources upgrade to the batch work-stealing walk. The
-	// contract: Trace returns the not-yet-yielded remainder and Drain
-	// records that the batch walk consumed it, so a partially-Next'ed
-	// source behaves identically on either path.
-	type batchSource interface {
-		Trace() *trace.Trace
-		Drain()
-	}
-	if ts, ok := src.(batchSource); ok {
-		tr := ts.Trace()
-		ts.Drain()
+	// In-memory sources upgrade to the batch work-stealing walk (see
+	// trace.BatchTrace for the partially-consumed-source contract).
+	if tr := trace.BatchTrace(src); tr != nil {
 		if err := runBatch(ctx, tr, pol, cfg); err != nil {
 			return nil, err
 		}

@@ -25,9 +25,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/policy"
+	"repro/internal/sim/kernel"
 	"repro/internal/trace"
 )
 
@@ -73,21 +73,9 @@ type Result struct {
 
 // arena is per-worker scratch reused across apps (and, because workers
 // are created per Simulate call with pooled policy state, effectively
-// across Simulate calls too).
-type arena struct {
-	execs []float64
-	srcs  []mergeSrc
-	idles []time.Duration
-	runs  []policy.DecisionRun
-}
-
-// mergeSrc is one function's sorted invocation list during the k-way
-// exec-time merge.
-type mergeSrc struct {
-	times []float64
-	exec  float64
-	pos   int
-}
+// across Simulate calls too). It is the shared walk kernel's buffer
+// set; the cluster engine owns its own.
+type arena = kernel.Scratch
 
 // Simulate runs pol over tr and returns per-app outcomes. Apps are
 // independent, so they are simulated in parallel; results preserve
@@ -205,66 +193,10 @@ func simulateCtx(ctx context.Context, tr *trace.Trace, pol policy.Policy, opt Op
 	return res, nil
 }
 
-// execSecondsInto fills the arena's exec buffer with per-invocation
-// execution times for the app, in invocation-time order, or returns
-// nil for all-zero. Each function's invocation list is already sorted,
-// so the lists are k-way merged (ties resolved to the earlier
-// function, matching a stable sort of the concatenated lists).
-func execSecondsInto(ar *arena, app *trace.App, opt Options) []float64 {
-	if !opt.UseExecTime {
-		return nil
-	}
-	srcs := ar.srcs[:0]
-	total := 0
-	for _, fn := range app.Functions {
-		if len(fn.Invocations) == 0 {
-			continue
-		}
-		total += len(fn.Invocations)
-		srcs = append(srcs, mergeSrc{times: fn.Invocations, exec: fn.ExecStats.AvgSeconds})
-	}
-	ar.srcs = srcs
-	if cap(ar.execs) < total {
-		ar.execs = make([]float64, total)
-	}
-	execs := ar.execs[:total]
-	if len(srcs) == 1 {
-		for i := range execs {
-			execs[i] = srcs[0].exec
-		}
-		return execs
-	}
-	for i := 0; i < total; i++ {
-		best := -1
-		var bt float64
-		for j := range srcs {
-			s := &srcs[j]
-			if s.pos >= len(s.times) {
-				continue
-			}
-			if t := s.times[s.pos]; best < 0 || t < bt {
-				best, bt = j, t
-			}
-		}
-		execs[i] = srcs[best].exec
-		srcs[best].pos++
-	}
-	return execs
-}
-
-// simulateApp walks one app's invocations, applying the Figure 9
-// window semantics:
-//
-//   - Decision with PreWarm == 0: the app stays loaded from execution
-//     end for KeepAlive; an invocation in that window is warm.
-//   - Decision with PreWarm > 0: the app unloads at execution end,
-//     reloads PreWarm later, and stays loaded for KeepAlive. An
-//     invocation before the reload is cold (but costs no memory); one
-//     inside [reload, reload+KeepAlive] is warm; a later one is cold
-//     after the full KeepAlive was wasted.
-//   - Forever: loaded through the horizon.
-//
-// The first invocation is always cold (§5.1).
+// simulateApp walks one app's invocations through the shared kernel:
+// idle times, batch decisions, then the Figure 9 classification (see
+// kernel.Classify for the window semantics). The first invocation is
+// always cold (§5.1).
 func simulateApp(ar *arena, app *trace.App, ap policy.AppPolicy, horizon float64, opt Options) AppResult {
 	times := app.InvocationTimes()
 	n := len(times)
@@ -272,82 +204,32 @@ func simulateApp(ar *arena, app *trace.App, ap policy.AppPolicy, horizon float64
 	if n == 0 {
 		return res
 	}
-	execs := execSecondsInto(ar, app, opt)
-
-	// Pass 1: idle times. The idle preceding invocation i depends only
-	// on the timestamps (and exec times), not on any decision, so the
-	// whole sequence is known up front.
-	if cap(ar.idles) < n {
-		ar.idles = make([]time.Duration, n)
-	}
-	idles := ar.idles[:n]
-	var prevEnd float64
-	for i, t := range times {
-		idle := t - prevEnd
-		if idle < 0 {
-			// Overlapping executions (concurrency) are out of scope
-			// (§2); clamp so the policy sees a sane idle time.
-			idle = 0
-		}
-		idles[i] = secToDur(idle)
-		prevEnd = t
-		if execs != nil {
-			prevEnd += execs[i]
-		}
+	var execs []float64
+	if opt.UseExecTime {
+		execs = ar.ExecSeconds(app)
 	}
 
-	// Pass 2: decisions as run-length-encoded spans, in one batch call
-	// when the policy supports it (one interface dispatch per app
-	// instead of per invocation).
-	var runs []policy.DecisionRun
-	if sp, ok := ap.(policy.SequencePolicy); ok {
-		runs = sp.NextWindowsSeq(idles, ar.runs[:0])
-	} else {
-		runs = ar.runs[:0]
-		var cur policy.Decision
-		var curN int32
-		for i := range idles {
-			d := ap.NextWindows(idles[i], i == 0)
-			if i > 0 && d == cur {
-				curN++
-				continue
-			}
-			if curN > 0 {
-				runs = append(runs, policy.DecisionRun{D: cur, N: curN})
-			}
-			cur, curN = d, 1
-		}
-		runs = append(runs, policy.DecisionRun{D: cur, N: curN})
-	}
-	ar.runs = runs[:0]
+	// Pass 1: idle times; pass 2: decisions as run-length-encoded
+	// spans (one batch call when the policy supports it).
+	idles := ar.IdleTimes(times, execs)
+	runs := ar.DecideRuns(ap, idles)
 
 	// Pass 3: classify arrivals against the previous decision and
-	// accumulate wasted memory time (Figure 9 semantics). Mode counts
-	// and the window-to-seconds conversions are per run, not per
-	// invocation.
+	// accumulate wasted memory time. Mode counts and the
+	// window-to-seconds conversions are per run, not per invocation.
 	res.ColdStarts = 1 // the first invocation is always cold (§5.1)
-	var d policy.Decision
-	var pwSec, kaSec float64 // d's windows in seconds, converted once per run
-	ri := -1
-	var rem int32
-	prevEnd = 0
+	var cur kernel.RunCursor
+	cur.Reset(runs)
+	var prevEnd float64
 	for i, t := range times {
 		if i > 0 {
-			warm, wasted := classify(d, pwSec, kaSec, prevEnd, t)
+			warm, wasted := kernel.Classify(cur.D, cur.PwSec, cur.KaSec, prevEnd, t)
 			if !warm {
 				res.ColdStarts++
 			}
 			res.WastedSeconds += wasted
 		}
-		if rem == 0 {
-			ri++
-			d = runs[ri].D
-			rem = runs[ri].N
-			pwSec = d.PreWarm.Seconds()
-			kaSec = d.KeepAlive.Seconds()
-			res.ModeCounts[d.Mode] += int(rem)
-		}
-		rem--
+		cur.Step(&res.ModeCounts)
 		prevEnd = t
 		if execs != nil {
 			prevEnd += execs[i]
@@ -355,66 +237,8 @@ func simulateApp(ar *arena, app *trace.App, ap policy.AppPolicy, horizon float64
 	}
 
 	// Trailing window after the last invocation, capped at horizon.
-	res.WastedSeconds += trailingWaste(d, pwSec, kaSec, prevEnd, horizon)
+	res.WastedSeconds += kernel.TrailingWaste(cur.D, cur.PwSec, cur.KaSec, prevEnd, horizon)
 	return res
-}
-
-// classify resolves one arrival at time t against the decision made at
-// prevEnd (pwSec/kaSec are d's windows in seconds). It returns whether
-// the start is warm and how much loaded-but-idle time accrued between
-// prevEnd and the arrival.
-func classify(d policy.Decision, pwSec, kaSec, prevEnd, t float64) (warm bool, wasted float64) {
-	if d.Forever {
-		return true, t - prevEnd
-	}
-	if d.PreWarm == 0 {
-		windowEnd := prevEnd + kaSec
-		if t <= windowEnd {
-			return true, t - prevEnd
-		}
-		return false, kaSec
-	}
-	loadAt := prevEnd + pwSec
-	windowEnd := loadAt + kaSec
-	switch {
-	case t < loadAt:
-		// Arrived before the pre-warm: cold, but nothing was loaded.
-		return false, 0
-	case t <= windowEnd:
-		return true, t - loadAt
-	default:
-		return false, kaSec
-	}
-}
-
-// trailingWaste accounts for the window scheduled after the final
-// invocation, truncated at the trace horizon.
-func trailingWaste(d policy.Decision, pwSec, kaSec, prevEnd, horizon float64) float64 {
-	if prevEnd >= horizon {
-		return 0
-	}
-	if d.Forever {
-		return horizon - prevEnd
-	}
-	if d.PreWarm == 0 {
-		return minF(kaSec, horizon-prevEnd)
-	}
-	loadAt := prevEnd + pwSec
-	if loadAt >= horizon {
-		return 0
-	}
-	return minF(kaSec, horizon-loadAt)
-}
-
-func minF(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func secToDur(s float64) time.Duration {
-	return time.Duration(s * float64(time.Second))
 }
 
 // ColdPercents returns the per-app cold-start percentages in app

@@ -199,19 +199,44 @@ func ApplyDurationsCSV(r io.Reader, tr *Trace) error {
 	}
 }
 
+// DefaultAppMemoryMB is the paper's median per-application allocated
+// memory (Figure 8: ~170 MB), the fallback charge for apps absent
+// from a memory table. Without a default such apps keep MemoryMB == 0
+// and are invisible to capacity accounting — a cluster simulation
+// would place and evict them for free.
+const DefaultAppMemoryMB = 170
+
 // ApplyMemoryCSV parses a memory table and fills MemoryMB on the
-// matching apps of tr. Unknown apps are ignored.
+// matching apps of tr. Unknown apps are ignored; apps without a row
+// keep MemoryMB == 0 (see ApplyMemoryCSVDefault).
 func ApplyMemoryCSV(r io.Reader, tr *Trace) error {
+	_, err := applyMemoryCSV(r, tr, 0)
+	return err
+}
+
+// ApplyMemoryCSVDefault is ApplyMemoryCSV plus a fallback: apps of tr
+// still carrying MemoryMB == 0 after the table is applied (no row, or
+// a zero row) are charged defaultMB instead, and the count of such
+// defaulted apps is returned so callers can surface the data gap.
+// defaultMB <= 0 applies DefaultAppMemoryMB.
+func ApplyMemoryCSVDefault(r io.Reader, tr *Trace, defaultMB float64) (defaulted int, err error) {
+	if defaultMB <= 0 {
+		defaultMB = DefaultAppMemoryMB
+	}
+	return applyMemoryCSV(r, tr, defaultMB)
+}
+
+func applyMemoryCSV(r io.Reader, tr *Trace, defaultMB float64) (defaulted int, err error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
-		return fmt.Errorf("trace: reading memory header: %w", err)
+		return 0, fmt.Errorf("trace: reading memory header: %w", err)
 	}
 	col := indexColumns(header)
 	for _, need := range []string{"HashApp", "AverageAllocatedMb"} {
 		if _, ok := col[need]; !ok {
-			return fmt.Errorf("trace: memory header missing %s", need)
+			return 0, fmt.Errorf("trace: memory header missing %s", need)
 		}
 	}
 	apps := make(map[string]*App)
@@ -221,10 +246,10 @@ func ApplyMemoryCSV(r io.Reader, tr *Trace) error {
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			return nil
+			break
 		}
 		if err != nil {
-			return fmt.Errorf("trace: reading memory line %d: %w", line, err)
+			return 0, fmt.Errorf("trace: reading memory line %d: %w", line, err)
 		}
 		app, ok := apps[rec[col["HashApp"]]]
 		if !ok {
@@ -232,10 +257,19 @@ func ApplyMemoryCSV(r io.Reader, tr *Trace) error {
 		}
 		mb, err := strconv.ParseFloat(rec[col["AverageAllocatedMb"]], 64)
 		if err != nil {
-			return fmt.Errorf("trace: memory line %d: %w", line, err)
+			return 0, fmt.Errorf("trace: memory line %d: %w", line, err)
 		}
 		app.MemoryMB = mb
 	}
+	if defaultMB > 0 {
+		for _, app := range tr.Apps {
+			if app.MemoryMB == 0 {
+				app.MemoryMB = defaultMB
+				defaulted++
+			}
+		}
+	}
+	return defaulted, nil
 }
 
 func indexColumns(header []string) map[string]int {

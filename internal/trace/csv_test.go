@@ -152,6 +152,69 @@ func TestMemoryCSVRoundTrip(t *testing.T) {
 	}
 }
 
+func TestApplyMemoryCSVDefault(t *testing.T) {
+	// A table covering only the first app: the second must take the
+	// default and be counted.
+	csvData := "HashOwner,HashApp,SampleCount,AverageAllocatedMb\n" +
+		"own1,app1,10,512\n"
+	tr := sampleTrace()
+	for _, app := range tr.Apps {
+		app.MemoryMB = 0
+	}
+	defaulted, err := ApplyMemoryCSVDefault(strings.NewReader(csvData), tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaulted != len(tr.Apps)-1 {
+		t.Fatalf("defaulted = %d, want %d", defaulted, len(tr.Apps)-1)
+	}
+	if tr.Apps[0].MemoryMB != 512 {
+		t.Fatalf("covered app memory = %v, want 512", tr.Apps[0].MemoryMB)
+	}
+	for _, app := range tr.Apps[1:] {
+		if app.MemoryMB != DefaultAppMemoryMB {
+			t.Fatalf("app %s memory = %v, want the %v default", app.ID, app.MemoryMB, float64(DefaultAppMemoryMB))
+		}
+	}
+
+	// An explicit default overrides the paper's median.
+	tr = sampleTrace()
+	for _, app := range tr.Apps {
+		app.MemoryMB = 0
+	}
+	defaulted, err = ApplyMemoryCSVDefault(strings.NewReader(csvData), tr, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaulted != len(tr.Apps)-1 || tr.Apps[1].MemoryMB != 99 {
+		t.Fatalf("defaulted=%d memory=%v, want %d/99", defaulted, tr.Apps[1].MemoryMB, len(tr.Apps)-1)
+	}
+
+	// Full coverage defaults nothing; plain ApplyMemoryCSV never
+	// defaults.
+	tr = sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteMemoryCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	table := buf.String()
+	if defaulted, err = ApplyMemoryCSVDefault(strings.NewReader(table), tr, 0); err != nil || defaulted != 0 {
+		t.Fatalf("full table: defaulted=%d err=%v", defaulted, err)
+	}
+	fresh := sampleTrace()
+	for _, app := range fresh.Apps {
+		app.MemoryMB = 0
+	}
+	if err := ApplyMemoryCSV(strings.NewReader(csvData), fresh); err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range fresh.Apps[1:] {
+		if app.MemoryMB != 0 {
+			t.Fatalf("ApplyMemoryCSV must not default, app %s got %v", app.ID, app.MemoryMB)
+		}
+	}
+}
+
 func TestApplyDurationsIgnoresUnknownFunctions(t *testing.T) {
 	csvData := "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n" +
 		"o,a,nope,100,1,50,200\n"

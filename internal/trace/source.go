@@ -123,6 +123,30 @@ func ParseShard(s string) (i, n int, err error) {
 	return i, n, nil
 }
 
+// batchSource is the contract an in-memory-backed source exposes so
+// engines with a batch fast path can bypass the one-at-a-time walk:
+// Trace returns the not-yet-yielded remainder and Drain records that
+// the batch consumer took it, so a partially-Next'ed source behaves
+// identically on either path.
+type batchSource interface {
+	Trace() *Trace
+	Drain()
+}
+
+// BatchTrace returns the in-memory trace behind src — the remainder
+// not yet yielded by Next — and marks it consumed, or nil when src is
+// not batch-backed. It is the single implementation of the fast-path
+// handoff contract shared by the simulation engines.
+func BatchTrace(src Source) *Trace {
+	bs, ok := src.(batchSource)
+	if !ok {
+		return nil
+	}
+	tr := bs.Trace()
+	bs.Drain()
+	return tr
+}
+
 // Collect drains src into a materialized *Trace. It is the inverse of
 // NewTraceSource, useful when a streaming producer (a CSV stream, a
 // shard, a generator) must feed a consumer that needs the whole trace.

@@ -1,0 +1,90 @@
+package wild
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestShardedStreamingRunMergesToWhole is the streaming counterpart
+// of the facade shard-sum test: the n interleaved shards of a
+// streaming source, each run through Run with incremental sinks, must
+// merge to the unsharded run's aggregates — integer counters and the
+// binned cold-start distribution exactly, the float waste total up to
+// summation order. This is the contract multi-process scale-out
+// relies on: n processes each simulate one shard and a reducer merges
+// their sinks.
+func TestShardedStreamingRunMergesToWhole(t *testing.T) {
+	cfg := WorkloadConfig{
+		Seed: 77, NumApps: 120, Duration: 12 * time.Hour,
+		MaxDailyRate: 500, MaxEventsPerFunction: 1500,
+	}
+	ctx := context.Background()
+
+	runSinks := func(src TraceSource) (*ColdStartSink, *WastedMemorySink) {
+		cold, wasted := NewColdStartSink(), NewWastedMemorySink()
+		if _, err := Run(ctx, src, MustFromSpec("hybrid"), WithSink(cold), WithSink(wasted)); err != nil {
+			t.Fatal(err)
+		}
+		return cold, wasted
+	}
+
+	wholeSrc, err := GeneratorSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeCold, wholeWasted := runSinks(wholeSrc)
+
+	for _, n := range []int{2, 3, 5} {
+		mergedCold, mergedWasted := NewColdStartSink(), NewWastedMemorySink()
+		for i := 0; i < n; i++ {
+			src, err := GeneratorSource(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, wasted := runSinks(Shard(src, i, n))
+			mergedCold.Merge(cold)
+			mergedWasted.Merge(wasted)
+		}
+		if mergedCold.AppCount() != wholeCold.AppCount() {
+			t.Fatalf("n=%d: merged %d apps, whole %d", n, mergedCold.AppCount(), wholeCold.AppCount())
+		}
+		// The distribution is integer bins: every quantile and ECDF
+		// read-out must agree exactly with the unsharded sink.
+		for _, p := range []float64{0, 10, 25, 50, 75, 90, 99, 100} {
+			if g, w := mergedCold.Quantile(p), wholeCold.Quantile(p); g != w {
+				t.Errorf("n=%d: Quantile(%g) merged %v, whole %v", n, p, g, w)
+			}
+		}
+		for _, x := range []float64{0, 1, 5, 25, 50, 100} {
+			if g, w := mergedCold.ECDF(x), wholeCold.ECDF(x); g != w {
+				t.Errorf("n=%d: ECDF(%g) merged %v, whole %v", n, x, g, w)
+			}
+		}
+		if mergedWasted.Apps() != wholeWasted.Apps() ||
+			mergedWasted.TotalInvocations() != wholeWasted.TotalInvocations() ||
+			mergedWasted.TotalColdStarts() != wholeWasted.TotalColdStarts() {
+			t.Errorf("n=%d: merged counters (%d apps, %d inv, %d cold) vs whole (%d, %d, %d)",
+				n, mergedWasted.Apps(), mergedWasted.TotalInvocations(), mergedWasted.TotalColdStarts(),
+				wholeWasted.Apps(), wholeWasted.TotalInvocations(), wholeWasted.TotalColdStarts())
+		}
+		g, w := mergedWasted.TotalWastedSeconds(), wholeWasted.TotalWastedSeconds()
+		if math.Abs(g-w) > 1e-9*math.Abs(w) {
+			t.Errorf("n=%d: merged waste %v, whole %v", n, g, w)
+		}
+	}
+
+	// Cross-check the streamed whole against the batch pipeline.
+	pop, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := Simulate(pop.Trace, MustFromSpec("hybrid"))
+	if got, want := wholeWasted.TotalColdStarts(), int64(batch.TotalColdStarts()); got != want {
+		t.Errorf("streamed cold starts %d, batch %d", got, want)
+	}
+	if g, w := wholeWasted.TotalWastedSeconds(), batch.TotalWastedSeconds(); math.Abs(g-w) > 1e-9*math.Abs(w) {
+		t.Errorf("streamed waste %v, batch %v", g, w)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"context"
 	"io"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/platform"
@@ -243,6 +244,86 @@ func ThirdQuartileColdPercent(r *SimResult) float64 {
 // baseline's (the paper normalizes to the 10-minute fixed policy).
 func NormalizedWastedMemory(r, baseline *SimResult) float64 {
 	return metrics.NormalizedWastedMemory(r, baseline)
+}
+
+// Cluster simulation: the finite-memory multi-node engine. Unlike the
+// per-app simulator, the cluster orders all invocations on one
+// discrete-event timeline over nodes with real capacity; warm
+// containers compete for memory and can be evicted, turning arrivals
+// the policy predicted warm into cold starts. With NodeMemMB == 0
+// (infinite) the outcome is bit-identical to Simulate.
+type (
+	// ClusterConfig describes the simulated cluster (nodes, per-node
+	// memory, placement).
+	ClusterConfig = cluster.Config
+	// ClusterResult is a cluster simulation outcome (apps + nodes).
+	ClusterResult = cluster.Result
+	// ClusterAppResult extends AppResult with eviction attribution.
+	ClusterAppResult = cluster.AppResult
+	// ClusterNodeStats aggregates one node (evictions, utilization
+	// time series).
+	ClusterNodeStats = cluster.NodeStats
+	// ClusterOption configures RunCluster.
+	ClusterOption = cluster.Option
+	// ClusterSink consumes per-app cluster outcomes.
+	ClusterSink = cluster.Sink
+	// Placement assigns apps to nodes.
+	Placement = cluster.Placement
+	// ClusterAttributionSink splits cold starts into policy-induced
+	// vs eviction-induced as outcomes stream past.
+	ClusterAttributionSink = metrics.ClusterAttributionSink
+)
+
+// SimulateCluster runs pol over tr on the configured cluster.
+func SimulateCluster(tr *Trace, pol Policy, cfg ClusterConfig) *ClusterResult {
+	return cluster.Simulate(tr, pol, cfg)
+}
+
+// RunCluster is the source- and sink-plumbed cluster entry point: the
+// source is materialized (the timeline needs the whole workload), the
+// cluster is simulated under ctx, and outcomes drain to the attached
+// sinks in trace order. Plain ResultSinks (ColdStartSink,
+// WastedMemorySink) consume cluster runs unchanged via
+// WithClusterResultSink.
+func RunCluster(ctx context.Context, src TraceSource, pol Policy, cfg ClusterConfig, opts ...ClusterOption) (*ClusterResult, error) {
+	return cluster.Run(ctx, src, pol, cfg, opts...)
+}
+
+// WithClusterResultSink attaches a sim ResultSink to a cluster run
+// (fed each app's embedded AppResult).
+func WithClusterResultSink(s ResultSink) ClusterOption { return cluster.WithSink(s) }
+
+// WithClusterSink attaches a cluster-aware sink (eviction attribution
+// included).
+func WithClusterSink(s ClusterSink) ClusterOption { return cluster.WithClusterSink(s) }
+
+// NewPlacement builds a registered placement policy by name ("hash",
+// "least-loaded", "binpack").
+func NewPlacement(name string) (Placement, error) { return cluster.NewPlacement(name) }
+
+// PlacementNames returns the registered placement names, sorted.
+func PlacementNames() []string { return cluster.PlacementNames() }
+
+// NewClusterAttributionSink returns an empty attribution sink.
+func NewClusterAttributionSink() *ClusterAttributionSink {
+	return metrics.NewClusterAttributionSink()
+}
+
+// MeanClusterUtilizationPct averages per-node mean memory utilization
+// over a cluster run (0 when the cluster is infinite).
+func MeanClusterUtilizationPct(r *ClusterResult) float64 {
+	return metrics.MeanClusterUtilizationPct(r)
+}
+
+// DefaultAppMemoryMB is the paper's median per-app allocated memory
+// (Figure 8), charged for apps with no memory data.
+const DefaultAppMemoryMB = trace.DefaultAppMemoryMB
+
+// ApplyMemoryCSVDefault fills MemoryMB on tr's apps from a memory
+// table, charges defaultMB (or DefaultAppMemoryMB when <= 0) to apps
+// the table does not cover, and returns how many apps were defaulted.
+func ApplyMemoryCSVDefault(r io.Reader, tr *Trace, defaultMB float64) (defaulted int, err error) {
+	return trace.ApplyMemoryCSVDefault(r, tr, defaultMB)
 }
 
 // Platform (OpenWhisk analogue) and replay.
