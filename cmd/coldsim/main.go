@@ -1,28 +1,30 @@
-// Command coldsim runs keep-alive policy simulations over a trace
-// (synthetic or an AzurePublicDataset invocations CSV) and prints the
-// cold-start / wasted-memory comparison of §5.2.
-//
-// Policies are registry specs; traces stream. A CSV trace is re-read
-// per policy in constant memory (apps are simulated as rows arrive),
-// so traces far larger than RAM work. -shard i/n restricts the run to
-// an interleaved shard of the apps, the unit of multi-process
-// scale-out.
-//
-// -cluster switches to the finite-memory multi-node engine: the trace
-// is materialized once (the discrete-event timeline needs the whole
-// workload) and each policy runs against nodes with real capacity, so
-// the report adds eviction-induced cold starts and node utilization —
-// the quantities the infinite-memory simulator cannot express.
+// Command coldsim runs keep-alive policy simulations and prints the
+// cold-start / wasted-memory comparison of §5.2. Every run is a
+// Scenario — one declarative value naming the trace source, policy,
+// optional finite-memory cluster, metric sinks and shard — and a
+// sweep is a Grid whose list-valued fields expand into cells, so the
+// whole paper evaluation plane is configuration, not plumbing.
 //
 // Usage:
 //
-//	coldsim -apps 400 -days 7                  # synthetic trace
-//	coldsim -trace trace/invocations.csv       # real/saved trace
-//	coldsim -trace inv.csv -memory mem.csv     # with per-app memory
+//	coldsim -scenario 'source=gen:apps=400; policy=[fixed?ka=10m,hybrid]'
+//	coldsim -scenario 'source=csv:inv.csv; policy=hybrid; cluster.nodes=8; cluster.mem=4096'
+//	coldsim -scenario @sweep.json           # JSON {"base", "axes", "cells"}
+//	coldsim -scenario ... -format csv       # machine-readable report
+//
+// Deprecated aliases (kept so existing invocations work; they desugar
+// into the same scenario grammar):
+//
+//	coldsim -apps 400 -days 7               # synthetic trace
+//	coldsim -trace inv.csv -memory mem.csv  # real/saved trace
 //	coldsim -policies 'fixed?ka=20m,hybrid?range=4h&cv=5'
-//	coldsim -trace big.csv -shard 0/4          # first of 4 shards
-//	coldsim -cluster nodes=8,mem=4096          # finite-memory cluster
+//	coldsim -trace big.csv -shard 0/4       # first of 4 shards
 //	coldsim -cluster nodes=8,mem=4096,place=binpack
+//
+// The wasted-memory column of the table output is normalized to the
+// 10-minute fixed keep-alive policy on the same trace and cluster
+// shape, as throughout §5.2 (a baseline cell is run implicitly when
+// the sweep does not include one).
 package main
 
 import (
@@ -32,9 +34,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
-	"time"
 
 	wild "repro"
 )
@@ -49,225 +49,291 @@ func main() {
 	log.SetPrefix("coldsim: ")
 
 	var (
-		tracePath = flag.String("trace", "", "invocations CSV to replay (empty = synthesize)")
-		memPath   = flag.String("memory", "", "memory CSV for per-app MB (cluster runs; apps not covered take the paper's 170 MB median)")
-		apps      = flag.Int("apps", 400, "apps to synthesize when -trace is empty")
-		days      = flag.Float64("days", 7, "days to synthesize when -trace is empty")
-		seed      = flag.Uint64("seed", 42, "random seed for synthesis")
+		scenarioFlag = flag.String("scenario", "",
+			"scenario or sweep grid (text grammar, JSON, or @file.json); replaces the deprecated flags below")
+		format = flag.String("format", "table", "output format: table, csv or json")
+
+		// Deprecated aliases, desugared into the scenario grammar.
+		tracePath = flag.String("trace", "", "deprecated: invocations CSV (source=csv:...)")
+		memPath   = flag.String("memory", "", "deprecated: memory CSV for cluster runs (cluster.memcsv=...)")
+		apps      = flag.Int("apps", 400, "deprecated: apps to synthesize (source=gen:apps=...)")
+		days      = flag.Float64("days", 7, "deprecated: days to synthesize (source=gen:days=...)")
+		seed      = flag.Uint64("seed", 42, "deprecated: synthesis seed (source=gen:seed=...)")
 		policies  = flag.String("policies", defaultPolicies,
-			fmt.Sprintf("comma-separated policy specs (registered: %v)", wild.PolicySpecs()))
-		shard       = flag.String("shard", "", "i/n: simulate only the i-th of n interleaved app shards")
+			fmt.Sprintf("deprecated: comma-separated policy specs (policy=[...]; registered: %v)", wild.PolicySpecs()))
+		shard       = flag.String("shard", "", "deprecated: i/n app shard (shard=i/n)")
 		clusterFlag = flag.String("cluster", "",
-			fmt.Sprintf("nodes=N,mem=MB[,place=NAME]: simulate a finite-memory cluster (placements: %v)", wild.PlacementNames()))
+			fmt.Sprintf("deprecated: nodes=N,mem=MB[,place=SPEC] (cluster.nodes=... ; placements: %v)", wild.PlacementNames()))
 	)
 	flag.Parse()
+
+	grid, err := resolveGrid(*scenarioFlag, deprecatedFlags{
+		trace: *tracePath, memory: *memPath, apps: *apps, days: *days,
+		seed: *seed, policies: *policies, shard: *shard, cluster: *clusterFlag,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells, err := grid.Scenarios()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	newSource := sourceFactory(*tracePath, *apps, *days, *seed, *shard)
-
-	if *clusterFlag != "" {
-		cfg, err := parseClusterFlag(*clusterFlag)
-		if err != nil {
-			log.Fatalf("-cluster: %v", err)
+	switch *format {
+	case "table":
+		if err := runTable(ctx, cells); err != nil {
+			log.Fatal(err)
 		}
-		runCluster(ctx, newSource, cfg, *tracePath, *memPath, *policies)
-		return
-	}
-	if *memPath != "" {
-		log.Printf("warning: -memory is only used by -cluster runs; ignoring %s", *memPath)
-	}
-
-	// One probe pass sizes the trace for the header line.
-	probe := wild.NewWastedMemorySink()
-	src, cleanup := newSource()
-	if _, err := wild.Run(ctx, src, wild.MustFromSpec(baselineSpec), wild.WithSink(probe)); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("trace: %d apps, %d invocations over %v\n\n",
-		probe.Apps(), probe.TotalInvocations(), src.Horizon())
-	cleanup()
-	wastedBase := probe.TotalWastedSeconds()
-
-	fmt.Printf("%-28s %12s %12s %14s\n", "policy", "coldQ3(%)", "coldMed(%)", "wastedMem(%)")
-	for _, spec := range splitSpecs(*policies) {
-		pol, err := wild.FromSpec(spec)
+	case "csv", "json":
+		rep, err := wild.RunSweep(ctx, cells)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cold := wild.NewColdStartSink()
-		wasted := wild.NewWastedMemorySink()
-		src, cleanup := newSource()
-		if _, err := wild.Run(ctx, src, pol,
-			wild.WithSink(cold), wild.WithSink(wasted)); err != nil {
+		if *format == "csv" {
+			err = rep.WriteCSV(os.Stdout)
+		} else {
+			err = rep.WriteJSON(os.Stdout)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
-		cleanup()
-		fmt.Printf("%-28s %12.2f %12.2f %14.2f\n",
-			pol.Name(), cold.ThirdQuartile(), cold.Quantile(50),
-			wasted.NormalizedTo(wastedBase))
+	default:
+		log.Fatalf("-format: unknown %q (table, csv, json)", *format)
 	}
 }
 
-// runCluster materializes the trace once, applies the memory table,
-// and runs every policy spec through the finite-memory engine.
-func runCluster(ctx context.Context, newSource func() (wild.TraceSource, func()), cfg wild.ClusterConfig, tracePath, memPath, policies string) {
-	src, cleanup := newSource()
-	tr, err := wild.CollectTrace(src)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cleanup()
-
-	if memPath != "" {
-		f, err := os.Open(memPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defaulted, err := wild.ApplyMemoryCSVDefault(f, tr, 0)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		if defaulted > 0 {
-			log.Printf("warning: %d of %d apps missing from %s; charged the %d MB default (they would otherwise be invisible to capacity accounting)",
-				defaulted, len(tr.Apps), memPath, int(wild.DefaultAppMemoryMB))
-		}
-	} else if tracePath != "" {
-		// CSV invocation tables carry no memory column at all.
-		log.Printf("warning: no -memory table; every app charged the %d MB default", int(wild.DefaultAppMemoryMB))
-	}
-
-	memLabel := "inf"
-	if cfg.NodeMemMB > 0 {
-		memLabel = fmt.Sprintf("%g MB", cfg.NodeMemMB)
-	}
-	fmt.Printf("trace: %d apps, %d invocations over %v\n", len(tr.Apps), tr.TotalInvocations(), src.Horizon())
-	fmt.Printf("cluster: %d nodes x %s, placement %s\n\n", cfg.Nodes, memLabel, cfg.Placement.Name())
-
-	// Baseline for the wasted-memory normalization, on the same
-	// cluster (ctx-aware like every other run, so Ctrl-C interrupts
-	// it too).
-	base, err := wild.RunCluster(ctx, wild.SourceFromTrace(tr), wild.MustFromSpec(baselineSpec), cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	wastedBase := base.TotalWastedSeconds()
-
-	fmt.Printf("%-28s %12s %12s %14s %12s %10s %9s\n",
-		"policy", "coldQ3(%)", "coldMed(%)", "wastedMem(%)", "evictCold(%)", "evictions", "util(%)")
-	for _, spec := range splitSpecs(policies) {
-		pol, err := wild.FromSpec(spec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cold := wild.NewColdStartSink()
-		wasted := wild.NewWastedMemorySink()
-		attr := wild.NewClusterAttributionSink()
-		res, err := wild.RunCluster(ctx, wild.SourceFromTrace(tr), pol, cfg,
-			wild.WithClusterResultSink(cold), wild.WithClusterResultSink(wasted),
-			wild.WithClusterSink(attr))
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-28s %12.2f %12.2f %14.2f %12.2f %10d %9.1f\n",
-			pol.Name(), cold.ThirdQuartile(), cold.Quantile(50),
-			wasted.NormalizedTo(wastedBase),
-			attr.EvictionColdPercent(), attr.Evictions(),
-			wild.MeanClusterUtilizationPct(res))
-	}
+// deprecatedFlags carries the pre-scenario flag values.
+type deprecatedFlags struct {
+	trace, memory   string
+	apps            int
+	days            float64
+	seed            uint64
+	policies, shard string
+	cluster         string
 }
 
-// parseClusterFlag parses "nodes=8,mem=4096,place=hash" into a
-// cluster configuration.
-func parseClusterFlag(s string) (wild.ClusterConfig, error) {
-	cfg := wild.ClusterConfig{Nodes: 1}
-	place := "hash"
-	for _, kv := range strings.Split(s, ",") {
-		kv = strings.TrimSpace(kv)
-		if kv == "" {
-			continue
+// resolveGrid returns the sweep grid: parsed from -scenario (inline
+// or @file), or desugared from the deprecated flags. Mixing the two
+// styles is an error.
+func resolveGrid(scenarioArg string, dep deprecatedFlags) (wild.ScenarioGrid, error) {
+	deprecatedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "trace", "memory", "apps", "days", "seed", "policies", "shard", "cluster":
+			deprecatedSet = true
 		}
-		key, val, ok := strings.Cut(kv, "=")
-		if !ok {
-			return cfg, fmt.Errorf("want key=value, got %q", kv)
+	})
+	if scenarioArg != "" {
+		if deprecatedSet {
+			return wild.ScenarioGrid{}, fmt.Errorf("-scenario cannot be combined with the deprecated trace/policy/cluster flags")
 		}
-		switch key {
-		case "nodes":
-			n, err := strconv.Atoi(val)
-			if err != nil || n <= 0 {
-				return cfg, fmt.Errorf("nodes: invalid %q", val)
-			}
-			cfg.Nodes = n
-		case "mem":
-			mb, err := strconv.ParseFloat(val, 64)
-			if err != nil || mb < 0 {
-				return cfg, fmt.Errorf("mem: invalid %q (MB per node, 0 = infinite)", val)
-			}
-			cfg.NodeMemMB = mb
-		case "place":
-			place = val
-		default:
-			return cfg, fmt.Errorf("unknown key %q (nodes, mem, place)", key)
-		}
-	}
-	p, err := wild.NewPlacement(place)
-	if err != nil {
-		return cfg, err
-	}
-	cfg.Placement = p
-	return cfg, nil
-}
-
-// sourceFactory returns a function producing a fresh source (plus a
-// cleanup) per policy run: a re-opened streaming CSV, or a
-// once-generated in-memory synthetic trace (which Run simulates on
-// the batch fast path).
-func sourceFactory(path string, apps int, days float64, seed uint64, shard string) func() (wild.TraceSource, func()) {
-	var base func() (wild.TraceSource, func())
-	if path != "" {
-		base = func() (wild.TraceSource, func()) {
-			f, err := os.Open(path)
+		if path, ok := strings.CutPrefix(scenarioArg, "@"); ok {
+			data, err := os.ReadFile(path)
 			if err != nil {
-				log.Fatal(err)
+				return wild.ScenarioGrid{}, err
 			}
-			src, err := wild.StreamInvocationsCSV(f)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return src, func() { f.Close() }
+			scenarioArg = string(data)
 		}
+		return wild.ParseGrid(scenarioArg)
+	}
+	return desugar(dep)
+}
+
+// desugar translates the deprecated flags into the scenario grammar —
+// the flags survive as aliases, but the grammar is the only parser.
+func desugar(dep deprecatedFlags) (wild.ScenarioGrid, error) {
+	var parts []string
+	if dep.trace != "" {
+		parts = append(parts, "source=csv:"+dep.trace)
 	} else {
-		pop, err := wild.Generate(wild.WorkloadConfig{
-			Seed: seed, NumApps: apps,
-			Duration:     time.Duration(days * 24 * float64(time.Hour)),
-			MaxDailyRate: 2000, MaxEventsPerFunction: 20000,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		base = func() (wild.TraceSource, func()) { return wild.SourceFromTrace(pop.Trace), func() {} }
+		parts = append(parts, fmt.Sprintf(
+			"source=gen:apps=%d&days=%g&seed=%d&maxrate=2000&maxevents=20000",
+			dep.apps, dep.days, dep.seed))
 	}
-	if shard == "" {
-		return base
-	}
-	i, n, err := wild.ParseShard(shard)
-	if err != nil {
-		log.Fatalf("-shard: %v", err)
-	}
-	return func() (wild.TraceSource, func()) {
-		src, cleanup := base()
-		return wild.Shard(src, i, n), cleanup
-	}
-}
-
-func splitSpecs(s string) []string {
 	var specs []string
-	for _, spec := range strings.Split(s, ",") {
+	for _, spec := range strings.Split(dep.policies, ",") {
 		if spec = strings.TrimSpace(spec); spec != "" {
 			specs = append(specs, spec)
 		}
 	}
-	return specs
+	parts = append(parts, "policy=["+strings.Join(specs, ",")+"]")
+	if dep.cluster != "" {
+		for _, kv := range strings.Split(dep.cluster, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return wild.ScenarioGrid{}, fmt.Errorf("-cluster: want key=value, got %q", kv)
+			}
+			switch key {
+			case "nodes", "mem":
+				parts = append(parts, "cluster."+key+"="+val)
+			case "place":
+				parts = append(parts, "cluster.place="+val)
+			default:
+				return wild.ScenarioGrid{}, fmt.Errorf("-cluster: unknown key %q (nodes, mem, place)", key)
+			}
+		}
+		if dep.memory != "" {
+			parts = append(parts, "cluster.memcsv="+dep.memory)
+		}
+	} else if dep.memory != "" {
+		log.Printf("warning: -memory is only used by cluster runs; ignoring %s", dep.memory)
+	}
+	if dep.shard != "" {
+		parts = append(parts, "shard="+dep.shard)
+	}
+	return wild.ParseGrid(strings.Join(parts, "; "))
+}
+
+// runTable renders the human table: one row per cell, wasted memory
+// normalized to the fixed-10-minute baseline of the cell's group (all
+// assignments but the policy). Baseline cells missing from the sweep
+// run implicitly and are not printed.
+func runTable(ctx context.Context, cells []wild.Scenario) error {
+	visible := len(cells)
+	cells = append(cells, missingBaselines(cells)...)
+
+	rep, err := wild.RunSweep(ctx, cells)
+	if err != nil {
+		return err
+	}
+
+	// wasted_seconds per baseline group, for the normalized column.
+	baseWaste := map[string]float64{}
+	for _, c := range rep.Cells {
+		if c.Scenario.Policy == baselineSpec {
+			if w, ok := c.Metric("wasted_seconds"); ok {
+				baseWaste[groupKey(c.Scenario)] = w
+			}
+		}
+	}
+	warnedNoTable := map[string]bool{}
+	for _, c := range rep.Cells[:visible] {
+		if c.MemDefaulted > 0 {
+			log.Printf("warning: %s: %d apps missing from the memory table; charged the %d MB default",
+				c.Scenario, c.MemDefaulted, int(wild.DefaultAppMemoryMB))
+		}
+		// CSV invocation tables carry no memory column at all: a
+		// cluster run without cluster.memcsv charges every app the
+		// default, which should be visible.
+		if c.Scenario.Cluster != nil && c.Scenario.Cluster.MemCSV == "" &&
+			strings.HasPrefix(c.Scenario.Source, "csv:") && !warnedNoTable[c.Scenario.Source] {
+			warnedNoTable[c.Scenario.Source] = true
+			log.Printf("warning: no cluster.memcsv table for %s; every app charged the %d MB default",
+				c.Scenario.Source, int(wild.DefaultAppMemoryMB))
+		}
+	}
+
+	labels := wild.ScenarioLabels(scenariosOf(rep))[:visible]
+	cols := displayColumns(rep)
+	fmt.Printf("sweep: %d cells\n\n", visible)
+	widthLabel := len("cell")
+	for _, l := range labels {
+		if len(l) > widthLabel {
+			widthLabel = len(l)
+		}
+	}
+	fmt.Printf("%-*s %-28s", widthLabel, "cell", "policy")
+	for _, col := range cols {
+		fmt.Printf(" %14s", col)
+	}
+	fmt.Println()
+	for i, c := range rep.Cells[:visible] {
+		fmt.Printf("%-*s %-28s", widthLabel, labels[i], c.PolicyName)
+		for _, col := range cols {
+			fmt.Printf(" %14s", cellValue(c, col, baseWaste))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// missingBaselines returns one hidden fixed-10m baseline cell per
+// group of cells (same assignments but the policy) that lacks one.
+func missingBaselines(cells []wild.Scenario) []wild.Scenario {
+	have := map[string]bool{}
+	for _, sc := range cells {
+		if sc.Policy == baselineSpec {
+			have[groupKey(sc)] = true
+		}
+	}
+	var extra []wild.Scenario
+	added := map[string]bool{}
+	for _, sc := range cells {
+		key := groupKey(sc)
+		if have[key] || added[key] {
+			continue
+		}
+		added[key] = true
+		base := sc
+		base.Policy = baselineSpec
+		extra = append(extra, base)
+	}
+	return extra
+}
+
+// groupKey identifies a cell's normalization group: its canonical
+// string with the policy assignment blanked.
+func groupKey(sc wild.Scenario) string {
+	sc.Policy = ""
+	return sc.String()
+}
+
+func scenariosOf(rep *wild.SweepReport) []wild.Scenario {
+	out := make([]wild.Scenario, len(rep.Cells))
+	for i, c := range rep.Cells {
+		out[i] = c.Scenario
+	}
+	return out
+}
+
+// displayColumns selects the table columns from the report's metric
+// union: raw totals are suppressed in favor of the normalized
+// wasted-memory column, everything else passes through.
+func displayColumns(rep *wild.SweepReport) []string {
+	suppress := map[string]bool{
+		"apps": true, "invocations": true, "cold_starts": true,
+		"eviction_cold_starts": true, "policy_cold_starts": true,
+	}
+	var cols []string
+	for _, name := range rep.MetricNames() {
+		switch {
+		case name == "wasted_seconds":
+			cols = append(cols, "wasted(%)")
+		case suppress[name]:
+		default:
+			cols = append(cols, name)
+		}
+	}
+	return cols
+}
+
+// cellValue renders one table cell; "-" marks metrics the cell's
+// sinks do not produce.
+func cellValue(c *wild.ScenarioResult, col string, baseWaste map[string]float64) string {
+	if col == "wasted(%)" {
+		w, ok := c.Metric("wasted_seconds")
+		if !ok {
+			return "-"
+		}
+		base, ok := baseWaste[groupKey(c.Scenario)]
+		if !ok || base == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", 100*w/base)
+	}
+	v, ok := c.Metric(col)
+	if !ok {
+		return "-"
+	}
+	if col == "evictions" {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
 }

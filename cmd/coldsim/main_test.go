@@ -1,0 +1,119 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	wild "repro"
+)
+
+// TestDesugarDeprecatedFlags pins that the pre-scenario flags keep
+// working by desugaring into the scenario grammar — the grammar is
+// the only parser left.
+func TestDesugarDeprecatedFlags(t *testing.T) {
+	g, err := desugar(deprecatedFlags{
+		trace: "inv.csv", memory: "mem.csv",
+		policies: "fixed?ka=20m, hybrid?range=4h&cv=5",
+		shard:    "0/4",
+		cluster:  "nodes=8,mem=4096,place=binpack?order=invocations",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	want := wild.Scenario{
+		Source: "csv:inv.csv",
+		Policy: "fixed?ka=20m",
+		Cluster: &wild.ScenarioCluster{
+			Nodes: 8, NodeMemMB: 4096,
+			Placement: "binpack?order=invocations", MemCSV: "mem.csv",
+		},
+		Shard: "0/4",
+	}
+	if cells[0].String() != want.String() {
+		t.Fatalf("cell 0 = %q, want %q", cells[0].String(), want.String())
+	}
+	if cells[1].Policy != "hybrid?range=4h&cv=5" {
+		t.Fatalf("cell 1 policy = %q", cells[1].Policy)
+	}
+}
+
+// TestDesugarSynthetic pins the synthetic-trace desugaring (the old
+// -apps/-days/-seed flags).
+func TestDesugarSynthetic(t *testing.T) {
+	g, err := desugar(deprecatedFlags{
+		apps: 400, days: 7, seed: 42, policies: defaultPolicies,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 {
+		t.Fatalf("cells = %d, want 5 default policies", len(cells))
+	}
+	wantSrc := "gen:apps=400&days=7&seed=42&maxrate=2000&maxevents=20000"
+	if cells[0].Source != wantSrc {
+		t.Fatalf("source = %q, want %q", cells[0].Source, wantSrc)
+	}
+}
+
+// TestDesugarClusterErrors pins that unknown -cluster keys still fail
+// fast with the old guidance.
+func TestDesugarClusterErrors(t *testing.T) {
+	_, err := desugar(deprecatedFlags{policies: "hybrid", cluster: "nodes=8,memory=4096"})
+	if err == nil || !strings.Contains(err.Error(), `unknown key "memory"`) {
+		t.Fatalf("err = %v, want unknown key", err)
+	}
+	_, err = desugar(deprecatedFlags{policies: "hybrid", cluster: "nodes"})
+	if err == nil || !strings.Contains(err.Error(), "want key=value") {
+		t.Fatalf("err = %v, want key=value", err)
+	}
+	// Bad values surface through the scenario grammar now.
+	_, err = desugar(deprecatedFlags{policies: "hybrid", cluster: "nodes=zero"})
+	if err == nil || !strings.Contains(err.Error(), "cluster.nodes") {
+		t.Fatalf("err = %v, want cluster.nodes error", err)
+	}
+}
+
+// TestMissingBaselines pins the implicit-baseline injection the
+// normalized wasted-memory column relies on.
+func TestMissingBaselines(t *testing.T) {
+	g, err := wild.ParseGrid("source=gen:apps=10; policy=[nounload,hybrid]; cluster.nodes=2; cluster.mem=[0,1024]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := missingBaselines(cells)
+	if len(extra) != 2 { // one per distinct cluster.mem group
+		t.Fatalf("extra baselines = %d, want 2 (%v)", len(extra), extra)
+	}
+	for _, sc := range extra {
+		if sc.Policy != baselineSpec {
+			t.Fatalf("baseline policy = %q", sc.Policy)
+		}
+	}
+	// A sweep that already includes the baseline gets no extras.
+	g2, err := wild.ParseGrid("source=gen:apps=10; policy=[fixed?ka=10m,hybrid]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells2, err := g2.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra := missingBaselines(cells2); len(extra) != 0 {
+		t.Fatalf("unexpected extra baselines: %v", extra)
+	}
+}

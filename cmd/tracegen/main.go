@@ -1,18 +1,23 @@
-// Command tracegen generates a synthetic FaaS trace calibrated to the
-// paper's published workload distributions and writes it in the
+// Command tracegen materializes a trace source and writes it in the
 // AzurePublicDataset CSV schemas (invocations per minute, duration
-// summaries, per-app memory).
+// summaries, per-app memory). The source is a scenario source spec —
+// the same grammar every other binary uses — so tracegen generates
+// synthetic populations, re-shards existing CSVs, or slices either.
 //
 // Usage:
+//
+//	tracegen -source 'gen:apps=500&days=7&seed=42' -out ./trace
+//	tracegen -source 'shard:2/8 of gen:apps=100000&seed=42' -out ./trace-shard2
+//	tracegen -source 'csv:big.csv' -out ./copy
+//
+// Deprecated aliases (desugared into the source grammar):
 //
 //	tracegen -apps 500 -days 7 -seed 42 -out ./trace
 //	tracegen -apps 100000 -shard 2/8 -out ./trace-shard2
 //
-// produces trace/invocations.csv, trace/durations.csv and
-// trace/memory.csv. With -shard i/n only the i-th of n interleaved
-// app shards is written — n invocations of tracegen (same seed)
-// partition one large population across files for multi-process
-// simulation sweeps.
+// With a shard source only the selected interleaved app shard is
+// written — n invocations of tracegen (same seed) partition one large
+// population across files for multi-process simulation sweeps.
 package main
 
 import (
@@ -21,10 +26,9 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"time"
 
+	"repro/internal/scenario"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -32,37 +36,43 @@ func main() {
 	log.SetPrefix("tracegen: ")
 
 	var (
-		apps    = flag.Int("apps", 500, "number of applications")
-		days    = flag.Float64("days", 7, "trace length in days")
-		seed    = flag.Uint64("seed", 42, "random seed")
-		maxRate = flag.Float64("max-rate", 20000, "cap on realized invocations/day per function")
-		maxEvts = flag.Int("max-events", 200000, "cap on events per function")
-		out     = flag.String("out", "trace", "output directory")
-		shard   = flag.String("shard", "", "i/n: write only the i-th of n interleaved app shards")
+		source = flag.String("source", "",
+			fmt.Sprintf("trace source spec (schemes: %v); replaces the deprecated flags below", scenario.SourceNames()))
+		out = flag.String("out", "trace", "output directory")
+
+		// Deprecated aliases, desugared into the source grammar.
+		apps    = flag.Int("apps", 500, "deprecated: number of applications (gen:apps=...)")
+		days    = flag.Float64("days", 7, "deprecated: trace length in days (gen:days=...)")
+		seed    = flag.Uint64("seed", 42, "deprecated: random seed (gen:seed=...)")
+		maxRate = flag.Float64("max-rate", 20000, "deprecated: cap on invocations/day per function (gen:maxrate=...)")
+		maxEvts = flag.Int("max-events", 200000, "deprecated: cap on events per function (gen:maxevents=...)")
+		shard   = flag.String("shard", "", "deprecated: i/n interleaved app shard (shard:i/n of ...)")
 	)
 	flag.Parse()
 
-	// The population streams out of the generator source app by app;
-	// only the (possibly sharded) subset being written is retained.
-	src, err := workload.NewSource(workload.Config{
-		Seed:                 *seed,
-		NumApps:              *apps,
-		Duration:             time.Duration(*days * 24 * float64(time.Hour)),
-		MaxDailyRate:         *maxRate,
-		MaxEventsPerFunction: *maxEvts,
-	})
+	spec := *source
+	if spec == "" {
+		spec = fmt.Sprintf("gen:apps=%d&days=%g&seed=%d&maxrate=%g&maxevents=%d",
+			*apps, *days, *seed, *maxRate, *maxEvts)
+		if *shard != "" {
+			spec = fmt.Sprintf("shard:%s of %s", *shard, spec)
+		}
+	} else if *shard != "" {
+		log.Fatal("-shard cannot be combined with -source; use 'shard:i/n of <spec>'")
+	}
+
+	factory, err := scenario.NewSource(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var picked trace.Source = src
-	if *shard != "" {
-		i, n, err := trace.ParseShard(*shard)
-		if err != nil {
-			log.Fatalf("-shard: %v", err)
-		}
-		picked = trace.Shard(src, i, n)
+	src, release, err := factory.Open()
+	if err != nil {
+		log.Fatal(err)
 	}
-	tr, err := trace.Collect(picked)
+	tr, err := trace.Collect(src)
+	if cerr := release(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,6 +101,6 @@ func main() {
 	write("memory.csv", func(f *os.File) error {
 		return trace.WriteMemoryCSV(f, tr)
 	})
-	fmt.Printf("generated %d apps, %d functions, %d invocations over %v\n",
-		len(tr.Apps), tr.TotalFunctions(), tr.TotalInvocations(), tr.Duration)
+	fmt.Printf("materialized %s: %d apps, %d functions, %d invocations over %v\n",
+		factory.Spec(), len(tr.Apps), tr.TotalFunctions(), tr.TotalInvocations(), tr.Duration)
 }

@@ -6,12 +6,17 @@
 // row (mem=inf) is bit-identical to the plain simulator; every
 // degradation above it is attributable to capacity, not to the
 // policy.
+//
+// The sweep is one Grid — policy × node memory over a shared
+// generator source — so the whole experiment is two axes and a print
+// loop; the engine materializes the trace once and runs the cells
+// concurrently.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
 	wild "repro"
 )
@@ -19,52 +24,56 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	pop, err := wild.Generate(wild.WorkloadConfig{
-		Seed:     21,
-		NumApps:  200,
-		Duration: 24 * time.Hour,
-	})
+	const nodes = 8
+	policies := []string{"hybrid", "fixed?ka=10m"}
+	capacities := []string{"512", "1024", "2048", "4096", "8192", "0"} // MB per node; 0 = infinite
+
+	cells, err := wild.ScenarioGrid{
+		Base: wild.Scenario{
+			Source: "gen:apps=200&days=1&seed=21",
+			Cluster: &wild.ScenarioCluster{
+				Nodes:     nodes,
+				Placement: "least-loaded",
+			},
+			Sinks: []string{"coldstart?q=50:75:99", "waste", "attribution", "util"},
+		},
+		Axes: []wild.ScenarioAxis{
+			{Key: "policy", Values: policies},
+			{Key: "cluster.mem", Values: capacities},
+		},
+	}.Scenarios()
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr := pop.Trace
+	rep, err := wild.RunSweep(context.Background(), cells)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	const nodes = 8
-	capacities := []float64{512, 1024, 2048, 4096, 8192, 0} // MB per node; 0 = infinite
-
-	for _, spec := range []string{"hybrid", "fixed?ka=10m"} {
-		pol := wild.MustFromSpec(spec)
-		fmt.Printf("policy %s on %d nodes (placement: least-loaded)\n", pol.Name(), nodes)
+	cell := 0
+	for range policies {
+		fmt.Printf("policy %s on %d nodes (placement: least-loaded)\n",
+			rep.Cells[cell].PolicyName, nodes)
 		fmt.Printf("%10s %12s %12s %12s %12s %10s %9s\n",
 			"mem(MB)", "cold(%)", "coldQ3(%)", "coldP99(%)", "evictCold(%)", "evictions", "util(%)")
 		for _, capMB := range capacities {
-			place, err := wild.NewPlacement("least-loaded")
-			if err != nil {
-				log.Fatal(err)
-			}
-			res := wild.SimulateCluster(tr, pol, wild.ClusterConfig{
-				Nodes:     nodes,
-				NodeMemMB: capMB,
-				Placement: place,
-			})
-			attr := wild.NewClusterAttributionSink()
-			cold := wild.NewColdStartSink()
-			for i, a := range res.Apps {
-				attr.Consume(i, a)
-				cold.Consume(i, a.AppResult)
-			}
+			c := rep.Cells[cell]
+			cell++
 			memLabel := "inf"
-			if capMB > 0 {
-				memLabel = fmt.Sprintf("%.0f", capMB)
+			if capMB != "0" {
+				memLabel = capMB
+			}
+			metric := func(name string) float64 {
+				v, _ := c.Metric(name)
+				return v
 			}
 			coldPct := 0.0
-			if n := res.TotalInvocations(); n > 0 {
-				coldPct = 100 * float64(res.TotalColdStarts()) / float64(n)
+			if inv := metric("invocations"); inv > 0 {
+				coldPct = 100 * metric("cold_starts") / inv
 			}
-			fmt.Printf("%10s %12.2f %12.2f %12.2f %12.2f %10d %9.1f\n",
-				memLabel, coldPct, cold.ThirdQuartile(), cold.Quantile(99),
-				attr.EvictionColdPercent(), attr.Evictions(),
-				wild.MeanClusterUtilizationPct(res))
+			fmt.Printf("%10s %12.2f %12.2f %12.2f %12.2f %10.0f %9.1f\n",
+				memLabel, coldPct, metric("cold_p75"), metric("cold_p99"),
+				metric("evict_cold_pct"), metric("evictions"), metric("util_pct"))
 		}
 		fmt.Println()
 	}

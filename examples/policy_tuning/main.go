@@ -1,40 +1,24 @@
 // Policy tuning: sweep the hybrid policy's histogram range, cutoff
 // percentiles and CV threshold over one workload, and print the
 // (cold starts, wasted memory) trade-off table — the §5.2 sensitivity
-// studies (Figures 15, 16 and 18) in miniature. Every variant is a
-// registry spec string, so the whole sweep is data, not plumbing.
+// studies (Figures 15, 16 and 18) in miniature. The whole sweep is
+// one Grid: a shared generator source, a policy axis, and the
+// baseline for normalization — every variant is data, the engine
+// materializes the trace once and runs the cells concurrently.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
 	wild "repro"
 )
 
+const source = "gen:apps=300&days=3&seed=7"
+
 func main() {
 	log.SetFlags(0)
-
-	pop, err := wild.Generate(wild.WorkloadConfig{
-		Seed:     7,
-		NumApps:  300,
-		Duration: 3 * 24 * time.Hour,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	tr := pop.Trace
-	base := wild.Simulate(tr, wild.MustFromSpec("fixed?ka=10m"))
-	row := func(spec string) {
-		pol, err := wild.FromSpec(spec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		r := wild.Simulate(tr, pol)
-		fmt.Printf("%-34s  coldQ3=%6.2f%%  wastedMem=%7.2f%%\n",
-			spec, wild.ThirdQuartileColdPercent(r), wild.NormalizedWastedMemory(r, base))
-	}
 
 	sweeps := []struct {
 		title string
@@ -53,13 +37,46 @@ func main() {
 			"fixed?ka=10m", "fixed?ka=1h", "fixed?ka=2h",
 		}},
 	}
+
+	// One grid covers every section: the baseline is cell 0 and each
+	// distinct spec appears once (the sections index into the cells).
+	policyAxis := []string{"fixed?ka=10m"}
+	cellOf := map[string]int{"fixed?ka=10m": 0}
+	for _, s := range sweeps {
+		for _, spec := range s.specs {
+			if _, dup := cellOf[spec]; !dup {
+				cellOf[spec] = len(policyAxis)
+				policyAxis = append(policyAxis, spec)
+			}
+		}
+	}
+	cells, err := wild.ScenarioGrid{
+		Base: wild.Scenario{Source: source, Sinks: []string{"coldstart", "waste"}},
+		Axes: []wild.ScenarioAxis{{Key: "policy", Values: policyAxis}},
+	}.Scenarios()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := wild.RunSweep(context.Background(), cells)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseWasted, _ := rep.Cells[0].Metric("wasted_seconds")
+
 	for i, s := range sweeps {
 		if i > 0 {
 			fmt.Println()
 		}
 		fmt.Printf("— %s —\n", s.title)
 		for _, spec := range s.specs {
-			row(spec)
+			c := rep.Cells[cellOf[spec]]
+			q3, _ := c.Metric("cold_p75")
+			wasted, _ := c.Metric("wasted_seconds")
+			wm := 0.0
+			if baseWasted > 0 {
+				wm = 100 * wasted / baseWasted
+			}
+			fmt.Printf("%-34s  coldQ3=%6.2f%%  wastedMem=%7.2f%%\n", spec, q3, wm)
 		}
 	}
 }

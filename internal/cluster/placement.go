@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"sync"
+
+	"repro/internal/spec"
 )
 
 // Placement decides which node hosts an application. The engine calls
@@ -50,15 +53,29 @@ type TracePreparer interface {
 
 // HashPlacement spreads apps by a stable hash of their ID: stateless,
 // coordination-free, and what a consistent-hashing front end degrades
-// to. It ignores load, so skewed app sizes skew nodes.
-type HashPlacement struct{}
+// to. It ignores load, so skewed app sizes skew nodes. A non-zero
+// Seed is mixed into the hash, giving an ensemble of independent
+// spreads for sensitivity sweeps ("hash?seed=3").
+type HashPlacement struct {
+	Seed uint64
+}
 
 // Name implements Placement.
-func (HashPlacement) Name() string { return "hash" }
+func (p HashPlacement) Name() string {
+	if p.Seed == 0 {
+		return "hash"
+	}
+	return fmt.Sprintf("hash?seed=%d", p.Seed)
+}
 
 // Place implements Placement.
-func (HashPlacement) Place(app Footprint, view View) int {
+func (p HashPlacement) Place(app Footprint, view View) int {
 	h := fnv.New64a()
+	if p.Seed != 0 {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], p.Seed)
+		h.Write(b[:])
+	}
 	h.Write([]byte(app.ID))
 	return int(h.Sum64() % uint64(view.NumNodes()))
 }
@@ -82,19 +99,39 @@ func (LeastLoadedPlacement) Place(app Footprint, view View) int {
 	return best
 }
 
+// Bin-packing sort orders ("binpack?order=..."): which footprint
+// dimension first-fit-decreasing sorts on.
+const (
+	// BinPackBySize packs largest memory footprint first (default).
+	BinPackBySize = "size"
+	// BinPackByInvocations packs most-invoked apps first — spreads the
+	// hot apps before the big ones, a latency-oriented variant.
+	BinPackByInvocations = "invocations"
+	// BinPackByTrace packs in trace order (no sort) — pure first-fit,
+	// the weakest static baseline.
+	BinPackByTrace = "trace"
+)
+
 // BinPackPlacement assigns offline by first-fit decreasing: apps
-// sorted by memory footprint (largest first) are packed onto the
-// first node whose static assignment still fits the capacity; when
-// nothing fits, the least-assigned node takes the overflow. It needs
-// the whole trace up front (TracePreparer) and models a planner with
-// global knowledge — the strongest static baseline against the online
-// policies.
+// sorted by Order (largest memory first by default) are packed onto
+// the first node whose static assignment still fits the capacity;
+// when nothing fits, the least-assigned node takes the overflow. It
+// needs the whole trace up front (TracePreparer) and models a planner
+// with global knowledge — the strongest static baseline against the
+// online policies.
 type BinPackPlacement struct {
+	// Order selects the first-fit sort key (BinPackBySize when empty).
+	Order  string
 	assign map[string]int
 }
 
 // Name implements Placement.
-func (*BinPackPlacement) Name() string { return "binpack" }
+func (p *BinPackPlacement) Name() string {
+	if p.Order == "" || p.Order == BinPackBySize {
+		return "binpack"
+	}
+	return fmt.Sprintf("binpack?order=%s", p.Order)
+}
 
 // Prepare implements TracePreparer.
 func (p *BinPackPlacement) Prepare(apps []Footprint, nodes int, capacityMB float64) {
@@ -102,10 +139,20 @@ func (p *BinPackPlacement) Prepare(apps []Footprint, nodes int, capacityMB float
 	for i := range order {
 		order[i] = i
 	}
-	// Largest-first; ties keep trace order for determinism.
-	sort.SliceStable(order, func(a, b int) bool {
-		return apps[order[a]].MemMB > apps[order[b]].MemMB
-	})
+	// Largest-first on the configured key; ties keep trace order for
+	// determinism.
+	switch p.Order {
+	case BinPackByInvocations:
+		sort.SliceStable(order, func(a, b int) bool {
+			return apps[order[a]].Invocations > apps[order[b]].Invocations
+		})
+	case BinPackByTrace:
+		// Trace order: no sort.
+	default:
+		sort.SliceStable(order, func(a, b int) bool {
+			return apps[order[a]].MemMB > apps[order[b]].MemMB
+		})
+	}
 	assigned := make([]float64, nodes)
 	p.assign = make(map[string]int, len(apps))
 	for _, i := range order {
@@ -141,34 +188,56 @@ func (p *BinPackPlacement) Place(app Footprint, view View) int {
 	return HashPlacement{}.Place(app, view)
 }
 
-// The placement registry mirrors the policy registry: short names so
-// binaries and examples configure placements through one path.
+// The placement registry mirrors the policy registry: specs are
+//
+//	name?key=value&key=value
+//
+// ("binpack?order=invocations", "hash?seed=3"), with bare names
+// selecting the defaults, so binaries and examples configure
+// placements through one parsed-spec path. Unknown names and unknown
+// keys are errors.
+
+// PlacementBuilder constructs a placement from a spec's parameters.
+type PlacementBuilder func(p *spec.Params) (Placement, error)
 
 var (
 	placementMu  sync.RWMutex
-	placementReg = map[string]func() Placement{}
+	placementReg = map[string]PlacementBuilder{}
 )
 
-// RegisterPlacement adds a named placement constructor. Registering a
+// RegisterPlacement adds a named placement builder. Registering a
 // duplicate name panics (programming error).
-func RegisterPlacement(name string, ctor func() Placement) {
+func RegisterPlacement(name string, b PlacementBuilder) {
 	placementMu.Lock()
 	defer placementMu.Unlock()
 	if _, dup := placementReg[name]; dup {
 		panic(fmt.Sprintf("cluster: RegisterPlacement(%q) called twice", name))
 	}
-	placementReg[name] = ctor
+	placementReg[name] = b
 }
 
-// NewPlacement builds a registered placement by name.
-func NewPlacement(name string) (Placement, error) {
+// NewPlacement builds a registered placement from a spec ("hash",
+// "binpack?order=invocations"). Bare names select the defaults.
+func NewPlacement(s string) (Placement, error) {
+	name, query := spec.Split(s)
 	placementMu.RLock()
-	ctor, ok := placementReg[name]
+	b, ok := placementReg[name]
 	placementMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown placement %q (registered: %v)", name, PlacementNames())
 	}
-	return ctor(), nil
+	p, err := spec.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: placement spec %q: %w", s, err)
+	}
+	pl, err := b(p)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: placement spec %q: %w", s, err)
+	}
+	if left := p.Unused(); len(left) > 0 {
+		return nil, fmt.Errorf("cluster: placement spec %q: unknown parameters %v", s, left)
+	}
+	return pl, nil
 }
 
 // PlacementNames returns the registered placement names, sorted.
@@ -184,7 +253,24 @@ func PlacementNames() []string {
 }
 
 func init() {
-	RegisterPlacement("hash", func() Placement { return HashPlacement{} })
-	RegisterPlacement("least-loaded", func() Placement { return LeastLoadedPlacement{} })
-	RegisterPlacement("binpack", func() Placement { return &BinPackPlacement{} })
+	RegisterPlacement("hash", func(p *spec.Params) (Placement, error) {
+		seed, err := p.Uint64("seed", 0)
+		if err != nil {
+			return nil, err
+		}
+		return HashPlacement{Seed: seed}, nil
+	})
+	RegisterPlacement("least-loaded", func(*spec.Params) (Placement, error) {
+		return LeastLoadedPlacement{}, nil
+	})
+	RegisterPlacement("binpack", func(p *spec.Params) (Placement, error) {
+		order := p.String("order", BinPackBySize)
+		switch order {
+		case BinPackBySize, BinPackByInvocations, BinPackByTrace:
+		default:
+			return nil, fmt.Errorf("parameter order: unknown %q (%s, %s, %s)",
+				order, BinPackBySize, BinPackByInvocations, BinPackByTrace)
+		}
+		return &BinPackPlacement{Order: order}, nil
+	})
 }

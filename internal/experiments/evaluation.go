@@ -9,6 +9,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/policy"
 	"repro/internal/replay"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -260,26 +261,38 @@ func Figure19(tr *trace.Trace, workers int) *Figure {
 // PolicySweep simulates an arbitrary set of registry policy specs
 // (e.g. "hybrid?cv=5", "fixed?ka=30m") over tr and tabulates their
 // (cold starts, wasted memory) trade-off against the 10-minute fixed
-// baseline — the Figure 15 plane for user-supplied policies.
-func PolicySweep(tr *trace.Trace, specs []string, workers int) (*Figure, error) {
+// baseline — the Figure 15 plane for user-supplied policies. It is a
+// thin Grid consumer: the specs become a policy axis, the baseline is
+// cell 0, and the scenario sweep engine runs the cells.
+func PolicySweep(ctx context.Context, tr *trace.Trace, specs []string, workers int) (*Figure, error) {
 	f := &Figure{
 		ID: "extra-policy-sweep", Title: "Custom policy sweep (registry specs)",
 		XLabel: "3rd-quartile app cold start (%)", YLabel: "normalized wasted memory (%)",
 	}
-	base := baseline10min(tr, workers)
+	cells, err := scenario.Grid{
+		Base: scenario.Scenario{Sinks: []string{"coldstart", "waste"}, Workers: workers},
+		Axes: []scenario.Axis{{Key: "policy", Values: append([]string{"fixed?ka=10m"}, specs...)}},
+	}.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := scenario.RunSweep(ctx, cells, scenario.WithFixedTrace(tr))
+	if err != nil {
+		return nil, err
+	}
+	baseWasted, _ := rep.Cells[0].Metric("wasted_seconds")
 	f.Table = [][]string{{"Spec", "Policy", "ColdQ3 (%)", "WastedMem (% of fixed-10m)"}}
 	var pts []stats.Point
-	for _, spec := range specs {
-		pol, err := policy.FromSpec(spec)
-		if err != nil {
-			return nil, err
+	for i, c := range rep.Cells[1:] {
+		q3, _ := c.Metric("cold_p75")
+		wasted, _ := c.Metric("wasted_seconds")
+		wm := 0.0
+		if baseWasted > 0 {
+			wm = 100 * wasted / baseWasted
 		}
-		r := sim.Simulate(tr, pol, sim.Options{Workers: workers})
-		q3 := metrics.ThirdQuartileColdPercent(r)
-		wm := metrics.NormalizedWastedMemory(r, base)
 		pts = append(pts, stats.Point{X: q3, Y: wm})
 		f.Table = append(f.Table, []string{
-			spec, r.Policy, fmt.Sprintf("%.2f", q3), fmt.Sprintf("%.2f", wm),
+			specs[i], c.PolicyName, fmt.Sprintf("%.2f", q3), fmt.Sprintf("%.2f", wm),
 		})
 	}
 	f.Series = []Series{{Name: "custom policies", Points: pts}}

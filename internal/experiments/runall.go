@@ -126,7 +126,7 @@ func RunAll(ctx context.Context, cfg Config, progress io.Writer) ([]*Figure, err
 			return nil, err
 		}
 		start := time.Now()
-		fig, err := PolicySweep(tr, cfg.PolicySpecs, cfg.Workers)
+		fig, err := PolicySweep(ctx, tr, cfg.PolicySpecs, cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: policy sweep: %w", err)
 		}

@@ -2,14 +2,12 @@ package policy
 
 import (
 	"fmt"
-	"net/url"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/forecast"
+	"repro/internal/spec"
 )
 
 // The policy registry maps short names to builders so every binary,
@@ -21,97 +19,15 @@ import (
 // with URL query syntax, e.g. "fixed?ka=20m", "hybrid?cv=2&range=4h",
 // "hybrid?arima=off". Unknown names and unknown keys are errors (a
 // typo fails fast instead of silently simulating the default).
+//
+// The grammar and parameter machinery are shared with every other
+// component registry (placements, trace sources, metric sinks) via
+// internal/spec.
 
 // SpecParams carries a spec's parsed parameters to a Builder. Typed
 // accessors record which keys were consumed; FromSpec rejects specs
 // with leftover (misspelled) keys afterwards.
-type SpecParams struct {
-	vals url.Values
-	used map[string]bool
-}
-
-// Duration returns the named parameter parsed by time.ParseDuration,
-// or def when absent.
-func (p *SpecParams) Duration(key string, def time.Duration) (time.Duration, error) {
-	s, ok := p.take(key)
-	if !ok {
-		return def, nil
-	}
-	d, err := time.ParseDuration(s)
-	if err != nil {
-		return 0, fmt.Errorf("parameter %s: %w", key, err)
-	}
-	return d, nil
-}
-
-// Float returns the named float parameter, or def when absent.
-func (p *SpecParams) Float(key string, def float64) (float64, error) {
-	s, ok := p.take(key)
-	if !ok {
-		return def, nil
-	}
-	f, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return 0, fmt.Errorf("parameter %s: %w", key, err)
-	}
-	return f, nil
-}
-
-// Int returns the named integer parameter, or def when absent.
-func (p *SpecParams) Int(key string, def int) (int, error) {
-	s, ok := p.take(key)
-	if !ok {
-		return def, nil
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil {
-		return 0, fmt.Errorf("parameter %s: %w", key, err)
-	}
-	return n, nil
-}
-
-// Bool returns the named boolean parameter (true/false, on/off, 1/0),
-// or def when absent.
-func (p *SpecParams) Bool(key string, def bool) (bool, error) {
-	s, ok := p.take(key)
-	if !ok {
-		return def, nil
-	}
-	switch s {
-	case "true", "on", "1", "yes":
-		return true, nil
-	case "false", "off", "0", "no":
-		return false, nil
-	}
-	return false, fmt.Errorf("parameter %s: invalid boolean %q", key, s)
-}
-
-// String returns the named string parameter, or def when absent.
-func (p *SpecParams) String(key, def string) string {
-	if s, ok := p.take(key); ok {
-		return s
-	}
-	return def
-}
-
-func (p *SpecParams) take(key string) (string, bool) {
-	if !p.vals.Has(key) {
-		return "", false
-	}
-	p.used[key] = true
-	return p.vals.Get(key), true
-}
-
-func (p *SpecParams) unused() []string {
-	var left []string
-	for k := range p.vals {
-		if !p.used[k] {
-			left = append(left, k)
-		}
-	}
-	sort.Strings(left)
-	return left
-}
+type SpecParams = spec.Params
 
 // Builder constructs a policy from a spec's parameters.
 type Builder func(p *SpecParams) (Policy, error)
@@ -147,28 +63,24 @@ func SpecNames() []string {
 
 // FromSpec parses a policy spec ("hybrid?cv=2&range=4h") and builds
 // the policy through the registry.
-func FromSpec(spec string) (Policy, error) {
-	name, query := spec, ""
-	if i := strings.IndexByte(spec, '?'); i >= 0 {
-		name, query = spec[:i], spec[i+1:]
-	}
+func FromSpec(s string) (Policy, error) {
+	name, query := spec.Split(s)
 	regMu.RLock()
 	b, ok := registry[name]
 	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("policy: unknown policy %q (registered: %v)", name, SpecNames())
 	}
-	vals, err := url.ParseQuery(query)
+	p, err := spec.Parse(query)
 	if err != nil {
-		return nil, fmt.Errorf("policy: spec %q: %w", spec, err)
+		return nil, fmt.Errorf("policy: spec %q: %w", s, err)
 	}
-	p := &SpecParams{vals: vals, used: map[string]bool{}}
 	pol, err := b(p)
 	if err != nil {
-		return nil, fmt.Errorf("policy: spec %q: %w", spec, err)
+		return nil, fmt.Errorf("policy: spec %q: %w", s, err)
 	}
-	if left := p.unused(); len(left) > 0 {
-		return nil, fmt.Errorf("policy: spec %q: unknown parameters %v", spec, left)
+	if left := p.Unused(); len(left) > 0 {
+		return nil, fmt.Errorf("policy: spec %q: unknown parameters %v", s, left)
 	}
 	return pol, nil
 }

@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestGridExpansion pins the cartesian product: earlier axes vary
+// slowest, base assignments are shared, cells append at the end.
+func TestGridExpansion(t *testing.T) {
+	g, err := ParseGrid("source=gen:apps=10; policy=[fixed?ka=10m,hybrid]; cluster.nodes=2; cluster.mem=[1024,2048]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, c := range cells {
+		got = append(got, c.String())
+	}
+	want := []string{
+		"source=gen:apps=10; policy=fixed?ka=10m; cluster.nodes=2; cluster.mem=1024",
+		"source=gen:apps=10; policy=fixed?ka=10m; cluster.nodes=2; cluster.mem=2048",
+		"source=gen:apps=10; policy=hybrid; cluster.nodes=2; cluster.mem=1024",
+		"source=gen:apps=10; policy=hybrid; cluster.nodes=2; cluster.mem=2048",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("expansion = %q, want %q", got, want)
+	}
+}
+
+// TestGridNoAxes pins that a plain scenario parses as a 1-cell grid.
+func TestGridNoAxes(t *testing.T) {
+	g, err := ParseGrid("source=gen:apps=10; policy=hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Policy != "hybrid" {
+		t.Fatalf("cells = %+v", cells)
+	}
+}
+
+// TestGridJSON pins the JSON form: base + axes + explicit cells, and
+// the single-scenario fallback.
+func TestGridJSON(t *testing.T) {
+	g, err := ParseGrid(`{
+		"base": {"source": "gen:apps=10", "sinks": ["coldstart", "waste"]},
+		"axes": [{"key": "policy", "values": ["fixed?ka=10m", "hybrid"]}],
+		"cells": [{"source": "gen:apps=10", "policy": "nounload", "cluster": {"nodes": 2, "mem": 512}}]
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 3 (2 axis values + 1 explicit)", len(cells))
+	}
+	if cells[2].Cluster == nil || cells[2].Cluster.Nodes != 2 {
+		t.Fatalf("explicit cell = %+v", cells[2])
+	}
+
+	single, err := ParseGrid(`{"source": "gen:apps=10", "policy": "hybrid"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err = single.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Policy != "hybrid" {
+		t.Fatalf("single-scenario grid cells = %+v", cells)
+	}
+}
+
+// TestGridCellListOnly pins that a pure cell list does not leak the
+// empty base as a cell.
+func TestGridCellListOnly(t *testing.T) {
+	g, err := ParseGrid(`{"cells": [
+		{"source": "gen:apps=10", "policy": "fixed?ka=10m"},
+		{"source": "gen:apps=10", "policy": "hybrid", "cluster": {"nodes": 2}}
+	]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+}
+
+// TestGridParseErrors pins fail-fast axis validation: a bad value in
+// a list errors at parse, not mid-sweep.
+func TestGridParseErrors(t *testing.T) {
+	cases := []struct{ spec, wantSub string }{
+		{"policy=[fixed,hybrid]; polcy=x", `unknown field "polcy"`},
+		{"cluster.mem=[1024,none]", "cluster.mem"},
+		{"policy=[]", "empty list"},
+		{"shard=[0/2,2/2]", "want i/n or */n"},
+		{`{"base": {"source": "gen:"}, "axs": []}`, "axs"},
+	}
+	for _, c := range cases {
+		_, err := ParseGrid(c.spec)
+		if err == nil {
+			t.Errorf("grid %q: no error", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("grid %q: error %q missing %q", c.spec, err, c.wantSub)
+		}
+	}
+}

@@ -1,0 +1,546 @@
+package scenario
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// CellSink pairs a built sink with the spec that selected it.
+type CellSink struct {
+	Spec string
+	Sink Sink
+}
+
+// CellResult is the outcome of one executed scenario: the scenario
+// itself plus its drained sinks. For a fanned-out shard scenario
+// ("*/n") the sinks are the n per-shard sinks merged in shard order.
+type CellResult struct {
+	Scenario Scenario
+	// PolicyName is the built policy's report name.
+	PolicyName string
+	// Sinks holds the drained sinks in spec order.
+	Sinks []CellSink
+	// MemDefaulted counts apps charged the default memory because the
+	// cluster.memcsv table did not cover them (0 without a table).
+	MemDefaulted int
+}
+
+// Metric returns the named metric from the cell's sinks (first match
+// in sink order).
+func (c *CellResult) Metric(name string) (float64, bool) {
+	for _, s := range c.Sinks {
+		for _, m := range s.Sink.Metrics() {
+			if m.Name == name {
+				return m.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Metrics returns all sink metrics in sink-then-metric order.
+func (c *CellResult) Metrics() []Metric {
+	var out []Metric
+	for _, s := range c.Sinks {
+		out = append(out, s.Sink.Metrics()...)
+	}
+	return out
+}
+
+// Option configures RunScenario / RunSweep.
+type Option func(*runOptions)
+
+type runOptions struct {
+	fixedTrace   *trace.Trace
+	sweepWorkers int
+}
+
+// WithFixedTrace supplies an already-materialized trace to every
+// cell, overriding the cells' Source specs (the Seed field is ignored
+// too). This is how callers that hold a trace in memory — the
+// experiment harness, tests — drive the scenario path without a
+// serializable source.
+func WithFixedTrace(tr *trace.Trace) Option {
+	return func(o *runOptions) { o.fixedTrace = tr }
+}
+
+// WithSweepWorkers bounds how many cells (and fanned-out shard runs)
+// execute concurrently (default GOMAXPROCS). Results are independent
+// of the bound.
+func WithSweepWorkers(n int) Option {
+	return func(o *runOptions) { o.sweepWorkers = n }
+}
+
+// RunScenario executes one scenario and returns its drained sinks.
+func RunScenario(ctx context.Context, sc Scenario, opts ...Option) (*CellResult, error) {
+	rep, err := RunSweep(ctx, []Scenario{sc}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Cells[0], nil
+}
+
+// openFn opens a fresh, full (unsharded) source for one run.
+type openFn func() (trace.Source, func() error, error)
+
+// unit is one schedulable run: a cell, or one shard of a fanned-out
+// cell.
+type unit struct {
+	cell     int
+	shardIdx int // position among the cell's units
+	sc       Scenario
+	shardI   int // -1 when unsharded
+	shardN   int
+	open     openFn
+}
+
+// unitResult is what one executed unit contributes to its cell.
+type unitResult struct {
+	sinks      []CellSink
+	policyName string
+	defaulted  int
+}
+
+// RunSweep executes the expanded cells of a grid concurrently over a
+// bounded worker pool and returns the per-cell sink summaries.
+//
+// Cells with byte-identical resolved source specs share one
+// materialized trace (sources are deterministic, so sharing changes
+// nothing but work). A cell with Shard "*/n" fans out into n shard
+// runs — scheduled on the same pool — whose sinks are merged in shard
+// order via their exact Merges. Every cell's execution is exactly
+// RunScenario's, so a sweep's results are bit-identical to running
+// each expanded scenario sequentially.
+func RunSweep(ctx context.Context, cells []Scenario, opts ...Option) (*SweepReport, error) {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("scenario: empty sweep")
+	}
+
+	// Resolve one source factory per distinct resolved spec; identical
+	// sources share the factory (and so, for generator sources, the
+	// one materialized trace).
+	opens := make([]openFn, len(cells))
+	if o.fixedTrace != nil {
+		tr := o.fixedTrace
+		for i := range cells {
+			opens[i] = func() (trace.Source, func() error, error) {
+				return trace.NewTraceSource(tr), func() error { return nil }, nil
+			}
+		}
+	} else {
+		factories := map[string]SourceFactory{}
+		for i, sc := range cells {
+			f, err := sourceForScenario(sc)
+			if err != nil {
+				return nil, fmt.Errorf("cell %d (%s): %w", i, sc, err)
+			}
+			key := f.Spec()
+			if shared, ok := factories[key]; ok {
+				f = shared
+			} else {
+				factories[key] = f
+			}
+			opens[i] = f.Open
+		}
+	}
+
+	// Expand cells into schedulable units (shard fan-out), validating
+	// every component spec up front: a typo in any cell fails here,
+	// before any cell simulates.
+	var units []unit
+	unitsPerCell := make([][]int, len(cells))
+	for ci, sc := range cells {
+		if err := validateCell(sc); err != nil {
+			return nil, fmt.Errorf("cell %d (%s): %w", ci, sc, err)
+		}
+		add := func(u unit) {
+			unitsPerCell[ci] = append(unitsPerCell[ci], len(units))
+			units = append(units, u)
+		}
+		if sc.Shard == "" {
+			add(unit{cell: ci, sc: sc, shardI: -1, open: opens[ci]})
+			continue
+		}
+		i, n, all, err := parseShardField(sc.Shard)
+		if err != nil {
+			return nil, fmt.Errorf("cell %d (%s): %w", ci, sc, err)
+		}
+		if !all {
+			add(unit{cell: ci, sc: sc, shardI: i, shardN: n, open: opens[ci]})
+			continue
+		}
+		for s := 0; s < n; s++ {
+			add(unit{cell: ci, shardIdx: s, sc: sc, shardI: s, shardN: n, open: opens[ci]})
+		}
+	}
+
+	workers := o.sweepWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+
+	results := make([]unitResult, len(units))
+	errs := make([]error, len(units))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	go func() {
+		defer close(next)
+		for i := range units {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := runUnit(ctx, units[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("cell %d (%s): %w", units[i].cell, units[i].sc, err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Assemble cells: merge fanned-out shard sinks in shard order.
+	rep := &SweepReport{Cells: make([]*CellResult, len(cells))}
+	for ci, sc := range cells {
+		idxs := unitsPerCell[ci]
+		first := results[idxs[0]]
+		cell := &CellResult{
+			Scenario:     sc,
+			PolicyName:   first.policyName,
+			Sinks:        first.sinks,
+			MemDefaulted: first.defaulted,
+		}
+		for _, ui := range idxs[1:] {
+			r := results[ui]
+			for si, cs := range cell.Sinks {
+				if err := cs.Sink.Merge(r.sinks[si].Sink); err != nil {
+					return nil, err
+				}
+			}
+			cell.MemDefaulted += r.defaulted
+		}
+		rep.Cells[ci] = cell
+	}
+	return rep, nil
+}
+
+// validateCell builds (and discards) every component spec of a cell —
+// policy, sinks, placement — and checks the memory table exists, so a
+// sweep fails fast on any typo instead of mid-run.
+func validateCell(sc Scenario) error {
+	if sc.Policy == "" {
+		return fmt.Errorf("scenario: missing policy")
+	}
+	if _, err := policy.FromSpec(sc.Policy); err != nil {
+		return err
+	}
+	specs, err := sinkSpecsFor(sc)
+	if err != nil {
+		return err
+	}
+	for _, s := range specs {
+		built, err := NewSink(s)
+		if err != nil {
+			return err
+		}
+		if _, ok := built.(sim.ResultSink); !ok && sc.Cluster == nil {
+			return fmt.Errorf("scenario: sink %q requires a cluster scenario", s)
+		}
+	}
+	if sc.Cluster != nil {
+		placeSpec := sc.Cluster.Placement
+		if placeSpec == "" {
+			placeSpec = "hash"
+		}
+		if _, err := cluster.NewPlacement(placeSpec); err != nil {
+			return err
+		}
+		if sc.Cluster.MemCSV != "" {
+			if _, err := os.Stat(sc.Cluster.MemCSV); err != nil {
+				return fmt.Errorf("scenario: cluster.memcsv: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// sinkSpecsFor returns the cell's sink specs, applying the defaults:
+// coldstart and waste, plus attribution and util on cluster runs.
+func sinkSpecsFor(sc Scenario) ([]string, error) {
+	if len(sc.Sinks) > 0 {
+		return sc.Sinks, nil
+	}
+	if sc.Cluster != nil {
+		return []string{"coldstart", "waste", "attribution", "util"}, nil
+	}
+	return []string{"coldstart", "waste"}, nil
+}
+
+// runUnit executes one unit: fresh policy, fresh sinks, one
+// simulation (batch or cluster).
+func runUnit(ctx context.Context, u unit) (unitResult, error) {
+	sc := u.sc
+	pol, err := policy.FromSpec(sc.Policy)
+	if err != nil {
+		return unitResult{}, err
+	}
+	specs, err := sinkSpecsFor(sc)
+	if err != nil {
+		return unitResult{}, err
+	}
+	sinks := make([]CellSink, len(specs))
+	for i, s := range specs {
+		built, err := NewSink(s)
+		if err != nil {
+			return unitResult{}, err
+		}
+		sinks[i] = CellSink{Spec: s, Sink: built}
+	}
+
+	src, release, err := u.open()
+	if err != nil {
+		return unitResult{}, err
+	}
+	defer release()
+	if u.shardI >= 0 {
+		if src, err = shardOf(src, u.shardI, u.shardN); err != nil {
+			return unitResult{}, err
+		}
+	}
+
+	res := unitResult{policyName: pol.Name(), sinks: sinks}
+	if sc.Cluster == nil {
+		simOpts := []sim.Option{sim.WithWorkers(sc.Workers), sim.WithExecTime(sc.ExecTime)}
+		for _, cs := range sinks {
+			rs, ok := cs.Sink.(sim.ResultSink)
+			if !ok {
+				return unitResult{}, fmt.Errorf("scenario: sink %q requires a cluster scenario", cs.Spec)
+			}
+			simOpts = append(simOpts, sim.WithSink(rs))
+		}
+		if _, err := sim.Run(ctx, src, pol, simOpts...); err != nil {
+			return unitResult{}, err
+		}
+		return res, nil
+	}
+
+	// Cluster run: the timeline needs the whole (shard of the)
+	// workload; the memory table, when present, applies to a private
+	// copy so a trace shared across cells stays pristine.
+	tr, err := materialize(src)
+	if err != nil {
+		return unitResult{}, err
+	}
+	if sc.Cluster.MemCSV != "" {
+		tr, res.defaulted, err = applyMemCSV(tr, sc.Cluster.MemCSV)
+		if err != nil {
+			return unitResult{}, err
+		}
+	}
+	placeSpec := sc.Cluster.Placement
+	if placeSpec == "" {
+		placeSpec = "hash"
+	}
+	place, err := cluster.NewPlacement(placeSpec)
+	if err != nil {
+		return unitResult{}, err
+	}
+	cfg := cluster.Config{
+		Nodes:       sc.Cluster.Nodes,
+		NodeMemMB:   sc.Cluster.NodeMemMB,
+		Placement:   place,
+		UseExecTime: sc.ExecTime,
+		Workers:     sc.Workers,
+	}
+	var clOpts []cluster.Option
+	var observers []clusterObserver
+	for _, cs := range sinks {
+		attached := false
+		if rs, ok := cs.Sink.(sim.ResultSink); ok {
+			clOpts = append(clOpts, cluster.WithSink(rs))
+			attached = true
+		}
+		if csnk, ok := cs.Sink.(cluster.Sink); ok {
+			clOpts = append(clOpts, cluster.WithClusterSink(csnk))
+			attached = true
+		}
+		if obs, ok := cs.Sink.(clusterObserver); ok {
+			observers = append(observers, obs)
+			attached = true
+		}
+		if !attached {
+			return unitResult{}, fmt.Errorf("scenario: sink %q consumes neither app nor cluster outcomes", cs.Spec)
+		}
+	}
+	clRes, err := cluster.Run(ctx, trace.NewTraceSource(tr), pol, cfg, clOpts...)
+	if err != nil {
+		return unitResult{}, err
+	}
+	for _, obs := range observers {
+		obs.ObserveCluster(clRes)
+	}
+	return res, nil
+}
+
+// shardOf restricts src to its i-th of n interleaved shards, keeping
+// in-memory sources on the deterministic batch path (see
+// shardFactory.Open for the same rule on source specs).
+func shardOf(src trace.Source, i, n int) (trace.Source, error) {
+	if n <= 1 {
+		return src, nil
+	}
+	if tr := trace.BatchTrace(src); tr != nil {
+		sh, err := trace.Collect(trace.Shard(trace.NewTraceSource(tr), i, n))
+		if err != nil {
+			return nil, err
+		}
+		return trace.NewTraceSource(sh), nil
+	}
+	return trace.Shard(src, i, n), nil
+}
+
+// materialize recovers the in-memory trace behind src without
+// re-walking consumed apps, collecting streaming sources fully.
+func materialize(src trace.Source) (*trace.Trace, error) {
+	if tr := trace.BatchTrace(src); tr != nil {
+		return tr, nil
+	}
+	return trace.Collect(src)
+}
+
+// applyMemCSV applies a per-app memory table to a private copy of tr
+// (the original may be shared across sweep cells).
+func applyMemCSV(tr *trace.Trace, path string) (*trace.Trace, int, error) {
+	clone := &trace.Trace{Duration: tr.Duration, Apps: make([]*trace.App, len(tr.Apps))}
+	for i, a := range tr.Apps {
+		cp := *a
+		clone.Apps[i] = &cp
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	defaulted, err := trace.ApplyMemoryCSVDefault(f, clone, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return clone, defaulted, nil
+}
+
+// SweepReport is the outcome of a sweep: one CellResult per expanded
+// scenario, in cell order.
+type SweepReport struct {
+	Cells []*CellResult
+}
+
+// MetricNames returns the union of the cells' metric names in first-
+// appearance order — the sweep's natural column set.
+func (r *SweepReport) MetricNames() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		for _, m := range c.Metrics() {
+			if !seen[m.Name] {
+				seen[m.Name] = true
+				names = append(names, m.Name)
+			}
+		}
+	}
+	return names
+}
+
+// Labels returns one compact label per cell: the assignments that
+// vary across the sweep.
+func (r *SweepReport) Labels() []string {
+	cells := make([]Scenario, len(r.Cells))
+	for i, c := range r.Cells {
+		cells[i] = c.Scenario
+	}
+	return Labels(cells)
+}
+
+// WriteCSV renders the report as CSV: a scenario column (canonical
+// string) and one column per metric; cells without a metric leave the
+// field empty.
+func (r *SweepReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	names := r.MetricNames()
+	if err := cw.Write(append([]string{"scenario", "policy"}, names...)); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		row := []string{c.Scenario.String(), c.PolicyName}
+		for _, n := range names {
+			if v, ok := c.Metric(n); ok {
+				row = append(row, fmt.Sprintf("%g", v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// reportCellJSON is the JSON rendering of one cell.
+type reportCellJSON struct {
+	Scenario string   `json:"scenario"`
+	Policy   string   `json:"policy"`
+	Metrics  []Metric `json:"metrics"`
+}
+
+// WriteJSON renders the report as a JSON array of cells with ordered
+// metric lists.
+func (r *SweepReport) WriteJSON(w io.Writer) error {
+	out := make([]reportCellJSON, len(r.Cells))
+	for i, c := range r.Cells {
+		out[i] = reportCellJSON{
+			Scenario: c.Scenario.String(),
+			Policy:   c.PolicyName,
+			Metrics:  c.Metrics(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}

@@ -1,0 +1,338 @@
+// Package scenario makes a whole simulation run — trace source,
+// policy, cluster shape, metric sinks, sharding — one first-class,
+// serializable value. A Scenario is configuration as data: it parses
+// from a compact text grammar or JSON, prints back canonically
+// (ParseScenario / Scenario.String round-trip), and is built entirely
+// from component registries (policy specs, placement specs, source
+// specs, sink specs), so every binary, example and experiment drives
+// the system through one declarative path instead of per-flag
+// plumbing. On top of it, Grid expands list-valued fields into the
+// cells of a sweep and RunSweep executes them (see grid.go, run.go).
+//
+// The text grammar is semicolon-separated field assignments:
+//
+//	source=gen:apps=400&seed=7; policy=hybrid?cv=2; cluster.nodes=8;
+//	cluster.mem=4096; cluster.place=binpack?order=invocations;
+//	sinks=coldstart,waste; workers=4; shard=0/4; exectime=on; seed=9
+//
+// Unknown field keys, malformed values and unknown component names
+// are errors — a typo fails fast instead of silently simulating the
+// default.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Scenario is one fully-described run. Component fields (Source,
+// Policy, Cluster.Placement, Sinks) hold registry specs, so the whole
+// value serializes; zero values select documented defaults at run
+// time.
+type Scenario struct {
+	// Source is a trace-source spec: "csv:path", "gen:apps=400&seed=7",
+	// or "shard:1/4 of <spec>". Required unless the run supplies a
+	// fixed trace (WithFixedTrace).
+	Source string `json:"source,omitempty"`
+	// Policy is a policy registry spec ("hybrid?cv=2", "fixed?ka=20m").
+	// Required.
+	Policy string `json:"policy,omitempty"`
+	// Cluster, when non-nil, runs the finite-memory multi-node engine
+	// instead of the per-app batch simulator.
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
+	// Sinks lists metric-sink specs ("coldstart?q=50,75", "waste",
+	// "attribution", "util"). Empty selects the defaults: coldstart and
+	// waste, plus attribution and util on cluster runs.
+	Sinks []string `json:"sinks,omitempty"`
+	// Workers bounds per-run simulation parallelism (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Shard restricts the run to the i-th of n interleaved app shards
+	// ("1/4"), or fans out over all n shards and merges their sinks
+	// ("*/4"). Empty runs the whole source.
+	Shard string `json:"shard,omitempty"`
+	// ExecTime makes invocations occupy their function's average
+	// execution time (§3.4 idle-time semantics).
+	ExecTime bool `json:"exectime,omitempty"`
+	// Seed overrides the source's seed (generator sources only),
+	// letting a sweep grid over seeds without rewriting the source
+	// spec. 0 keeps the source's own seed.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// ClusterSpec describes the simulated cluster of a cluster scenario.
+type ClusterSpec struct {
+	// Nodes is the node count (>= 1; parsing normalizes 0 to 1).
+	Nodes int `json:"nodes"`
+	// NodeMemMB is the per-node memory capacity in MB (0 = infinite).
+	NodeMemMB float64 `json:"mem,omitempty"`
+	// Placement is a placement registry spec ("hash", "least-loaded",
+	// "binpack?order=size"); empty selects "hash".
+	Placement string `json:"place,omitempty"`
+	// MemCSV is an optional per-app memory table (AzurePublicDataset
+	// schema) applied before the run; apps it does not cover charge
+	// the paper-median default.
+	MemCSV string `json:"memcsv,omitempty"`
+}
+
+// scenarioKeys lists the text-grammar field keys in canonical order
+// (the order String emits).
+var scenarioKeys = []string{
+	"source", "policy",
+	"cluster.nodes", "cluster.mem", "cluster.place", "cluster.memcsv",
+	"sinks", "workers", "shard", "exectime", "seed",
+}
+
+// ParseScenario parses a scenario from the text grammar, or from JSON
+// when s starts with '{'.
+func ParseScenario(s string) (Scenario, error) {
+	if strings.HasPrefix(strings.TrimSpace(s), "{") {
+		return parseScenarioJSON([]byte(s))
+	}
+	var sc Scenario
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Scenario{}, fmt.Errorf("scenario: want key=value, got %q", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if seen[key] {
+			return Scenario{}, fmt.Errorf("scenario: duplicate field %q", key)
+		}
+		seen[key] = true
+		if err := sc.set(key, val); err != nil {
+			return Scenario{}, err
+		}
+	}
+	if err := sc.normalize(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// parseScenarioJSON decodes the JSON form, rejecting unknown fields.
+func parseScenarioJSON(data []byte) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	if err := sc.normalize(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// set assigns one text-grammar field. It is also the assignment path
+// Grid axes use, so every way of building a scenario validates
+// identically.
+func (sc *Scenario) set(key, val string) error {
+	switch key {
+	case "source":
+		sc.Source = val
+	case "policy":
+		sc.Policy = val
+	case "cluster.nodes":
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("scenario: cluster.nodes: want a positive integer, got %q", val)
+		}
+		sc.ensureCluster().Nodes = n
+	case "cluster.mem":
+		mb, err := strconv.ParseFloat(val, 64)
+		if err != nil || mb < 0 {
+			return fmt.Errorf("scenario: cluster.mem: want MB per node (0 = infinite), got %q", val)
+		}
+		sc.ensureCluster().NodeMemMB = mb
+	case "cluster.place":
+		sc.ensureCluster().Placement = val
+	case "cluster.memcsv":
+		sc.ensureCluster().MemCSV = val
+	case "sinks":
+		sc.Sinks = nil
+		for _, s := range strings.Split(val, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				sc.Sinks = append(sc.Sinks, s)
+			}
+		}
+	case "workers":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("scenario: workers: want a non-negative integer, got %q", val)
+		}
+		sc.Workers = n
+	case "shard":
+		if _, _, _, err := parseShardField(val); err != nil {
+			return err
+		}
+		sc.Shard = val
+	case "exectime":
+		switch val {
+		case "true", "on", "1", "yes":
+			sc.ExecTime = true
+		case "false", "off", "0", "no":
+			sc.ExecTime = false
+		default:
+			return fmt.Errorf("scenario: exectime: invalid boolean %q", val)
+		}
+	case "seed":
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("scenario: seed: want an unsigned integer, got %q", val)
+		}
+		sc.Seed = n
+	default:
+		return fmt.Errorf("scenario: unknown field %q (fields: %s)", key, strings.Join(scenarioKeys, ", "))
+	}
+	return nil
+}
+
+// ensureCluster materializes the cluster section on first cluster.*
+// assignment.
+func (sc *Scenario) ensureCluster() *ClusterSpec {
+	if sc.Cluster == nil {
+		sc.Cluster = &ClusterSpec{}
+	}
+	return sc.Cluster
+}
+
+// normalize applies structural invariants shared by the text and JSON
+// parse paths: a present cluster section has Nodes >= 1, and the
+// shard designator is well-formed.
+func (sc *Scenario) normalize() error {
+	if sc.Cluster != nil {
+		if sc.Cluster.Nodes == 0 {
+			sc.Cluster.Nodes = 1
+		}
+		if sc.Cluster.Nodes < 0 {
+			return fmt.Errorf("scenario: cluster.nodes: want a positive integer, got %d", sc.Cluster.Nodes)
+		}
+	}
+	if sc.Shard != "" {
+		if _, _, _, err := parseShardField(sc.Shard); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseShardField parses the Shard field: "i/n" (one shard) or "*/n"
+// (fan out over all n shards, merging sinks).
+func parseShardField(s string) (i, n int, all bool, err error) {
+	if rest, ok := strings.CutPrefix(s, "*/"); ok {
+		n, err = strconv.Atoi(rest)
+		if err != nil || n <= 0 {
+			return 0, 0, false, fmt.Errorf("scenario: shard: want i/n or */n, got %q", s)
+		}
+		return 0, n, true, nil
+	}
+	i, n, err = trace.ParseShard(s)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("scenario: shard: want i/n or */n, got %q", s)
+	}
+	return i, n, false, nil
+}
+
+// String renders the canonical text form: fields in fixed order,
+// defaults omitted, so ParseScenario(sc.String()) reproduces sc
+// exactly and equal scenarios render equal strings (the property the
+// sweep engine's source-sharing and the report's cell labels key on).
+func (sc Scenario) String() string {
+	var parts []string
+	add := func(key, val string) { parts = append(parts, key+"="+val) }
+	if sc.Source != "" {
+		add("source", sc.Source)
+	}
+	if sc.Policy != "" {
+		add("policy", sc.Policy)
+	}
+	if c := sc.Cluster; c != nil {
+		add("cluster.nodes", strconv.Itoa(c.Nodes))
+		if c.NodeMemMB != 0 {
+			add("cluster.mem", strconv.FormatFloat(c.NodeMemMB, 'g', -1, 64))
+		}
+		if c.Placement != "" {
+			add("cluster.place", c.Placement)
+		}
+		if c.MemCSV != "" {
+			add("cluster.memcsv", c.MemCSV)
+		}
+	}
+	if len(sc.Sinks) > 0 {
+		add("sinks", strings.Join(sc.Sinks, ","))
+	}
+	if sc.Workers > 0 {
+		add("workers", strconv.Itoa(sc.Workers))
+	}
+	if sc.Shard != "" {
+		add("shard", sc.Shard)
+	}
+	if sc.ExecTime {
+		add("exectime", "on")
+	}
+	if sc.Seed != 0 {
+		add("seed", strconv.FormatUint(sc.Seed, 10))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// clone returns a deep copy (Grid expansion mutates copies).
+func (sc Scenario) clone() Scenario {
+	out := sc
+	if sc.Cluster != nil {
+		c := *sc.Cluster
+		out.Cluster = &c
+	}
+	if sc.Sinks != nil {
+		out.Sinks = append([]string(nil), sc.Sinks...)
+	}
+	return out
+}
+
+// Labels returns one compact label per scenario: the assignments that
+// differ across the set (the fields a sweep varies), with the shared
+// base omitted. A lone scenario labels as its full canonical string.
+func Labels(cells []Scenario) []string {
+	if len(cells) == 1 {
+		return []string{cells[0].String()}
+	}
+	split := make([][]string, len(cells))
+	counts := map[string]int{}
+	for i, sc := range cells {
+		parts := strings.Split(sc.String(), "; ")
+		split[i] = parts
+		seen := map[string]bool{}
+		for _, p := range parts {
+			if !seen[p] {
+				seen[p] = true
+				counts[p]++
+			}
+		}
+	}
+	labels := make([]string, len(cells))
+	for i, parts := range split {
+		var vary []string
+		for _, p := range parts {
+			if counts[p] < len(cells) {
+				vary = append(vary, p)
+			}
+		}
+		if len(vary) == 0 {
+			// Duplicate cells: fall back to the full canonical string.
+			labels[i] = cells[i].String()
+			continue
+		}
+		labels[i] = strings.Join(vary, "; ")
+	}
+	return labels
+}

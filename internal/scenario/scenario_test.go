@@ -1,0 +1,228 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestScenarioRoundTrip pins the codec contract: parse → String →
+// parse is the identity, and String is canonical (two equal scenarios
+// render the same string).
+func TestScenarioRoundTrip(t *testing.T) {
+	specs := []string{
+		"source=gen:apps=400&seed=7; policy=hybrid",
+		"source=csv:trace/invocations.csv; policy=fixed?ka=20m",
+		"source=gen:apps=100; policy=hybrid?cv=2&range=4h; sinks=coldstart,waste; workers=4",
+		"source=gen:apps=50; policy=nounload; shard=1/4; exectime=on; seed=9",
+		"source=gen:apps=50; policy=fixed?ka=10m; shard=*/3",
+		"source=shard:1/4 of csv:big.csv; policy=hybrid",
+		"source=gen:apps=80; policy=hybrid; cluster.nodes=8; cluster.mem=4096; cluster.place=binpack?order=invocations",
+		"source=gen:apps=80; policy=hybrid; cluster.nodes=2; cluster.memcsv=mem.csv; sinks=coldstart?q=50:75:99,attribution",
+		"policy=hybrid", // sourceless base (fixed-trace runs)
+		"",
+	}
+	for _, s := range specs {
+		sc, err := ParseScenario(s)
+		if err != nil {
+			t.Fatalf("ParseScenario(%q): %v", s, err)
+		}
+		canon := sc.String()
+		sc2, err := ParseScenario(canon)
+		if err != nil {
+			t.Fatalf("ParseScenario(String(%q) = %q): %v", s, canon, err)
+		}
+		if !reflect.DeepEqual(sc, sc2) {
+			t.Errorf("round trip of %q: %+v != %+v (via %q)", s, sc, sc2, canon)
+		}
+		if canon2 := sc2.String(); canon2 != canon {
+			t.Errorf("String not canonical for %q: %q then %q", s, canon, canon2)
+		}
+	}
+}
+
+// TestScenarioTextJSONAgree pins that the two encodings decode to the
+// same value, and that the marshaled JSON form parses back.
+func TestScenarioTextJSONAgree(t *testing.T) {
+	cases := []struct{ text, jsonSpec string }{
+		{
+			"source=gen:apps=400&seed=7; policy=hybrid?cv=2",
+			`{"source": "gen:apps=400&seed=7", "policy": "hybrid?cv=2"}`,
+		},
+		{
+			"source=csv:inv.csv; policy=fixed?ka=10m; cluster.nodes=8; cluster.mem=4096; cluster.place=binpack; sinks=coldstart,waste; workers=2; shard=0/2; exectime=on; seed=3",
+			`{"source": "csv:inv.csv", "policy": "fixed?ka=10m",
+			  "cluster": {"nodes": 8, "mem": 4096, "place": "binpack"},
+			  "sinks": ["coldstart", "waste"], "workers": 2, "shard": "0/2",
+			  "exectime": true, "seed": 3}`,
+		},
+		{
+			// JSON cluster section without nodes normalizes to 1 node,
+			// like the text grammar.
+			"source=gen:apps=10; policy=hybrid; cluster.mem=2048",
+			`{"source": "gen:apps=10", "policy": "hybrid", "cluster": {"mem": 2048}}`,
+		},
+	}
+	for _, c := range cases {
+		fromText, err := ParseScenario(c.text)
+		if err != nil {
+			t.Fatalf("text %q: %v", c.text, err)
+		}
+		fromJSON, err := ParseScenario(c.jsonSpec)
+		if err != nil {
+			t.Fatalf("json %q: %v", c.jsonSpec, err)
+		}
+		if !reflect.DeepEqual(fromText, fromJSON) {
+			t.Errorf("text %q parsed %+v, json parsed %+v", c.text, fromText, fromJSON)
+		}
+		data, err := json.Marshal(fromText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reparsed, err := ParseScenario(string(data))
+		if err != nil {
+			t.Fatalf("reparse of %s: %v", data, err)
+		}
+		if !reflect.DeepEqual(fromText, reparsed) {
+			t.Errorf("marshal/parse of %q: %+v != %+v", c.text, fromText, reparsed)
+		}
+	}
+}
+
+// TestScenarioParseErrors pins the fail-fast grammar: unknown fields,
+// malformed values and unknown component names are errors that name
+// the offender.
+func TestScenarioParseErrors(t *testing.T) {
+	cases := []struct{ spec, wantSub string }{
+		{"source=gen:apps=10; polcy=hybrid", `unknown field "polcy"`},
+		{"cluster.nods=8", `unknown field "cluster.nods"`},
+		{"policy=hybrid; policy=fixed", `duplicate field "policy"`},
+		{"workers", "want key=value"},
+		{"cluster.nodes=zero", "cluster.nodes"},
+		{"cluster.nodes=-2", "cluster.nodes"},
+		{"cluster.mem=-5", "cluster.mem"},
+		{"workers=-1", "workers"},
+		{"shard=4", "want i/n or */n"},
+		{"shard=5/4", "want i/n or */n"},
+		{"shard=*/0", "want i/n or */n"},
+		{"exectime=maybe", "invalid boolean"},
+		{"seed=-1", "seed"},
+		{`{"source": "gen:", "polcy": "hybrid"}`, "polcy"},
+		{`{"cluster": {"nodes": -1}}`, "cluster.nodes"},
+	}
+	for _, c := range cases {
+		_, err := ParseScenario(c.spec)
+		if err == nil {
+			t.Errorf("spec %q: no error", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("spec %q: error %q missing %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+// TestSourceSpecErrors pins the source registry's error surface.
+func TestSourceSpecErrors(t *testing.T) {
+	cases := []struct{ spec, wantSub string }{
+		{"cvs:path.csv", `unknown source "cvs"`},
+		{"csv:", "want csv:path"},
+		{"gen:apps=ten", "parameter apps"},
+		{"gen:apps=10&foo=1", "unknown parameters [foo]"},
+		{"shard:1/4", "want shard:i/n of"},
+		{"shard:4/4 of gen:apps=10", "invalid shard"},
+		{"shard:0/2 of cvs:x", `unknown source "cvs"`},
+	}
+	for _, c := range cases {
+		_, err := NewSource(c.spec)
+		if err == nil {
+			t.Errorf("source %q: no error", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("source %q: error %q missing %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+// TestSinkSpecErrors pins the sink registry's error surface.
+func TestSinkSpecErrors(t *testing.T) {
+	cases := []struct{ spec, wantSub string }{
+		{"coldstarts", `unknown sink "coldstarts"`},
+		{"coldstart?quant=75", "unknown parameters [quant]"},
+		{"coldstart?q=101", "out of [0, 100]"},
+		{"waste?x=1", "unknown parameters [x]"},
+	}
+	for _, c := range cases {
+		_, err := NewSink(c.spec)
+		if err == nil {
+			t.Errorf("sink %q: no error", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("sink %q: error %q missing %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+// TestSinkMergeRejectsMismatch pins that only same-spec sinks merge.
+func TestSinkMergeRejectsMismatch(t *testing.T) {
+	cold, err := NewSink("coldstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waste, err := NewSink("waste")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Merge(waste); err == nil {
+		t.Fatal("merging waste into coldstart did not error")
+	}
+	coldQ, err := NewSink("coldstart?q=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Merge(coldQ); err == nil {
+		t.Fatal("merging coldstart?q=99 into coldstart did not error")
+	}
+}
+
+// TestGenSourceSpecCanonical pins that a generator factory's Spec()
+// round-trips to an equivalent factory (the sweep engine keys source
+// sharing on it).
+func TestGenSourceSpecCanonical(t *testing.T) {
+	f, err := NewSource("gen:apps=40&days=0.5&seed=9&maxrate=500&maxevents=2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NewSource(f.Spec())
+	if err != nil {
+		t.Fatalf("re-parsing canonical spec %q: %v", f.Spec(), err)
+	}
+	if f.Spec() != f2.Spec() {
+		t.Fatalf("canonical spec not stable: %q then %q", f.Spec(), f2.Spec())
+	}
+}
+
+// TestLabels pins the varying-assignment labeling the reports use.
+func TestLabels(t *testing.T) {
+	g, err := ParseGrid("source=gen:apps=10; policy=[fixed?ka=10m,hybrid]; cluster.nodes=2; cluster.mem=[0,1024]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := Labels(cells)
+	want := []string{
+		"policy=fixed?ka=10m",
+		"policy=fixed?ka=10m; cluster.mem=1024",
+		"policy=hybrid",
+		"policy=hybrid; cluster.mem=1024",
+	}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("labels = %q, want %q", labels, want)
+	}
+}

@@ -1,0 +1,261 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// The sink registry maps short names to builders of metric sinks,
+// extending the policy-spec discipline to the measurement axis. A
+// sink spec is "name?key=value" ("coldstart?q=50,75,99", "waste",
+// "attribution", "util"); a built Sink consumes one run's outcomes
+// and reports named summary metrics, and same-spec sinks merge
+// exactly (integer counters and binned distributions) so sharded runs
+// aggregate to the unsharded whole.
+
+// Metric is one named summary value of a run.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Sink is a scenario metric sink. Implementations additionally
+// implement sim.ResultSink (per-app batch outcomes), cluster.Sink
+// (cluster outcomes with eviction attribution), and/or
+// clusterObserver (whole-run cluster statistics); the runner attaches
+// whichever interfaces the run kind supports and rejects sinks that
+// need a cluster on batch scenarios.
+type Sink interface {
+	// Spec returns the canonical spec the sink was built from.
+	Spec() string
+	// Metrics returns the run's summary metrics in a fixed order.
+	Metrics() []Metric
+	// Merge folds another sink of the same spec into this one (shard
+	// aggregation); merging different specs or types is an error.
+	Merge(other Sink) error
+}
+
+// clusterObserver is the optional Sink extension for whole-run
+// cluster statistics (node utilization) that per-app consumption
+// cannot see.
+type clusterObserver interface {
+	ObserveCluster(r *cluster.Result)
+}
+
+// SinkBuilder constructs a sink from a spec's parameters.
+type SinkBuilder func(p *spec.Params) (Sink, error)
+
+var (
+	sinkMu  sync.RWMutex
+	sinkReg = map[string]SinkBuilder{}
+)
+
+// RegisterSink adds a named sink builder. Registering a duplicate
+// name panics (programming error).
+func RegisterSink(name string, b SinkBuilder) {
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	if _, dup := sinkReg[name]; dup {
+		panic(fmt.Sprintf("scenario: RegisterSink(%q) called twice", name))
+	}
+	sinkReg[name] = b
+}
+
+// SinkNames returns the registered sink names, sorted.
+func SinkNames() []string {
+	sinkMu.RLock()
+	defer sinkMu.RUnlock()
+	names := make([]string, 0, len(sinkReg))
+	for n := range sinkReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewSink builds a registered sink from a spec ("coldstart?q=50,75").
+func NewSink(s string) (Sink, error) {
+	name, query := spec.Split(s)
+	sinkMu.RLock()
+	b, ok := sinkReg[name]
+	sinkMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown sink %q (registered: %v)", name, SinkNames())
+	}
+	p, err := spec.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: sink spec %q: %w", s, err)
+	}
+	sink, err := b(p)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: sink spec %q: %w", s, err)
+	}
+	if left := p.Unused(); len(left) > 0 {
+		return nil, fmt.Errorf("scenario: sink spec %q: unknown parameters %v", s, left)
+	}
+	return sink, nil
+}
+
+// coldStartScenarioSink reports quantiles of the per-app cold-start
+// percentage distribution. Bins are integer counts, so Merge is exact.
+type coldStartScenarioSink struct {
+	*metrics.ColdStartSink
+	quantiles []float64
+}
+
+func (s *coldStartScenarioSink) Spec() string {
+	if len(s.quantiles) == 2 && s.quantiles[0] == 50 && s.quantiles[1] == 75 {
+		return "coldstart"
+	}
+	qs := make([]string, len(s.quantiles))
+	for i, q := range s.quantiles {
+		qs[i] = fmt.Sprintf("%g", q)
+	}
+	// ':' is the canonical list separator: commas already separate
+	// sink specs in the scenario text grammar.
+	return "coldstart?q=" + strings.Join(qs, ":")
+}
+
+func (s *coldStartScenarioSink) Metrics() []Metric {
+	out := make([]Metric, len(s.quantiles))
+	for i, q := range s.quantiles {
+		out[i] = Metric{Name: fmt.Sprintf("cold_p%g", q), Value: s.Quantile(q)}
+	}
+	return out
+}
+
+func (s *coldStartScenarioSink) Merge(other Sink) error {
+	o, ok := other.(*coldStartScenarioSink)
+	if !ok || o.Spec() != s.Spec() {
+		return fmt.Errorf("scenario: cannot merge sink %q into %q", other.Spec(), s.Spec())
+	}
+	s.ColdStartSink.Merge(o.ColdStartSink)
+	return nil
+}
+
+// wasteScenarioSink reports the wasted-memory total and the run-size
+// counters the evaluation normalizes by.
+type wasteScenarioSink struct {
+	*metrics.WastedMemorySink
+}
+
+func (s *wasteScenarioSink) Spec() string { return "waste" }
+
+func (s *wasteScenarioSink) Metrics() []Metric {
+	return []Metric{
+		{Name: "wasted_seconds", Value: s.TotalWastedSeconds()},
+		{Name: "apps", Value: float64(s.Apps())},
+		{Name: "invocations", Value: float64(s.TotalInvocations())},
+		{Name: "cold_starts", Value: float64(s.TotalColdStarts())},
+	}
+}
+
+func (s *wasteScenarioSink) Merge(other Sink) error {
+	o, ok := other.(*wasteScenarioSink)
+	if !ok {
+		return fmt.Errorf("scenario: cannot merge sink %q into %q", other.Spec(), s.Spec())
+	}
+	s.WastedMemorySink.Merge(o.WastedMemorySink)
+	return nil
+}
+
+// attributionScenarioSink splits cluster cold starts into
+// policy-induced vs eviction-induced. Cluster scenarios only.
+type attributionScenarioSink struct {
+	*metrics.ClusterAttributionSink
+}
+
+func (s *attributionScenarioSink) Spec() string { return "attribution" }
+
+func (s *attributionScenarioSink) Metrics() []Metric {
+	return []Metric{
+		{Name: "evict_cold_pct", Value: s.EvictionColdPercent()},
+		{Name: "evictions", Value: float64(s.Evictions())},
+		{Name: "eviction_cold_starts", Value: float64(s.EvictionColdStarts())},
+		{Name: "policy_cold_starts", Value: float64(s.PolicyColdStarts())},
+	}
+}
+
+func (s *attributionScenarioSink) Merge(other Sink) error {
+	o, ok := other.(*attributionScenarioSink)
+	if !ok {
+		return fmt.Errorf("scenario: cannot merge sink %q into %q", other.Spec(), s.Spec())
+	}
+	s.ClusterAttributionSink.Merge(o.ClusterAttributionSink)
+	return nil
+}
+
+// utilScenarioSink reports mean cluster memory utilization from the
+// per-node integrals. Cluster scenarios only.
+type utilScenarioSink struct {
+	residentMBSeconds float64
+	capacityMBSeconds float64
+}
+
+func (s *utilScenarioSink) Spec() string { return "util" }
+
+func (s *utilScenarioSink) ObserveCluster(r *cluster.Result) {
+	for _, ns := range r.NodeStats {
+		s.residentMBSeconds += ns.ResidentMBSeconds
+	}
+	if r.NodeMemMB > 0 {
+		s.capacityMBSeconds += r.HorizonSeconds * r.NodeMemMB * float64(len(r.NodeStats))
+	}
+}
+
+func (s *utilScenarioSink) Metrics() []Metric {
+	pct := 0.0
+	if s.capacityMBSeconds > 0 {
+		pct = 100 * s.residentMBSeconds / s.capacityMBSeconds
+	}
+	return []Metric{{Name: "util_pct", Value: pct}}
+}
+
+func (s *utilScenarioSink) Merge(other Sink) error {
+	o, ok := other.(*utilScenarioSink)
+	if !ok {
+		return fmt.Errorf("scenario: cannot merge sink %q into %q", other.Spec(), s.Spec())
+	}
+	s.residentMBSeconds += o.residentMBSeconds
+	s.capacityMBSeconds += o.capacityMBSeconds
+	return nil
+}
+
+func init() {
+	RegisterSink("coldstart", func(p *spec.Params) (Sink, error) {
+		qs, err := p.Floats("q", []float64{50, 75})
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range qs {
+			if q < 0 || q > 100 {
+				return nil, fmt.Errorf("parameter q: percentile %g out of [0, 100]", q)
+			}
+		}
+		return &coldStartScenarioSink{ColdStartSink: metrics.NewColdStartSink(), quantiles: qs}, nil
+	})
+	RegisterSink("waste", func(*spec.Params) (Sink, error) {
+		return &wasteScenarioSink{WastedMemorySink: metrics.NewWastedMemorySink()}, nil
+	})
+	RegisterSink("attribution", func(*spec.Params) (Sink, error) {
+		return &attributionScenarioSink{ClusterAttributionSink: metrics.NewClusterAttributionSink()}, nil
+	})
+	RegisterSink("util", func(*spec.Params) (Sink, error) {
+		return &utilScenarioSink{}, nil
+	})
+}
+
+// Interface conformance: the runner attaches sinks by capability.
+var (
+	_ sim.ResultSink  = (*coldStartScenarioSink)(nil)
+	_ sim.ResultSink  = (*wasteScenarioSink)(nil)
+	_ cluster.Sink    = (*attributionScenarioSink)(nil)
+	_ clusterObserver = (*utilScenarioSink)(nil)
+)

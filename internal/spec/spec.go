@@ -1,0 +1,171 @@
+// Package spec is the shared machinery behind every component
+// registry's configuration grammar: a component spec is
+//
+//	name?key=value&key=value
+//
+// with URL query syntax after the name — "hybrid?cv=2&range=4h" for a
+// policy, "binpack?order=invocations" for a placement,
+// "coldstart?q=50,75,99" for a metrics sink. Params carries the parsed
+// parameters to a builder with typed accessors that record which keys
+// were consumed, so a registry can reject specs with leftover
+// (misspelled) keys — a typo fails fast instead of silently
+// configuring the default.
+package spec
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Split splits a component spec into its registry name and raw query
+// ("hybrid?cv=2" -> "hybrid", "cv=2"). A spec without '?' is all name.
+func Split(s string) (name, query string) {
+	if i := strings.IndexByte(s, '?'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, ""
+}
+
+// Parse parses a raw query string into Params.
+func Parse(query string) (*Params, error) {
+	vals, err := url.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Params{vals: vals, used: map[string]bool{}}, nil
+}
+
+// Params carries a spec's parsed parameters to a builder. Typed
+// accessors record which keys were consumed; registries reject specs
+// with leftover (misspelled) keys afterwards via Unused.
+type Params struct {
+	vals url.Values
+	used map[string]bool
+}
+
+// Duration returns the named parameter parsed by time.ParseDuration,
+// or def when absent.
+func (p *Params) Duration(key string, def time.Duration) (time.Duration, error) {
+	s, ok := p.take(key)
+	if !ok {
+		return def, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %w", key, err)
+	}
+	return d, nil
+}
+
+// Float returns the named float parameter, or def when absent.
+func (p *Params) Float(key string, def float64) (float64, error) {
+	s, ok := p.take(key)
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %w", key, err)
+	}
+	return f, nil
+}
+
+// Int returns the named integer parameter, or def when absent.
+func (p *Params) Int(key string, def int) (int, error) {
+	s, ok := p.take(key)
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %w", key, err)
+	}
+	return n, nil
+}
+
+// Uint64 returns the named unsigned integer parameter, or def when
+// absent.
+func (p *Params) Uint64(key string, def uint64) (uint64, error) {
+	s, ok := p.take(key)
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %w", key, err)
+	}
+	return n, nil
+}
+
+// Bool returns the named boolean parameter (true/false, on/off, 1/0,
+// yes/no), or def when absent.
+func (p *Params) Bool(key string, def bool) (bool, error) {
+	s, ok := p.take(key)
+	if !ok {
+		return def, nil
+	}
+	switch s {
+	case "true", "on", "1", "yes":
+		return true, nil
+	case "false", "off", "0", "no":
+		return false, nil
+	}
+	return false, fmt.Errorf("parameter %s: invalid boolean %q", key, s)
+}
+
+// String returns the named string parameter, or def when absent.
+func (p *Params) String(key, def string) string {
+	if s, ok := p.take(key); ok {
+		return s
+	}
+	return def
+}
+
+// Floats returns the named parameter parsed as a float list, or def
+// when absent. Elements separate on ':' or ',' — ':' is the canonical
+// form, since commas already separate list fields in the scenario
+// text grammar ("sinks=coldstart?q=50:75:99,waste").
+func (p *Params) Floats(key string, def []float64) ([]float64, error) {
+	s, ok := p.take(key)
+	if !ok {
+		return def, nil
+	}
+	parts := strings.FieldsFunc(s, func(r rune) bool { return r == ':' || r == ',' })
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("parameter %s: empty list %q", key, s)
+	}
+	out := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %s: %w", key, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func (p *Params) take(key string) (string, bool) {
+	if !p.vals.Has(key) {
+		return "", false
+	}
+	p.used[key] = true
+	return p.vals.Get(key), true
+}
+
+// Unused returns the keys no accessor consumed, sorted — the
+// misspellings a registry turns into "unknown parameters" errors.
+func (p *Params) Unused() []string {
+	var left []string
+	for k := range p.vals {
+		if !p.used[k] {
+			left = append(left, k)
+		}
+	}
+	sort.Strings(left)
+	return left
+}

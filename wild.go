@@ -49,6 +49,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/policy"
 	"repro/internal/replay"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -297,9 +298,10 @@ func WithClusterResultSink(s ResultSink) ClusterOption { return cluster.WithSink
 // included).
 func WithClusterSink(s ClusterSink) ClusterOption { return cluster.WithClusterSink(s) }
 
-// NewPlacement builds a registered placement policy by name ("hash",
-// "least-loaded", "binpack").
-func NewPlacement(name string) (Placement, error) { return cluster.NewPlacement(name) }
+// NewPlacement builds a registered placement policy from a spec
+// ("hash", "least-loaded", "binpack?order=invocations",
+// "hash?seed=3"); bare names select the defaults.
+func NewPlacement(spec string) (Placement, error) { return cluster.NewPlacement(spec) }
 
 // PlacementNames returns the registered placement names, sorted.
 func PlacementNames() []string { return cluster.PlacementNames() }
@@ -382,3 +384,86 @@ func RunExperiments(cfg ExperimentConfig, progress io.Writer) ([]*Figure, error)
 
 // RenderFigures writes text renderings of figures to w.
 func RenderFigures(figs []*Figure, w io.Writer) { experiments.RenderAll(figs, w) }
+
+// Scenarios and sweeps: the declarative configuration path. A
+// Scenario makes a whole run — source, policy, cluster shape, sinks,
+// sharding — one serializable value built on the component registries
+// (policy specs, placement specs, source specs, sink specs); a Grid
+// expands list-valued fields into the cells of a sweep and RunSweep
+// executes them concurrently, bit-identical to running each expanded
+// scenario sequentially.
+type (
+	// Scenario is one fully-described run (see ParseScenario).
+	Scenario = scenario.Scenario
+	// ScenarioCluster is a scenario's cluster section.
+	ScenarioCluster = scenario.ClusterSpec
+	// ScenarioGrid is a declarative sweep: base scenario + axes.
+	ScenarioGrid = scenario.Grid
+	// ScenarioAxis is one list-valued field of a grid.
+	ScenarioAxis = scenario.Axis
+	// ScenarioResult is one executed scenario's drained sinks.
+	ScenarioResult = scenario.CellResult
+	// ScenarioMetric is one named summary value of a run.
+	ScenarioMetric = scenario.Metric
+	// ScenarioSink aggregates a run and reports named metrics.
+	ScenarioSink = scenario.Sink
+	// ScenarioSourceFactory produces fresh trace sources for a spec.
+	ScenarioSourceFactory = scenario.SourceFactory
+	// SweepReport is the outcome of RunSweep (CSV/JSON renderable).
+	SweepReport = scenario.SweepReport
+	// ScenarioOption configures RunScenario / RunSweep.
+	ScenarioOption = scenario.Option
+)
+
+// ParseScenario parses a scenario from the text grammar
+// ("source=gen:apps=400; policy=hybrid?cv=2; cluster.nodes=8") or
+// from JSON; Scenario.String renders the canonical text form back
+// (parse → String → parse is the identity).
+func ParseScenario(s string) (Scenario, error) { return scenario.ParseScenario(s) }
+
+// ParseGrid parses a sweep grid: the scenario grammar with bracketed
+// list values ("policy=[fixed?ka=10m,hybrid]; cluster.mem=[2048,4096]")
+// or the JSON {"base", "axes", "cells"} form. A plain scenario parses
+// as a 1-cell grid.
+func ParseGrid(s string) (ScenarioGrid, error) { return scenario.ParseGrid(s) }
+
+// RunScenario executes one scenario and returns its drained sinks.
+func RunScenario(ctx context.Context, sc Scenario, opts ...ScenarioOption) (*ScenarioResult, error) {
+	return scenario.RunScenario(ctx, sc, opts...)
+}
+
+// RunSweep executes expanded grid cells concurrently over a bounded
+// worker pool, sharing materialized traces across cells with
+// identical sources and merging fanned-out shard cells ("*/n") via
+// the sinks' exact Merges. Results are bit-identical to running each
+// cell sequentially through RunScenario.
+func RunSweep(ctx context.Context, cells []Scenario, opts ...ScenarioOption) (*SweepReport, error) {
+	return scenario.RunSweep(ctx, cells, opts...)
+}
+
+// WithSweepWorkers bounds how many cells run concurrently (default
+// GOMAXPROCS); the bound never changes results.
+func WithSweepWorkers(n int) ScenarioOption { return scenario.WithSweepWorkers(n) }
+
+// WithFixedTrace supplies an in-memory trace to every cell,
+// overriding their Source specs — the bridge for callers that already
+// hold a trace.
+func WithFixedTrace(tr *Trace) ScenarioOption { return scenario.WithFixedTrace(tr) }
+
+// RegisterScenarioSource extends the source-spec registry
+// ("name:rest") with a custom trace source scheme.
+func RegisterScenarioSource(name string, b scenario.SourceBuilder) { scenario.RegisterSource(name, b) }
+
+// RegisterScenarioSink extends the sink-spec registry ("name?k=v")
+// with a custom metric sink.
+func RegisterScenarioSink(name string, b scenario.SinkBuilder) { scenario.RegisterSink(name, b) }
+
+// ScenarioSourceNames returns the registered source schemes, sorted.
+func ScenarioSourceNames() []string { return scenario.SourceNames() }
+
+// ScenarioSinkNames returns the registered sink names, sorted.
+func ScenarioSinkNames() []string { return scenario.SinkNames() }
+
+// ScenarioLabels returns one compact label per scenario: the
+// assignments that vary across the set.
+func ScenarioLabels(cells []Scenario) []string { return scenario.Labels(cells) }
