@@ -258,6 +258,22 @@ func BenchmarkClusterHybrid(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterFinite measures the per-node engine under heavy
+// memory pressure (8 nodes, 1 GB each — well under the workload's
+// warm-set footprint), where the victim index does real work: loads
+// contend constantly and eviction churn dominates the timeline.
+func BenchmarkClusterFinite(b *testing.B) {
+	pop := benchPopulation(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := cluster.Simulate(pop.Trace, policy.NewHybrid(policy.DefaultHybridConfig()),
+			cluster.Config{Nodes: 8, NodeMemMB: 1024})
+		if res.TotalEvictions() == 0 {
+			b.Fatal("no eviction pressure")
+		}
+	}
+}
+
 // BenchmarkClusterInfinite isolates the timeline's overhead against
 // the batch walk: no pressure, identical results to Simulate.
 func BenchmarkClusterInfinite(b *testing.B) {

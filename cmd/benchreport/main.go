@@ -121,4 +121,4 @@ func main() {
 // regeneration benchmarks are excluded by default (they are dominated
 // by the same simulator paths and would stretch the run severalfold);
 // pass -bench 'Benchmark' for everything.
-const defaultBenchRegexp = `BenchmarkSimulator|BenchmarkPolicyOverhead|BenchmarkHistogram|BenchmarkARIMAFit|BenchmarkExpSmoothingFit|BenchmarkProd|BenchmarkWorkloadGeneration|BenchmarkTraceCSVRoundTrip`
+const defaultBenchRegexp = `BenchmarkSimulator|BenchmarkCluster|BenchmarkPolicyOverhead|BenchmarkHistogram|BenchmarkARIMAFit|BenchmarkExpSmoothingFit|BenchmarkProd|BenchmarkWorkloadGeneration|BenchmarkTraceCSVRoundTrip`

@@ -25,6 +25,10 @@
 // 10-minute fixed keep-alive policy on the same trace and cluster
 // shape, as throughout §5.2 (a baseline cell is run implicitly when
 // the sweep does not include one).
+//
+// -format json additionally reports per-node stats for cluster cells
+// (evictions, failed loads, peak and mean resident MB per node), not
+// just the aggregate summary metrics.
 package main
 
 import (

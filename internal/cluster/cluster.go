@@ -17,8 +17,22 @@
 // sim.Simulate, app by app (pinned by golden tests), and every
 // difference a finite run shows is attributable to capacity.
 //
+// The engine is sharded by node. All cluster coupling — pressure,
+// eviction, keep-alive expiry, pre-warm reloads — is per-node, so once
+// an app's (sticky) node is known its timeline interacts with nothing
+// off that node. The coordinator (engine.go) precomputes the decision
+// walks, and the node-local event core (shard.go) replays one node's
+// invocations and container events against its own event queue,
+// resident accounting and victim index. Placements that never consult
+// live residency (the Oblivious contract in placement.go — hash,
+// binpack) are pre-assigned up front and node timelines run
+// independently, Config.Workers at a time; view-dependent placements
+// (least-loaded) run one global shard so their residency reads happen
+// in global time order. Both paths are bit-identical — the split
+// changes the schedule, never the arithmetic.
+//
 // Timeline semantics: container events (pre-warm reloads, keep-alive
-// expiries) and invocations are processed in global time order; at
+// expiries) and invocations are processed in per-node time order; at
 // equal times reloads run first and expiries last, matching the
 // kernel's inclusive warm-window boundaries. A cold load under memory
 // pressure evicts idle containers (soonest-to-expire first, never one
@@ -31,15 +45,9 @@ package cluster
 
 import (
 	"context"
-	"math"
-	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/policy"
 	"repro/internal/sim"
-	"repro/internal/sim/kernel"
 	"repro/internal/trace"
 )
 
@@ -59,10 +67,17 @@ type Config struct {
 	// DefaultAppMemMB is charged for apps whose MemoryMB is zero
 	// (absent from the memory table); default trace.DefaultAppMemoryMB.
 	DefaultAppMemMB float64
-	// Workers bounds the parallelism of the per-app decision
-	// precompute (default GOMAXPROCS). The timeline itself is
-	// sequential — cross-app memory pressure orders all events.
+	// Workers bounds the simulation parallelism (default GOMAXPROCS):
+	// the per-app decision precompute always runs Workers wide, and
+	// with an Oblivious placement the per-node timelines do too.
+	// View-dependent placements (least-loaded) keep the timeline on one
+	// sequential global shard. Results never depend on Workers.
 	Workers int
+
+	// forceGlobal pins the run to the sequential global shard even for
+	// oblivious placements — the reference path the equivalence
+	// property tests compare the sharded path against.
+	forceGlobal bool
 }
 
 // AppResult is the outcome for one application: the batch simulator's
@@ -197,598 +212,6 @@ func materialize(src trace.Source) (*trace.Trace, error) {
 		return tr, nil
 	}
 	return trace.Collect(src)
-}
-
-// Event kinds, in processing order at equal times: pre-warm reloads
-// first (an arrival exactly at the reload is warm), invocations, then
-// keep-alive expiries last (an arrival exactly at the window end is
-// warm) — the event order realizes kernel.Classify's inclusive
-// boundaries.
-const (
-	evReload = iota
-	evInvoke // implicit: the merged invocation stream, never heaped
-	evUnload
-)
-
-// cevent is one timed container event (reload or unload), invalidated
-// lazily by the owning app's window generation.
-type cevent struct {
-	t    float64
-	kind uint8
-	app  int32
-	gen  uint32
-}
-
-// appWalk is an app's precomputed decision walk (the shared kernel's
-// output): invocation times, exec times, and RLE decisions.
-type appWalk struct {
-	times []float64
-	execs []float64 // nil without exec times
-	runs  []policy.DecisionRun
-}
-
-// appState is one app's runtime state on the timeline.
-type appState struct {
-	cur     kernel.RunCursor
-	res     AppResult
-	memMB   float64
-	prevEnd float64 // end of the last execution
-	execEnd float64 // container unevictable before this
-	inv     int     // next invocation index
-	node    int32
-	gen     uint32 // current window generation (event invalidation)
-	// Current window residency.
-	resident bool
-	dead     bool    // evicted or load-failed: cold next arrival
-	loadedAt float64 // start of the idle-loaded segment
-	unloadAt float64 // scheduled expiry (+Inf for forever)
-	placed   bool
-}
-
-// nodeState is one node's runtime state.
-type nodeState struct {
-	residentMB float64
-	lastT      float64
-	resident   map[int32]struct{}
-	stats      NodeStats
-}
-
-// engine is one cluster simulation in flight.
-type engine struct {
-	cfg     Config
-	capMB   float64 // +Inf when infinite
-	finite  bool    // eviction candidates tracked only under pressure
-	horizon float64
-	place   Placement
-	walks   []appWalk
-	states  []appState
-	nodes   []nodeState
-	invs    []inv
-	heap    []cevent
-}
-
-// inv is one invocation in the merged global stream.
-type inv struct {
-	t   float64
-	app int32
-}
-
-func simulate(ctx context.Context, tr *trace.Trace, pol policy.Policy, cfg Config) (*Result, error) {
-	if cfg.Nodes <= 0 {
-		cfg.Nodes = 1
-	}
-	if cfg.Placement == nil {
-		cfg.Placement = HashPlacement{}
-	}
-	if cfg.DefaultAppMemMB <= 0 {
-		cfg.DefaultAppMemMB = trace.DefaultAppMemoryMB
-	}
-	capMB := cfg.NodeMemMB
-	if capMB <= 0 {
-		capMB = math.Inf(1)
-	}
-
-	e := &engine{
-		cfg:     cfg,
-		capMB:   capMB,
-		finite:  !math.IsInf(capMB, 1),
-		horizon: tr.Duration.Seconds(),
-		place:   cfg.Placement,
-	}
-	walks, err := precompute(ctx, tr, pol, cfg)
-	if err != nil {
-		return nil, err
-	}
-	e.walks = walks
-	e.init(tr)
-	if err := e.timeline(ctx); err != nil {
-		return nil, err
-	}
-	return e.finish(tr, pol.Name()), nil
-}
-
-// precompute runs the shared kernel over every app in parallel: idle
-// times, batch decisions (released back to the policy pool), and exec
-// times, copied out of the per-worker scratch.
-func precompute(ctx context.Context, tr *trace.Trace, pol policy.Policy, cfg Config) ([]appWalk, error) {
-	n := len(tr.Apps)
-	walks := make([]appWalk, n)
-	if n == 0 {
-		return walks, ctx.Err()
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var sc kernel.Scratch
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				i := int(next.Add(1) - 1)
-				if i >= n {
-					return
-				}
-				app := tr.Apps[i]
-				times := app.InvocationTimes()
-				wk := appWalk{times: times}
-				if len(times) > 0 {
-					if cfg.UseExecTime {
-						wk.execs = append([]float64(nil), sc.ExecSeconds(app)...)
-					}
-					ap := pol.NewApp(app.ID)
-					idles := sc.IdleTimes(times, wk.execs)
-					wk.runs = append([]policy.DecisionRun(nil), sc.DecideRuns(ap, idles)...)
-					if rel, ok := ap.(policy.Releasable); ok {
-						rel.Release()
-					}
-				}
-				walks[i] = wk
-			}
-		}()
-	}
-	wg.Wait()
-	return walks, ctx.Err()
-}
-
-// init builds the runtime state: per-app states, nodes, the merged
-// invocation stream, and the offline placement preparation.
-func (e *engine) init(tr *trace.Trace) {
-	n := len(tr.Apps)
-	e.states = make([]appState, n)
-	total := 0
-	var fps []Footprint
-	if _, ok := e.place.(TracePreparer); ok {
-		fps = make([]Footprint, 0, n)
-	}
-	for i, app := range tr.Apps {
-		st := &e.states[i]
-		st.memMB = app.MemoryMB
-		if st.memMB <= 0 {
-			st.memMB = e.cfg.DefaultAppMemMB
-		}
-		st.node = -1
-		st.res = AppResult{
-			AppResult: sim.AppResult{AppID: app.ID, Invocations: len(e.walks[i].times)},
-			Node:      -1,
-			MemoryMB:  st.memMB,
-		}
-		st.cur.Reset(e.walks[i].runs)
-		total += len(e.walks[i].times)
-		if fps != nil {
-			fps = append(fps, Footprint{ID: app.ID, MemMB: st.memMB, Invocations: len(e.walks[i].times)})
-		}
-	}
-	if fps != nil {
-		e.place.(TracePreparer).Prepare(fps, e.cfg.Nodes, e.capMB)
-	}
-
-	minutes := int(math.Ceil(e.horizon / 60))
-	if minutes < 1 && e.horizon > 0 {
-		minutes = 1
-	}
-	e.nodes = make([]nodeState, e.cfg.Nodes)
-	for i := range e.nodes {
-		e.nodes[i].resident = make(map[int32]struct{})
-		e.nodes[i].stats.UtilSeries = make([]float64, minutes)
-	}
-
-	e.invs = make([]inv, 0, total)
-	for ai, wk := range e.walks {
-		for _, t := range wk.times {
-			e.invs = append(e.invs, inv{t: t, app: int32(ai)})
-		}
-	}
-	sort.Slice(e.invs, func(a, b int) bool {
-		if e.invs[a].t != e.invs[b].t {
-			return e.invs[a].t < e.invs[b].t
-		}
-		return e.invs[a].app < e.invs[b].app
-	})
-}
-
-// timeline is the discrete-event loop: the merged invocation stream
-// and the container-event heap advance together in time order.
-func (e *engine) timeline(ctx context.Context) error {
-	ii := 0
-	for steps := 0; ii < len(e.invs) || len(e.heap) > 0; steps++ {
-		if steps&4095 == 4095 && ctx.Err() != nil {
-			return ctx.Err()
-		}
-		if len(e.heap) > 0 {
-			ev := e.heap[0]
-			if ii >= len(e.invs) || ev.t < e.invs[ii].t ||
-				(ev.t == e.invs[ii].t && ev.kind == evReload) {
-				e.popEvent()
-				st := &e.states[ev.app]
-				if ev.gen != st.gen {
-					continue // superseded window
-				}
-				switch ev.kind {
-				case evUnload:
-					if st.resident {
-						e.removeResident(ev.app, ev.t)
-					}
-				case evReload:
-					e.reload(ev.app, ev.t)
-				}
-				continue
-			}
-		}
-		in := e.invs[ii]
-		ii++
-		e.invoke(in.app, in.t)
-	}
-	return nil
-}
-
-// invoke processes one arrival: classify against the previous window
-// (eviction overrides the nominal outcome), load on cold, advance the
-// decision cursor, and schedule the next window.
-func (e *engine) invoke(ai int32, t float64) {
-	st := &e.states[ai]
-	wk := &e.walks[ai]
-	i := st.inv
-	st.inv++
-
-	warm := false
-	if i == 0 {
-		st.res.ColdStarts = 1 // the first invocation is always cold (§5.1)
-	} else {
-		nomWarm, wasted := kernel.Classify(st.cur.D, st.cur.PwSec, st.cur.KaSec, st.prevEnd, t)
-		if st.dead {
-			// The warm container was evicted (or never fit): the
-			// arrival is cold regardless of the window; its truncated
-			// waste was booked at eviction time.
-			st.res.ColdStarts++
-			if nomWarm {
-				st.res.EvictionColdStarts++
-			}
-		} else {
-			warm = nomWarm
-			if !warm {
-				st.res.ColdStarts++
-			}
-			st.res.WastedSeconds += wasted
-		}
-	}
-	st.dead = false
-	st.gen++ // retire the previous window's pending events
-
-	// A warm hit continues the resident container. A cold start loads
-	// now — unless the container is still in memory (overlapping
-	// executions, or a pre-warm gap arrival at the exact unload
-	// instant), in which case the memory never left.
-	if !warm && !st.resident {
-		if !e.load(ai, t) {
-			st.dead = true // transient execution, no residency this window
-		}
-	}
-
-	// Advance to the decision governing this invocation, then open its
-	// window from the execution end.
-	st.cur.Step(&st.res.ModeCounts)
-	st.prevEnd = t
-	if wk.execs != nil {
-		st.prevEnd += wk.execs[i]
-	}
-	if st.prevEnd > st.execEnd {
-		st.execEnd = st.prevEnd
-	}
-	if !st.dead {
-		e.schedule(ai)
-	}
-}
-
-// schedule opens the window st.cur.D prescribes after the execution
-// ending at st.prevEnd: residency plan, expiry events, pre-warm
-// reloads.
-func (e *engine) schedule(ai int32) {
-	st := &e.states[ai]
-	d := st.cur.D
-	switch {
-	case d.Forever:
-		st.loadedAt = st.prevEnd
-		st.unloadAt = math.Inf(1)
-	case d.PreWarm == 0:
-		st.loadedAt = st.prevEnd
-		st.unloadAt = st.prevEnd + st.cur.KaSec
-		if st.unloadAt < e.horizon {
-			e.pushEvent(cevent{t: st.unloadAt, kind: evUnload, app: ai, gen: st.gen})
-		}
-	default:
-		// Pre-warmed window: unload at execution end, reload PreWarm
-		// later (the reload event re-checks memory pressure).
-		if st.prevEnd <= e.walks[ai].times[st.inv-1] {
-			// Zero execution time: the unload is immediate.
-			if st.resident {
-				e.removeResident(ai, st.prevEnd)
-			}
-		} else {
-			st.unloadAt = st.prevEnd
-			if st.prevEnd < e.horizon {
-				e.pushEvent(cevent{t: st.prevEnd, kind: evUnload, app: ai, gen: st.gen})
-			}
-		}
-		if loadAt := st.prevEnd + st.cur.PwSec; loadAt < e.horizon {
-			e.pushEvent(cevent{t: loadAt, kind: evReload, app: ai, gen: st.gen})
-		}
-	}
-}
-
-// reload serves a pre-warm: the container comes back under the same
-// window, pressure permitting.
-func (e *engine) reload(ai int32, t float64) {
-	st := &e.states[ai]
-	if st.resident || st.dead {
-		return
-	}
-	if !e.load(ai, t) {
-		st.dead = true
-		return
-	}
-	st.loadedAt = t
-	st.unloadAt = t + st.cur.KaSec
-	if st.unloadAt < e.horizon {
-		e.pushEvent(cevent{t: st.unloadAt, kind: evUnload, app: ai, gen: st.gen})
-	}
-}
-
-// load makes the app resident on its node at time t, evicting idle
-// containers (soonest-to-expire first) until it fits. It reports
-// whether the load succeeded.
-func (e *engine) load(ai int32, t float64) bool {
-	st := &e.states[ai]
-	if !st.placed {
-		st.placed = true
-		app := Footprint{ID: st.res.AppID, MemMB: st.memMB, Invocations: st.res.Invocations}
-		node := e.place.Place(app, e)
-		if node < 0 || node >= len(e.nodes) {
-			panic("cluster: placement returned node out of range")
-		}
-		st.node = int32(node)
-		st.res.Node = node
-	}
-	nd := &e.nodes[st.node]
-	if st.memMB > e.capMB {
-		// Larger than a whole node: can never be resident.
-		nd.stats.FailedLoads++
-		return false
-	}
-	for nd.residentMB+st.memMB > e.capMB {
-		victim := e.pickVictim(nd, t)
-		if victim < 0 {
-			nd.stats.FailedLoads++
-			return false
-		}
-		e.evict(victim, t)
-	}
-	e.addResident(ai, t)
-	return true
-}
-
-// pickVictim selects the idle resident container closest to its own
-// expiry (ties to the lowest app index) — the cheapest reclaim, since
-// its remaining keep-alive had the least predicted value. Containers
-// mid-execution are never victims. Returns -1 when nothing is
-// evictable.
-func (e *engine) pickVictim(nd *nodeState, t float64) int32 {
-	best := int32(-1)
-	var bestAt float64
-	for ai := range nd.resident {
-		st := &e.states[ai]
-		if st.execEnd > t {
-			continue // executing
-		}
-		if best < 0 || st.unloadAt < bestAt || (st.unloadAt == bestAt && ai < best) {
-			best, bestAt = ai, st.unloadAt
-		}
-	}
-	return best
-}
-
-// evict reclaims one idle container under pressure at time t: its
-// loaded-but-idle time so far is booked (the window's waste is
-// truncated, not the nominal full keep-alive), and the window dies —
-// the app's next arrival is cold.
-func (e *engine) evict(ai int32, t float64) {
-	st := &e.states[ai]
-	st.res.WastedSeconds += t - st.loadedAt
-	st.res.Evictions++
-	e.nodes[st.node].stats.Evictions++
-	st.dead = true
-	st.gen++ // retire the window's pending events
-	e.removeResident(ai, t)
-}
-
-// addResident and removeResident keep the node's resident-memory
-// integral exact: the utilization series advances to t at the old
-// level before the level changes.
-func (e *engine) addResident(ai int32, t float64) {
-	st := &e.states[ai]
-	nd := &e.nodes[st.node]
-	nd.advance(t, e.horizon)
-	nd.residentMB += st.memMB
-	if nd.residentMB > nd.stats.PeakResidentMB {
-		nd.stats.PeakResidentMB = nd.residentMB
-	}
-	if e.finite {
-		// The victim set only matters under pressure; an infinite
-		// cluster skips the per-window map churn.
-		nd.resident[ai] = struct{}{}
-	}
-	st.resident = true
-}
-
-func (e *engine) removeResident(ai int32, t float64) {
-	st := &e.states[ai]
-	nd := &e.nodes[st.node]
-	nd.advance(t, e.horizon)
-	nd.residentMB -= st.memMB
-	if nd.residentMB < 0 {
-		nd.residentMB = 0 // float dust
-	}
-	if e.finite {
-		delete(nd.resident, ai)
-	}
-	st.resident = false
-}
-
-// advance accumulates the node's resident level over [lastT, t),
-// clamped at the horizon, into the integral and the per-minute series.
-func (nd *nodeState) advance(t, horizon float64) {
-	from, to := nd.lastT, t
-	if to > horizon {
-		to = horizon
-	}
-	if to > from && nd.residentMB > 0 {
-		nd.stats.ResidentMBSeconds += nd.residentMB * (to - from)
-		bins := nd.stats.UtilSeries
-		for b := int(from / 60); b < len(bins); b++ {
-			lo, hi := float64(b)*60, float64(b+1)*60
-			if lo < from {
-				lo = from
-			}
-			if hi > to {
-				hi = to
-			}
-			bins[b] += nd.residentMB * (hi - lo)
-			if hi >= to {
-				break
-			}
-		}
-	}
-	if t > nd.lastT {
-		nd.lastT = t
-	}
-}
-
-// finish books trailing windows, flushes node integrals to the
-// horizon, and assembles the Result.
-func (e *engine) finish(tr *trace.Trace, polName string) *Result {
-	res := &Result{
-		Policy:         polName,
-		Placement:      e.place.Name(),
-		Nodes:          e.cfg.Nodes,
-		NodeMemMB:      e.cfg.NodeMemMB,
-		HorizonSeconds: e.horizon,
-		Apps:           make([]AppResult, len(e.states)),
-		NodeStats:      make([]NodeStats, len(e.nodes)),
-	}
-	if res.NodeMemMB < 0 {
-		res.NodeMemMB = 0
-	}
-	for i := range e.states {
-		st := &e.states[i]
-		if st.res.Invocations > 0 && !st.dead {
-			st.res.WastedSeconds += kernel.TrailingWaste(
-				st.cur.D, st.cur.PwSec, st.cur.KaSec, st.prevEnd, e.horizon)
-		}
-		st.res.WastedMBSeconds = st.res.WastedSeconds * st.memMB
-		res.Apps[i] = st.res
-	}
-	for i := range e.nodes {
-		nd := &e.nodes[i]
-		nd.advance(e.horizon, e.horizon)
-		// Normalize the series from MB·s to mean MB per bin (the last
-		// bin may cover less than a minute).
-		for b := range nd.stats.UtilSeries {
-			width := math.Min(60, e.horizon-float64(b)*60)
-			if width > 0 {
-				nd.stats.UtilSeries[b] /= width
-			}
-		}
-		res.NodeStats[i] = nd.stats
-	}
-	return res
-}
-
-// View implementation (placement decisions observe the live engine).
-
-// NumNodes implements View.
-func (e *engine) NumNodes() int { return len(e.nodes) }
-
-// CapacityMB implements View.
-func (e *engine) CapacityMB() float64 { return e.capMB }
-
-// ResidentMB implements View.
-func (e *engine) ResidentMB(node int) float64 { return e.nodes[node].residentMB }
-
-// Event heap: ordered by (time, kind, app) — reloads before unloads
-// at equal times, app index for determinism.
-
-func eventLess(a, b cevent) bool {
-	if a.t != b.t {
-		return a.t < b.t
-	}
-	if a.kind != b.kind {
-		return a.kind < b.kind
-	}
-	return a.app < b.app
-}
-
-func (e *engine) pushEvent(ev cevent) {
-	e.heap = append(e.heap, ev)
-	i := len(e.heap) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !eventLess(e.heap[i], e.heap[parent]) {
-			break
-		}
-		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
-		i = parent
-	}
-}
-
-func (e *engine) popEvent() {
-	n := len(e.heap) - 1
-	e.heap[0] = e.heap[n]
-	e.heap = e.heap[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && eventLess(e.heap[l], e.heap[small]) {
-			small = l
-		}
-		if r < n && eventLess(e.heap[r], e.heap[small]) {
-			small = r
-		}
-		if small == i {
-			return
-		}
-		e.heap[i], e.heap[small] = e.heap[small], e.heap[i]
-		i = small
-	}
 }
 
 // Result helpers.

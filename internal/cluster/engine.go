@@ -1,0 +1,373 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/sim/kernel"
+	"repro/internal/trace"
+)
+
+// appWalk is an app's precomputed decision walk (the shared kernel's
+// output): invocation times, exec times, and RLE decisions.
+type appWalk struct {
+	times []float64
+	execs []float64 // nil without exec times
+	runs  []policy.DecisionRun
+}
+
+// appState is one app's runtime state on the timeline. Exactly one
+// shard ever touches an app's state (the shard driving its node), so
+// the sharded path needs no synchronization around it.
+type appState struct {
+	cur     kernel.RunCursor
+	res     AppResult
+	memMB   float64
+	prevEnd float64 // end of the last execution
+	execEnd float64 // container unevictable before this
+	inv     int     // next invocation index
+	node    int32
+	gen     uint32 // current window generation (event invalidation)
+	vix     uint32 // version of the latest victim-index entry
+	// Current window residency.
+	resident bool
+	dead     bool    // evicted or load-failed: cold next arrival
+	loadedAt float64 // start of the idle-loaded segment
+	unloadAt float64 // scheduled expiry (+Inf for forever)
+	placed   bool
+}
+
+// nodeState is one node's runtime state: resident accounting, the
+// victim index, and the published stats.
+type nodeState struct {
+	residentMB  float64
+	lastT       float64
+	residentCnt int           // containers resident now (finite runs)
+	victims     []victimEntry // min-heap on (unloadAt, app), lazily invalidated
+	stats       NodeStats
+}
+
+// engine is one cluster simulation in flight: the resolved
+// configuration and the app/node state the shards operate on. The
+// engine itself holds no event ordering — that lives in the shards.
+type engine struct {
+	cfg     Config
+	capMB   float64 // +Inf when infinite
+	finite  bool    // victim index maintained only under pressure
+	horizon float64
+	place   Placement
+	walks   []appWalk
+	states  []appState
+	nodes   []nodeState
+}
+
+func simulate(ctx context.Context, tr *trace.Trace, pol policy.Policy, cfg Config) (*Result, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = HashPlacement{}
+	}
+	if cfg.DefaultAppMemMB <= 0 {
+		cfg.DefaultAppMemMB = trace.DefaultAppMemoryMB
+	}
+	capMB := cfg.NodeMemMB
+	if capMB <= 0 {
+		capMB = math.Inf(1)
+	}
+
+	e := &engine{
+		cfg:     cfg,
+		capMB:   capMB,
+		finite:  !math.IsInf(capMB, 1),
+		horizon: tr.Duration.Seconds(),
+		place:   cfg.Placement,
+	}
+	walks, err := precompute(ctx, tr, pol, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.walks = walks
+	e.initStates(tr)
+	if e.sharded() {
+		err = e.runSharded(ctx)
+	} else {
+		err = e.runGlobal(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return e.finish(pol.Name()), nil
+}
+
+// sharded reports whether the run takes the per-node parallel path:
+// the placement must be oblivious (pre-assignable without observing
+// live residency), and the reference global path not forced.
+func (e *engine) sharded() bool {
+	if e.cfg.forceGlobal {
+		return false
+	}
+	o, ok := e.place.(Oblivious)
+	return ok && o.Oblivious()
+}
+
+// workerCount resolves Config.Workers against an upper bound.
+func (e *engine) workerCount(limit int) int {
+	w := e.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > limit {
+		w = limit
+	}
+	return w
+}
+
+// precompute runs the shared kernel over every app in parallel: idle
+// times, batch decisions (released back to the policy pool), and exec
+// times, copied out of the per-worker scratch.
+func precompute(ctx context.Context, tr *trace.Trace, pol policy.Policy, cfg Config) ([]appWalk, error) {
+	n := len(tr.Apps)
+	walks := make([]appWalk, n)
+	if n == 0 {
+		return walks, ctx.Err()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc kernel.Scratch
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				app := tr.Apps[i]
+				times := app.InvocationTimes()
+				wk := appWalk{times: times}
+				if len(times) > 0 {
+					if cfg.UseExecTime {
+						wk.execs = append([]float64(nil), sc.ExecSeconds(app)...)
+					}
+					ap := pol.NewApp(app.ID)
+					idles := sc.IdleTimes(times, wk.execs)
+					wk.runs = append([]policy.DecisionRun(nil), sc.DecideRuns(ap, idles)...)
+					if rel, ok := ap.(policy.Releasable); ok {
+						rel.Release()
+					}
+				}
+				walks[i] = wk
+			}
+		}()
+	}
+	wg.Wait()
+	return walks, ctx.Err()
+}
+
+// initStates builds the runtime state: per-app states, per-node
+// accounting, and the offline placement preparation.
+func (e *engine) initStates(tr *trace.Trace) {
+	n := len(tr.Apps)
+	e.states = make([]appState, n)
+	var fps []Footprint
+	if _, ok := e.place.(TracePreparer); ok {
+		fps = make([]Footprint, 0, n)
+	}
+	for i, app := range tr.Apps {
+		st := &e.states[i]
+		st.memMB = app.MemoryMB
+		if st.memMB <= 0 {
+			st.memMB = e.cfg.DefaultAppMemMB
+		}
+		st.node = -1
+		st.res = AppResult{
+			AppResult: sim.AppResult{AppID: app.ID, Invocations: len(e.walks[i].times)},
+			Node:      -1,
+			MemoryMB:  st.memMB,
+		}
+		st.cur.Reset(e.walks[i].runs)
+		if fps != nil {
+			fps = append(fps, Footprint{ID: app.ID, MemMB: st.memMB, Invocations: len(e.walks[i].times)})
+		}
+	}
+	if fps != nil {
+		e.place.(TracePreparer).Prepare(fps, e.cfg.Nodes, e.capMB)
+	}
+
+	minutes := int(math.Ceil(e.horizon / 60))
+	if minutes < 1 && e.horizon > 0 {
+		minutes = 1
+	}
+	e.nodes = make([]nodeState, e.cfg.Nodes)
+	for i := range e.nodes {
+		e.nodes[i].stats.UtilSeries = make([]float64, minutes)
+	}
+}
+
+// preassign places every app with invocations before the run
+// (oblivious path only). Place sees the static cluster shape but not
+// live residency — the static view's ResidentMB panics, enforcing the
+// Oblivious contract on custom placements. Apps with no invocations
+// never load and keep Node == -1, exactly as on the lazy global path.
+func (e *engine) preassign() {
+	view := staticView{nodes: len(e.nodes), capMB: e.capMB}
+	for ai := range e.states {
+		st := &e.states[ai]
+		if st.res.Invocations == 0 {
+			continue
+		}
+		node := e.place.Place(Footprint{ID: st.res.AppID, MemMB: st.memMB, Invocations: st.res.Invocations}, view)
+		if node < 0 || node >= len(e.nodes) {
+			panic("cluster: placement returned node out of range")
+		}
+		st.placed = true
+		st.node = int32(node)
+		st.res.Node = node
+	}
+}
+
+// runGlobal drives every node on one sequential shard holding the
+// whole merged invocation stream — the only schedule under which a
+// view-dependent placement's residency reads are well-defined.
+func (e *engine) runGlobal(ctx context.Context) error {
+	total := 0
+	for _, wk := range e.walks {
+		total += len(wk.times)
+	}
+	sh := shard{e: e, invs: make([]inv, 0, total)}
+	for ai, wk := range e.walks {
+		for _, t := range wk.times {
+			sh.invs = append(sh.invs, inv{t: t, app: int32(ai)})
+		}
+	}
+	sortInvs(sh.invs)
+	return sh.timeline(ctx)
+}
+
+// runSharded is the oblivious-placement fast path: every app is
+// pre-assigned, the merged invocation stream is bucketed per node, and
+// each node's timeline runs to completion independently — workerCount
+// at a time, each worker sorting its own node's stream. Node timelines
+// share no mutable state (all cluster coupling is per-node), so the
+// results are bit-identical to runGlobal for any worker count.
+func (e *engine) runSharded(ctx context.Context) error {
+	e.preassign()
+	counts := make([]int, len(e.nodes))
+	for ai := range e.states {
+		if st := &e.states[ai]; st.placed {
+			counts[st.node] += len(e.walks[ai].times)
+		}
+	}
+	byNode := make([][]inv, len(e.nodes))
+	for n, c := range counts {
+		byNode[n] = make([]inv, 0, c)
+	}
+	for ai := range e.states {
+		st := &e.states[ai]
+		if !st.placed {
+			continue
+		}
+		for _, t := range e.walks[ai].times {
+			byNode[st.node] = append(byNode[st.node], inv{t: t, app: int32(ai)})
+		}
+	}
+
+	workers := e.workerCount(len(e.nodes))
+	if workers <= 0 {
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	errs := make([]error, len(e.nodes))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1) - 1)
+				if n >= len(e.nodes) {
+					return
+				}
+				sh := shard{e: e, invs: byNode[n]}
+				sortInvs(sh.invs)
+				errs[n] = sh.timeline(ctx)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish books trailing windows, flushes node integrals to the
+// horizon, and assembles the Result.
+func (e *engine) finish(polName string) *Result {
+	res := &Result{
+		Policy:         polName,
+		Placement:      e.place.Name(),
+		Nodes:          e.cfg.Nodes,
+		NodeMemMB:      e.cfg.NodeMemMB,
+		HorizonSeconds: e.horizon,
+		Apps:           make([]AppResult, len(e.states)),
+		NodeStats:      make([]NodeStats, len(e.nodes)),
+	}
+	if res.NodeMemMB < 0 {
+		res.NodeMemMB = 0
+	}
+	for i := range e.states {
+		st := &e.states[i]
+		if st.res.Invocations > 0 && !st.dead {
+			st.res.WastedSeconds += kernel.TrailingWaste(
+				st.cur.D, st.cur.PwSec, st.cur.KaSec, st.prevEnd, e.horizon)
+		}
+		st.res.WastedMBSeconds = st.res.WastedSeconds * st.memMB
+		res.Apps[i] = st.res
+	}
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		nd.advance(e.horizon, e.horizon)
+		// Normalize the series from MB·s to mean MB per bin (the last
+		// bin may cover less than a minute).
+		for b := range nd.stats.UtilSeries {
+			width := math.Min(60, e.horizon-float64(b)*60)
+			if width > 0 {
+				nd.stats.UtilSeries[b] /= width
+			}
+		}
+		res.NodeStats[i] = nd.stats
+	}
+	return res
+}
+
+// View implementation (view-dependent placement decisions observe the
+// live engine on the global path).
+
+// NumNodes implements View.
+func (e *engine) NumNodes() int { return len(e.nodes) }
+
+// CapacityMB implements View.
+func (e *engine) CapacityMB() float64 { return e.capMB }
+
+// ResidentMB implements View.
+func (e *engine) ResidentMB(node int) float64 { return e.nodes[node].residentMB }

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// scriptPolicy replays a fixed per-app decision script (one Decision
+// per invocation, in order), giving tests precise control over windows
+// — pre-warm gaps, keep-alives, expiry alignments — that the real
+// policies only produce on contrived traces.
+type scriptPolicy struct {
+	decisions map[string][]policy.Decision
+}
+
+func (p scriptPolicy) Name() string { return "script" }
+
+func (p scriptPolicy) NewApp(id string) policy.AppPolicy {
+	return &scriptApp{ds: p.decisions[id]}
+}
+
+type scriptApp struct {
+	ds []policy.Decision
+	i  int
+}
+
+func (a *scriptApp) NextWindows(idle time.Duration, first bool) policy.Decision {
+	d := a.ds[a.i] // out of range = test bug: script shorter than trace
+	a.i++
+	return d
+}
+
+// fn builds a one-function app with the given exec time.
+func fn(id string, memMB, execSeconds float64, times ...float64) *trace.App {
+	return &trace.App{ID: id, MemoryMB: memMB, Functions: []*trace.Function{
+		{ID: id + "-f", Invocations: times, ExecStats: trace.ExecStats{AvgSeconds: execSeconds}},
+	}}
+}
+
+// TestEvictionSkipsExecutingContainer: a container mid-execution is
+// never a victim, even when it is the closest to expiry — pressure
+// falls through to the next-soonest idle container.
+//
+// Layout (node cap 250 MB, exec times on): app x (100 MB) executes
+// from t=0 to t=400 under a pre-warm window that unloads at the
+// execution end, so at t=100 it is the soonest-to-expire resident
+// container (unloadAt 400) but is executing. App y (100 MB, idle,
+// unloadAt 10010) must be evicted instead when app z (100 MB) loads.
+func TestEvictionSkipsExecutingContainer(t *testing.T) {
+	tr := &trace.Trace{Duration: 500 * time.Second, Apps: []*trace.App{
+		fn("x", 100, 400, 0),
+		fn("y", 100, 0, 10),
+		fn("z", 100, 0, 100),
+	}}
+	pol := scriptPolicy{decisions: map[string][]policy.Decision{
+		"x": {{PreWarm: 2000 * time.Second, KeepAlive: 600 * time.Second}},
+		"y": {{KeepAlive: 10000 * time.Second}},
+		"z": {{KeepAlive: 60 * time.Second}},
+	}}
+	res := Simulate(tr, pol, Config{Nodes: 1, NodeMemMB: 250, UseExecTime: true})
+	x, y, z := res.Apps[0], res.Apps[1], res.Apps[2]
+	if x.Evictions != 0 {
+		t.Errorf("executing app x evicted %d times, want 0", x.Evictions)
+	}
+	if y.Evictions != 1 {
+		t.Errorf("idle app y evicted %d times, want 1", y.Evictions)
+	}
+	// y was loaded at t=10 and reclaimed at t=100: 90 s of truncated
+	// idle waste, and nothing more (its window died with the eviction).
+	if y.WastedSeconds != 90 {
+		t.Errorf("app y wasted %v s, want 90", y.WastedSeconds)
+	}
+	if z.ColdStarts != 1 || res.NodeStats[0].Evictions != 1 || res.NodeStats[0].FailedLoads != 0 {
+		t.Errorf("z cold=%d node evictions=%d failedLoads=%d, want 1/1/0",
+			z.ColdStarts, res.NodeStats[0].Evictions, res.NodeStats[0].FailedLoads)
+	}
+}
+
+// TestEvictionAtExecEndBoundary pins the execEnd == t boundary: a
+// container whose execution ends exactly at the pressuring load's time
+// is idle, hence evictable — and with the soonest expiry it is chosen
+// over a later-expiring idle container. An exclusive comparison
+// (execEnd >= t) would evict y instead.
+func TestEvictionAtExecEndBoundary(t *testing.T) {
+	tr := &trace.Trace{Duration: 2000 * time.Second, Apps: []*trace.App{
+		fn("x", 100, 100, 0),
+		fn("y", 100, 0, 50),
+		fn("z", 100, 0, 100),
+	}}
+	pol := scriptPolicy{decisions: map[string][]policy.Decision{
+		"x": {{KeepAlive: 500 * time.Second}},  // unloads at 100+500=600
+		"y": {{KeepAlive: 1000 * time.Second}}, // unloads at 50+1000=1050
+		"z": {{KeepAlive: 60 * time.Second}},
+	}}
+	res := Simulate(tr, pol, Config{Nodes: 1, NodeMemMB: 200, UseExecTime: true})
+	x, y := res.Apps[0], res.Apps[1]
+	if x.Evictions != 1 || y.Evictions != 0 {
+		t.Errorf("evictions x=%d y=%d, want 1/0 (x idle exactly at its exec end)", x.Evictions, y.Evictions)
+	}
+	// x's idle-loaded segment starts at its execution end (t=100) and
+	// the eviction happens at the same instant: execution time is not
+	// waste, so the truncated window books exactly zero.
+	if x.WastedSeconds != 0 {
+		t.Errorf("app x wasted %v s, want 0", x.WastedSeconds)
+	}
+}
+
+// TestEvictionAtExpiryInstant pins the truncation algebra at the exact
+// expiry tie: an invocation at t equal to the victim's unloadAt
+// processes before the expiry event (expiries run last at equal
+// times), so the eviction books the full keep-alive — the same waste a
+// natural expiry would have booked — exactly once, and the stale
+// unload event is discarded without double-booking.
+func TestEvictionAtExpiryInstant(t *testing.T) {
+	tr := &trace.Trace{Duration: 1000 * time.Second, Apps: []*trace.App{
+		fn("x", 100, 0, 0),
+		fn("y", 150, 0, 100),
+	}}
+	script := func() scriptPolicy {
+		return scriptPolicy{decisions: map[string][]policy.Decision{
+			"x": {{KeepAlive: 100 * time.Second}}, // expires exactly at y's arrival
+			"y": {{KeepAlive: 50 * time.Second}},
+		}}
+	}
+	res := Simulate(tr, script(), Config{Nodes: 1, NodeMemMB: 200})
+	x := res.Apps[0]
+	if x.Evictions != 1 {
+		t.Fatalf("app x evictions %d, want 1 (evicted at its expiry instant)", x.Evictions)
+	}
+	if x.WastedSeconds != 100 {
+		t.Errorf("app x wasted %v s, want exactly the 100 s keep-alive (no double booking)", x.WastedSeconds)
+	}
+	// The natural expiry on an unconstrained cluster books the same
+	// waste: eviction at the expiry instant truncates nothing.
+	inf := Simulate(tr, script(), Config{Nodes: 1, NodeMemMB: 0})
+	if inf.Apps[0].Evictions != 0 {
+		t.Fatalf("infinite run evicted")
+	}
+	if inf.Apps[0].WastedSeconds != x.WastedSeconds {
+		t.Errorf("eviction-at-expiry waste %v differs from natural expiry %v",
+			x.WastedSeconds, inf.Apps[0].WastedSeconds)
+	}
+}

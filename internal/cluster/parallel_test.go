@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// requireResultsEqual compares two cluster results bit-exactly: every
+// per-app field (floats via Float64bits) and every per-node aggregate
+// including the utilization series. This is the contract the sharded
+// path must meet against the sequential global path.
+func requireResultsEqual(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Policy != want.Policy || got.Placement != want.Placement ||
+		got.Nodes != want.Nodes || got.NodeMemMB != want.NodeMemMB ||
+		math.Float64bits(got.HorizonSeconds) != math.Float64bits(want.HorizonSeconds) {
+		t.Fatalf("%s: header mismatch: got %+v want %+v", label, got, want)
+	}
+	if len(got.Apps) != len(want.Apps) {
+		t.Fatalf("%s: %d apps, want %d", label, len(got.Apps), len(want.Apps))
+	}
+	mismatches := 0
+	for i, w := range want.Apps {
+		g := got.Apps[i]
+		if g.AppID != w.AppID || g.Invocations != w.Invocations ||
+			g.ColdStarts != w.ColdStarts || g.ModeCounts != w.ModeCounts ||
+			math.Float64bits(g.WastedSeconds) != math.Float64bits(w.WastedSeconds) ||
+			g.Node != w.Node ||
+			math.Float64bits(g.MemoryMB) != math.Float64bits(w.MemoryMB) ||
+			g.Evictions != w.Evictions ||
+			g.EvictionColdStarts != w.EvictionColdStarts ||
+			math.Float64bits(g.WastedMBSeconds) != math.Float64bits(w.WastedMBSeconds) {
+			mismatches++
+			if mismatches <= 5 {
+				t.Errorf("%s app %s: got %+v want %+v", label, w.AppID, g, w)
+			}
+		}
+	}
+	if mismatches > 5 {
+		t.Errorf("%s: %d further app mismatches suppressed", label, mismatches-5)
+	}
+	if len(got.NodeStats) != len(want.NodeStats) {
+		t.Fatalf("%s: %d nodes, want %d", label, len(got.NodeStats), len(want.NodeStats))
+	}
+	for n, w := range want.NodeStats {
+		g := got.NodeStats[n]
+		if g.Evictions != w.Evictions || g.FailedLoads != w.FailedLoads ||
+			math.Float64bits(g.PeakResidentMB) != math.Float64bits(w.PeakResidentMB) ||
+			math.Float64bits(g.ResidentMBSeconds) != math.Float64bits(w.ResidentMBSeconds) {
+			t.Errorf("%s node %d: got %+v want %+v", label, n, g, w)
+			continue
+		}
+		if len(g.UtilSeries) != len(w.UtilSeries) {
+			t.Errorf("%s node %d: util series length %d want %d", label, n, len(g.UtilSeries), len(w.UtilSeries))
+			continue
+		}
+		for b := range w.UtilSeries {
+			if math.Float64bits(g.UtilSeries[b]) != math.Float64bits(w.UtilSeries[b]) {
+				t.Errorf("%s node %d minute %d: util %v want %v", label, n, b, g.UtilSeries[b], w.UtilSeries[b])
+				break
+			}
+		}
+	}
+}
+
+// mustPlacement builds a placement spec or fails the test.
+func mustPlacement(t *testing.T, spec string) Placement {
+	t.Helper()
+	p, err := NewPlacement(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runBothPaths runs the same scenario on the sequential global
+// reference path and on the sharded path at several worker counts,
+// requiring bit-identical results. Placements carry per-run state
+// (binpack's Prepare), so each run builds its own from the spec.
+func runBothPaths(t *testing.T, label string, tr *trace.Trace, pol func() policy.Policy, cfg Config, placeSpec string) *Result {
+	t.Helper()
+	ref := cfg
+	ref.forceGlobal = true
+	ref.Placement = mustPlacement(t, placeSpec)
+	want := Simulate(tr, pol(), ref)
+	for _, workers := range []int{1, 5} {
+		par := cfg
+		par.Workers = workers
+		par.Placement = mustPlacement(t, placeSpec)
+		got := Simulate(tr, pol(), par)
+		requireResultsEqual(t, fmt.Sprintf("%s/workers=%d", label, workers), got, want)
+	}
+	return want
+}
+
+// TestShardedMatchesGlobalGolden pins the tentpole contract on the
+// golden scenario set (the same policies golden_test.go runs against
+// the seed): for every oblivious placement and finite-memory layout,
+// the per-node parallel timeline must reproduce the sequential global
+// timeline bit for bit — per-app attribution, waste bits, node stats
+// and utilization series included — at every worker count.
+func TestShardedMatchesGlobalGolden(t *testing.T) {
+	pop, err := workload.Generate(workload.Config{
+		Seed: 7, NumApps: 150, Duration: 36 * time.Hour,
+		MaxDailyRate: 800, MaxEventsPerFunction: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallHist := policy.DefaultHybridConfig()
+	smallHist.Histogram.NumBins = 60
+	smallHist.DisablePreWarm = true
+	tinyHist := policy.DefaultHybridConfig()
+	tinyHist.Histogram.NumBins = 10
+	pols := []struct {
+		name string
+		pol  func() policy.Policy
+		exec bool
+	}{
+		{"fixed-10m", func() policy.Policy { return policy.FixedKeepAlive{KeepAlive: 10 * time.Minute} }, false},
+		{"no-unloading", func() policy.Policy { return policy.NoUnloading{} }, false},
+		{"hybrid-default", func() policy.Policy { return policy.NewHybrid(policy.DefaultHybridConfig()) }, false},
+		{"hybrid-exectime", func() policy.Policy { return policy.NewHybrid(policy.DefaultHybridConfig()) }, true},
+		{"hybrid-1h-nopw-exectime", func() policy.Policy { return policy.NewHybrid(smallHist) }, true},
+		{"hybrid-10m-range", func() policy.Policy { return policy.NewHybrid(tinyHist) }, false},
+	}
+	layouts := []struct {
+		nodes int
+		memMB float64
+		place string
+	}{
+		{4, 900, "hash"},
+		{3, 600, "hash?seed=3"},
+		{4, 900, "binpack"},
+		{2, 1500, "binpack?order=invocations"},
+		{5, 0, "binpack?order=trace"}, // infinite: the no-pressure degenerate case
+	}
+	pressured := 0
+	for pi, pc := range pols {
+		// Rotate two layouts per policy to keep the matrix affordable.
+		for off := 0; off < 2; off++ {
+			ly := layouts[(pi+off)%len(layouts)]
+			cfg := Config{Nodes: ly.nodes, NodeMemMB: ly.memMB, UseExecTime: pc.exec}
+			res := runBothPaths(t, pc.name+"/"+ly.place, pop.Trace, pc.pol, cfg, ly.place)
+			if res.TotalEvictions() > 0 {
+				pressured++
+			}
+		}
+	}
+	if pressured == 0 {
+		t.Fatal("no scenario showed eviction pressure; the equivalence test is vacuous — tighten the layouts")
+	}
+}
+
+// TestShardedMatchesGlobalRandomized fuzzes the same contract over
+// randomized finite-memory layouts: random workloads, node counts,
+// capacities, oblivious placements and exec-time handling.
+func TestShardedMatchesGlobalRandomized(t *testing.T) {
+	rng := stats.NewRNG(1234)
+	places := []string{"hash", "hash?seed=9", "binpack", "binpack?order=invocations", "binpack?order=trace"}
+	caps := []float64{250, 400, 700, 1200}
+	pressured := 0
+	for it := 0; it < 6; it++ {
+		pop, err := workload.Generate(workload.Config{
+			Seed: uint64(100 + it), NumApps: 50, Duration: 24 * time.Hour,
+			MaxDailyRate: 600, MaxEventsPerFunction: 2500,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := 1 + int(rng.Float64()*5)
+		memMB := caps[int(rng.Float64()*float64(len(caps)))]
+		place := places[int(rng.Float64()*float64(len(places)))]
+		exec := rng.Float64() < 0.5
+		var pol func() policy.Policy
+		if rng.Float64() < 0.5 {
+			pol = func() policy.Policy { return policy.NewHybrid(policy.DefaultHybridConfig()) }
+		} else {
+			pol = func() policy.Policy { return policy.FixedKeepAlive{KeepAlive: 20 * time.Minute} }
+		}
+		cfg := Config{Nodes: nodes, NodeMemMB: memMB, UseExecTime: exec}
+		res := runBothPaths(t, place, pop.Trace, pol, cfg, place)
+		if res.TotalEvictions() > 0 {
+			pressured++
+		}
+	}
+	if pressured == 0 {
+		t.Fatal("no randomized layout showed eviction pressure; tighten the capacity choices")
+	}
+}
+
+// TestViewDependentPlacementStaysSequential: least-loaded reads live
+// residency, so it must keep the global path regardless of Workers —
+// and the worker count must not change its results.
+func TestViewDependentPlacementStaysSequential(t *testing.T) {
+	pop, err := workload.Generate(workload.Config{
+		Seed: 21, NumApps: 40, Duration: 12 * time.Hour,
+		MaxDailyRate: 500, MaxEventsPerFunction: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Placement(LeastLoadedPlacement{}).(Oblivious); ok {
+		t.Fatal("least-loaded must not advertise the oblivious contract")
+	}
+	pol := func() policy.Policy { return policy.NewHybrid(policy.DefaultHybridConfig()) }
+	base := Simulate(pop.Trace, pol(), Config{Nodes: 3, NodeMemMB: 500, Placement: LeastLoadedPlacement{}, Workers: 1})
+	wide := Simulate(pop.Trace, pol(), Config{Nodes: 3, NodeMemMB: 500, Placement: LeastLoadedPlacement{}, Workers: 8})
+	requireResultsEqual(t, "least-loaded", wide, base)
+}

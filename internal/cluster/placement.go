@@ -51,6 +51,51 @@ type TracePreparer interface {
 	Prepare(apps []Footprint, nodes int, capacityMB float64)
 }
 
+// Oblivious is an optional Placement extension marking a placement as
+// view-oblivious: Place's result depends only on the app's Footprint,
+// the static cluster shape (View.NumNodes, View.CapacityMB) and
+// whatever Prepare precomputed — never on live residency
+// (View.ResidentMB). hash and binpack are oblivious; least-loaded is
+// not.
+//
+// The engine runs oblivious placements on the parallel per-node path:
+// every app is pre-assigned before the run, the invocation stream is
+// sharded per node, and node timelines execute independently,
+// Config.Workers at a time. View-dependent placements keep the
+// sequential global timeline — the only schedule under which their
+// residency reads are well-defined. Results are bit-identical on both
+// paths (property-tested); only the wall clock differs.
+//
+// A custom RegisterPlacement implementation that reports
+// Oblivious() == true must honor the contract: during pre-assignment
+// the engine hands Place a View whose ResidentMB panics, so a
+// placement that claims obliviousness but reads residency fails loudly
+// instead of silently diverging.
+type Oblivious interface {
+	Placement
+	// Oblivious reports whether Place never consults View.ResidentMB.
+	Oblivious() bool
+}
+
+// staticView is the View handed to oblivious placements during
+// pre-assignment: the cluster shape is visible, live residency is not.
+type staticView struct {
+	nodes int
+	capMB float64
+}
+
+// NumNodes implements View.
+func (v staticView) NumNodes() int { return v.nodes }
+
+// CapacityMB implements View.
+func (v staticView) CapacityMB() float64 { return v.capMB }
+
+// ResidentMB implements View by enforcing the Oblivious contract.
+func (v staticView) ResidentMB(int) float64 {
+	panic("cluster: oblivious placement consulted View.ResidentMB during pre-assignment; " +
+		"a placement that depends on live residency must not report Oblivious()")
+}
+
 // HashPlacement spreads apps by a stable hash of their ID: stateless,
 // coordination-free, and what a consistent-hashing front end degrades
 // to. It ignores load, so skewed app sizes skew nodes. A non-zero
@@ -67,6 +112,10 @@ func (p HashPlacement) Name() string {
 	}
 	return fmt.Sprintf("hash?seed=%d", p.Seed)
 }
+
+// Oblivious implements Oblivious: the hash reads only the app ID and
+// the node count.
+func (HashPlacement) Oblivious() bool { return true }
 
 // Place implements Placement.
 func (p HashPlacement) Place(app Footprint, view View) int {
@@ -178,6 +227,10 @@ func (p *BinPackPlacement) Prepare(apps []Footprint, nodes int, capacityMB float
 		p.assign[app.ID] = node
 	}
 }
+
+// Oblivious implements Oblivious: the assignment is fixed by Prepare
+// (and the hash fallback), never by live residency.
+func (*BinPackPlacement) Oblivious() bool { return true }
 
 // Place implements Placement.
 func (p *BinPackPlacement) Place(app Footprint, view View) int {

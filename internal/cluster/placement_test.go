@@ -135,3 +135,51 @@ func TestPlacementSticky(t *testing.T) {
 		t.Fatal("expected ping-pong evictions")
 	}
 }
+
+// TestObliviousMarks pins which built-in placements advertise the
+// oblivious contract (and so take the parallel per-node path).
+func TestObliviousMarks(t *testing.T) {
+	for _, tc := range []struct {
+		place     Placement
+		oblivious bool
+	}{
+		{HashPlacement{}, true},
+		{HashPlacement{Seed: 3}, true},
+		{&BinPackPlacement{}, true},
+		{&BinPackPlacement{Order: BinPackByInvocations}, true},
+		{LeastLoadedPlacement{}, false},
+	} {
+		o, ok := tc.place.(Oblivious)
+		got := ok && o.Oblivious()
+		if got != tc.oblivious {
+			t.Errorf("%s: oblivious=%v, want %v", tc.place.Name(), got, tc.oblivious)
+		}
+	}
+}
+
+// lyingPlacement claims obliviousness but reads live residency — the
+// contract violation the pre-assignment view must catch.
+type lyingPlacement struct{}
+
+func (lyingPlacement) Name() string    { return "lying" }
+func (lyingPlacement) Oblivious() bool { return true }
+func (lyingPlacement) Place(app Footprint, view View) int {
+	_ = view.ResidentMB(0)
+	return 0
+}
+
+// TestObliviousContractEnforced: a placement that reports Oblivious()
+// but consults View.ResidentMB fails loudly during pre-assignment
+// instead of silently diverging on the parallel path.
+func TestObliviousContractEnforced(t *testing.T) {
+	tr := &trace.Trace{Duration: 100 * time.Second, Apps: []*trace.App{
+		{ID: "a", MemoryMB: 64, Functions: []*trace.Function{{ID: "f", Invocations: []float64{0}}}},
+	}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic from the static pre-assignment view")
+		}
+	}()
+	Simulate(tr, policy.FixedKeepAlive{KeepAlive: time.Minute},
+		Config{Nodes: 2, NodeMemMB: 512, Placement: lyingPlacement{}})
+}

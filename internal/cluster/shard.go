@@ -1,0 +1,524 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"slices"
+
+	"repro/internal/sim/kernel"
+)
+
+// Event kinds, in processing order at equal times: pre-warm reloads
+// first (an arrival exactly at the reload is warm), invocations, then
+// keep-alive expiries last (an arrival exactly at the window end is
+// warm) — the event order realizes kernel.Classify's inclusive
+// boundaries.
+const (
+	evReload = iota
+	evInvoke // implicit: the merged invocation stream, never heaped
+	evUnload
+)
+
+// cevent is one timed container event (reload or unload), invalidated
+// lazily by the owning app's window generation.
+type cevent struct {
+	t    float64
+	kind uint8
+	app  int32
+	gen  uint32
+}
+
+// inv is one invocation in a shard's merged stream.
+type inv struct {
+	t   float64
+	app int32
+}
+
+// victimEntry is one candidate in a node's victim index: the app's
+// container ordered by scheduled expiry. Entries are never updated in
+// place — each refresh pushes a new entry with a bumped per-app
+// version (appState.vix) and older entries die lazily on pop.
+type victimEntry struct {
+	unloadAt float64
+	app      int32
+	vix      uint32
+}
+
+// shard drives one slice of the cluster: a merged invocation stream
+// and the container-event queue for the apps on its nodes. The sharded
+// (oblivious-placement) path runs one shard per node; the global
+// (view-dependent) path runs a single shard spanning every node. All
+// per-node mechanics below are identical on both paths — only the
+// event interleaving across nodes differs, and that interleaving is
+// unobservable node-locally.
+type shard struct {
+	e    *engine
+	invs []inv
+	heap []cevent
+	skip []victimEntry // pickVictim scratch: executing containers set aside
+}
+
+// sortInvs orders a merged invocation stream by (time, app index) —
+// the same total order the event comparators use. The comparison-based
+// sort avoids sort.Slice's reflection; equal keys only arise for one
+// app's simultaneous invocations, which are indistinguishable.
+func sortInvs(invs []inv) {
+	slices.SortFunc(invs, func(a, b inv) int {
+		if a.t != b.t {
+			if a.t < b.t {
+				return -1
+			}
+			return 1
+		}
+		return int(a.app) - int(b.app)
+	})
+}
+
+// timeline is the discrete-event loop: the shard's invocation stream
+// and its container-event heap advance together in time order.
+func (s *shard) timeline(ctx context.Context) error {
+	ii := 0
+	for steps := 0; ii < len(s.invs) || len(s.heap) > 0; steps++ {
+		if steps&4095 == 4095 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if len(s.heap) > 0 {
+			ev := s.heap[0]
+			if ii >= len(s.invs) || ev.t < s.invs[ii].t ||
+				(ev.t == s.invs[ii].t && ev.kind == evReload) {
+				s.popEvent()
+				st := &s.e.states[ev.app]
+				if ev.gen != st.gen {
+					continue // superseded window
+				}
+				switch ev.kind {
+				case evUnload:
+					if st.resident {
+						s.removeResident(ev.app, ev.t)
+					}
+				case evReload:
+					s.reload(ev.app, ev.t)
+				}
+				continue
+			}
+		}
+		in := s.invs[ii]
+		ii++
+		s.invoke(in.app, in.t)
+	}
+	return nil
+}
+
+// invoke processes one arrival: classify against the previous window
+// (eviction overrides the nominal outcome), load on cold, advance the
+// decision cursor, and schedule the next window.
+func (s *shard) invoke(ai int32, t float64) {
+	e := s.e
+	st := &e.states[ai]
+	wk := &e.walks[ai]
+	i := st.inv
+	st.inv++
+
+	warm := false
+	if i == 0 {
+		st.res.ColdStarts = 1 // the first invocation is always cold (§5.1)
+	} else {
+		nomWarm, wasted := kernel.Classify(st.cur.D, st.cur.PwSec, st.cur.KaSec, st.prevEnd, t)
+		if st.dead {
+			// The warm container was evicted (or never fit): the
+			// arrival is cold regardless of the window; its truncated
+			// waste was booked at eviction time.
+			st.res.ColdStarts++
+			if nomWarm {
+				st.res.EvictionColdStarts++
+			}
+		} else {
+			warm = nomWarm
+			if !warm {
+				st.res.ColdStarts++
+			}
+			st.res.WastedSeconds += wasted
+		}
+	}
+	st.dead = false
+	st.gen++ // retire the previous window's pending events
+
+	// A warm hit continues the resident container. A cold start loads
+	// now — unless the container is still in memory (overlapping
+	// executions, or a pre-warm gap arrival at the exact unload
+	// instant), in which case the memory never left.
+	if !warm && !st.resident {
+		if !s.load(ai, t) {
+			st.dead = true // transient execution, no residency this window
+		}
+	}
+
+	// Advance to the decision governing this invocation, then open its
+	// window from the execution end.
+	st.cur.Step(&st.res.ModeCounts)
+	st.prevEnd = t
+	if wk.execs != nil {
+		st.prevEnd += wk.execs[i]
+	}
+	if st.prevEnd > st.execEnd {
+		st.execEnd = st.prevEnd
+	}
+	if !st.dead {
+		s.schedule(ai)
+	}
+}
+
+// schedule opens the window st.cur.D prescribes after the execution
+// ending at st.prevEnd: residency plan, expiry events, pre-warm
+// reloads.
+//
+// Events that cannot fire are never heaped: an unload or reload is
+// observable only if it happens before the app's next arrival (known
+// from the precomputed walk) — an earlier arrival retires the window
+// (gen bump) and the event would pop as stale. Unloads are superseded
+// by an arrival at the same instant (invocations process before
+// expiries at equal times), reloads are not (reloads process first),
+// hence the strict vs inclusive comparisons. For hot apps whose
+// windows rarely expire this removes almost all heap traffic.
+func (s *shard) schedule(ai int32) {
+	e := s.e
+	st := &e.states[ai]
+	d := st.cur.D
+	next := s.nextArrival(ai)
+	switch {
+	case d.Forever:
+		st.loadedAt = st.prevEnd
+		s.setExpiry(ai, st, math.Inf(1))
+	case d.PreWarm == 0:
+		st.loadedAt = st.prevEnd
+		s.setExpiry(ai, st, st.prevEnd+st.cur.KaSec)
+		if st.unloadAt < e.horizon && st.unloadAt < next {
+			s.pushEvent(cevent{t: st.unloadAt, kind: evUnload, app: ai, gen: st.gen})
+		}
+	default:
+		// Pre-warmed window: unload at execution end, reload PreWarm
+		// later (the reload event re-checks memory pressure).
+		if st.prevEnd <= e.walks[ai].times[st.inv-1] {
+			// Zero execution time: the unload is immediate.
+			if st.resident {
+				s.removeResident(ai, st.prevEnd)
+			}
+		} else {
+			s.setExpiry(ai, st, st.prevEnd)
+			if st.prevEnd < e.horizon && st.prevEnd < next {
+				s.pushEvent(cevent{t: st.prevEnd, kind: evUnload, app: ai, gen: st.gen})
+			}
+		}
+		if loadAt := st.prevEnd + st.cur.PwSec; loadAt < e.horizon && loadAt <= next {
+			s.pushEvent(cevent{t: loadAt, kind: evReload, app: ai, gen: st.gen})
+		}
+	}
+}
+
+// nextArrival returns the app's next invocation time (+Inf after the
+// last one). The timeline has already consumed invocations below
+// st.inv, so this is the next arrival the stream will deliver.
+func (s *shard) nextArrival(ai int32) float64 {
+	st := &s.e.states[ai]
+	wk := &s.e.walks[ai]
+	if st.inv < len(wk.times) {
+		return wk.times[st.inv]
+	}
+	return math.Inf(1)
+}
+
+// reload serves a pre-warm: the container comes back under the same
+// window, pressure permitting.
+func (s *shard) reload(ai int32, t float64) {
+	e := s.e
+	st := &e.states[ai]
+	if st.resident || st.dead {
+		return
+	}
+	if !s.load(ai, t) {
+		st.dead = true
+		return
+	}
+	st.loadedAt = t
+	s.setExpiry(ai, st, t+st.cur.KaSec)
+	if st.unloadAt < e.horizon && st.unloadAt < s.nextArrival(ai) {
+		s.pushEvent(cevent{t: st.unloadAt, kind: evUnload, app: ai, gen: st.gen})
+	}
+}
+
+// setExpiry records the container's scheduled expiry and, on finite
+// runs, refreshes its victim-index entry while resident. Every write
+// of unloadAt for a resident container goes through here, so the
+// latest index entry always carries the live expiry.
+func (s *shard) setExpiry(ai int32, st *appState, unloadAt float64) {
+	st.unloadAt = unloadAt
+	if s.e.finite && st.resident {
+		st.vix++
+		s.pushVictim(&s.e.nodes[st.node], victimEntry{unloadAt: unloadAt, app: ai, vix: st.vix})
+	}
+}
+
+// load makes the app resident on its node at time t, evicting idle
+// containers (soonest-to-expire first) until it fits. It reports
+// whether the load succeeded.
+func (s *shard) load(ai int32, t float64) bool {
+	e := s.e
+	st := &e.states[ai]
+	if !st.placed {
+		// Global path only: view-dependent placements choose the node
+		// at the app's first load, observing live residency.
+		st.placed = true
+		app := Footprint{ID: st.res.AppID, MemMB: st.memMB, Invocations: st.res.Invocations}
+		node := e.place.Place(app, e)
+		if node < 0 || node >= len(e.nodes) {
+			panic("cluster: placement returned node out of range")
+		}
+		st.node = int32(node)
+		st.res.Node = node
+	}
+	nd := &e.nodes[st.node]
+	if st.memMB > e.capMB {
+		// Larger than a whole node: can never be resident.
+		nd.stats.FailedLoads++
+		return false
+	}
+	for nd.residentMB+st.memMB > e.capMB {
+		victim := s.pickVictim(nd, t)
+		if victim < 0 {
+			nd.stats.FailedLoads++
+			return false
+		}
+		s.evict(victim, t)
+	}
+	s.addResident(ai, t)
+	return true
+}
+
+// pickVictim selects the idle resident container closest to its own
+// expiry (ties to the lowest app index) — the cheapest reclaim, since
+// its remaining keep-alive had the least predicted value. The victim
+// index pops candidates in (unloadAt, app) order; stale entries
+// (superseded windows, departed containers) are discarded, and
+// containers mid-execution are set aside and re-indexed after
+// selection — they stay resident and may be victims later. Returns -1
+// when nothing is evictable.
+func (s *shard) pickVictim(nd *nodeState, t float64) int32 {
+	skip := s.skip[:0]
+	best := int32(-1)
+	for len(nd.victims) > 0 {
+		ent := nd.victims[0]
+		st := &s.e.states[ent.app]
+		if !st.resident || ent.vix != st.vix {
+			popVictim(nd) // stale
+			continue
+		}
+		if st.execEnd > t {
+			popVictim(nd) // executing: never a victim (until execEnd)
+			skip = append(skip, ent)
+			continue
+		}
+		popVictim(nd) // the caller evicts it now
+		best = ent.app
+		break
+	}
+	for _, ent := range skip {
+		s.pushVictim(nd, ent)
+	}
+	s.skip = skip[:0]
+	return best
+}
+
+// evict reclaims one idle container under pressure at time t: its
+// loaded-but-idle time so far is booked (the window's waste is
+// truncated, not the nominal full keep-alive), and the window dies —
+// the app's next arrival is cold.
+func (s *shard) evict(ai int32, t float64) {
+	st := &s.e.states[ai]
+	st.res.WastedSeconds += t - st.loadedAt
+	st.res.Evictions++
+	s.e.nodes[st.node].stats.Evictions++
+	st.dead = true
+	st.gen++ // retire the window's pending events
+	s.removeResident(ai, t)
+}
+
+// addResident and removeResident keep the node's resident-memory
+// integral exact: the utilization series advances to t at the old
+// level before the level changes.
+func (s *shard) addResident(ai int32, t float64) {
+	e := s.e
+	st := &e.states[ai]
+	nd := &e.nodes[st.node]
+	nd.advance(t, e.horizon)
+	nd.residentMB += st.memMB
+	if nd.residentMB > nd.stats.PeakResidentMB {
+		nd.stats.PeakResidentMB = nd.residentMB
+	}
+	if e.finite {
+		nd.residentCnt++
+	}
+	st.resident = true
+}
+
+func (s *shard) removeResident(ai int32, t float64) {
+	e := s.e
+	st := &e.states[ai]
+	nd := &e.nodes[st.node]
+	nd.advance(t, e.horizon)
+	nd.residentMB -= st.memMB
+	if nd.residentMB < 0 {
+		nd.residentMB = 0 // float dust
+	}
+	if e.finite {
+		nd.residentCnt--
+	}
+	st.resident = false
+}
+
+// advance accumulates the node's resident level over [lastT, t),
+// clamped at the horizon, into the integral and the per-minute series.
+func (nd *nodeState) advance(t, horizon float64) {
+	from, to := nd.lastT, t
+	if to > horizon {
+		to = horizon
+	}
+	if to > from && nd.residentMB > 0 {
+		nd.stats.ResidentMBSeconds += nd.residentMB * (to - from)
+		bins := nd.stats.UtilSeries
+		for b := int(from / 60); b < len(bins); b++ {
+			lo, hi := float64(b)*60, float64(b+1)*60
+			if lo < from {
+				lo = from
+			}
+			if hi > to {
+				hi = to
+			}
+			bins[b] += nd.residentMB * (hi - lo)
+			if hi >= to {
+				break
+			}
+		}
+	}
+	if t > nd.lastT {
+		nd.lastT = t
+	}
+}
+
+// Event heap: ordered by (time, kind, app) — reloads before unloads
+// at equal times, app index for determinism. Per-shard, so the sharded
+// path keeps one small heap per node instead of one global heap.
+
+func eventLess(a, b cevent) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.app < b.app
+}
+
+func (s *shard) pushEvent(ev cevent) {
+	s.heap = append(s.heap, ev)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *shard) popEvent() {
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(s.heap[l], s.heap[small]) {
+			small = l
+		}
+		if r < n && eventLess(s.heap[r], s.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s.heap[i], s.heap[small] = s.heap[small], s.heap[i]
+		i = small
+	}
+}
+
+// Victim index heap: ordered by (unloadAt, app). Stale entries are
+// tolerated and skipped on pop; pushVictim compacts the index when
+// stale entries outnumber the live containers, keeping its size
+// O(resident) regardless of window churn.
+
+func victimLess(a, b victimEntry) bool {
+	if a.unloadAt != b.unloadAt {
+		return a.unloadAt < b.unloadAt
+	}
+	return a.app < b.app
+}
+
+func (s *shard) pushVictim(nd *nodeState, ent victimEntry) {
+	if len(nd.victims) >= 64 && len(nd.victims) > 3*nd.residentCnt {
+		s.compactVictims(nd)
+	}
+	nd.victims = append(nd.victims, ent)
+	i := len(nd.victims) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !victimLess(nd.victims[i], nd.victims[parent]) {
+			break
+		}
+		nd.victims[i], nd.victims[parent] = nd.victims[parent], nd.victims[i]
+		i = parent
+	}
+}
+
+func popVictim(nd *nodeState) {
+	n := len(nd.victims) - 1
+	nd.victims[0] = nd.victims[n]
+	nd.victims = nd.victims[:n]
+	siftDownVictim(nd.victims, 0)
+}
+
+func siftDownVictim(h []victimEntry, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && victimLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && victimLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// compactVictims drops stale entries in place and re-heapifies: an
+// entry is live iff its app is resident and it is the app's latest.
+func (s *shard) compactVictims(nd *nodeState) {
+	live := nd.victims[:0]
+	for _, ent := range nd.victims {
+		st := &s.e.states[ent.app]
+		if st.resident && ent.vix == st.vix {
+			live = append(live, ent)
+		}
+	}
+	nd.victims = live
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		siftDownVictim(live, i)
+	}
+}

@@ -31,9 +31,26 @@ type CellResult struct {
 	PolicyName string
 	// Sinks holds the drained sinks in spec order.
 	Sinks []CellSink
+	// Nodes holds per-node aggregates for cluster cells (nil on batch
+	// cells), surfaced in the JSON report alongside the summary metrics.
+	Nodes []NodeSummary
 	// MemDefaulted counts apps charged the default memory because the
 	// cluster.memcsv table did not cover them (0 without a table).
 	MemDefaulted int
+}
+
+// NodeSummary is one node's aggregate outcome in a cluster cell. For a
+// fanned-out shard cell ("*/n") the per-shard cluster runs merge
+// element-wise: counters, peaks and mean resident MB all add — each
+// shard simulates a disjoint sub-workload over the same horizon, so
+// the sums describe the combined load (and summed peaks keep the
+// peak >= mean invariant each shard satisfies).
+type NodeSummary struct {
+	Node           int     `json:"node"`
+	Evictions      int     `json:"evictions"`
+	FailedLoads    int     `json:"failed_loads"`
+	PeakResidentMB float64 `json:"peak_resident_mb"`
+	MeanResidentMB float64 `json:"mean_resident_mb"`
 }
 
 // Metric returns the named metric from the cell's sinks (first match
@@ -108,6 +125,7 @@ type unit struct {
 // unitResult is what one executed unit contributes to its cell.
 type unitResult struct {
 	sinks      []CellSink
+	nodes      []NodeSummary
 	policyName string
 	defaulted  int
 }
@@ -137,6 +155,10 @@ func RunSweep(ctx context.Context, cells []Scenario, opts ...Option) (*SweepRepo
 	opens := make([]openFn, len(cells))
 	if o.fixedTrace != nil {
 		tr := o.fixedTrace
+		// Every cell simulates over the same trace concurrently: warm
+		// the per-app caches so no lazy memoization races (the same
+		// discipline the shared source factories follow).
+		tr.WarmCaches()
 		for i := range cells {
 			opens[i] = func() (trace.Source, func() error, error) {
 				return trace.NewTraceSource(tr), func() error { return nil }, nil
@@ -244,6 +266,7 @@ func RunSweep(ctx context.Context, cells []Scenario, opts ...Option) (*SweepRepo
 			Scenario:     sc,
 			PolicyName:   first.policyName,
 			Sinks:        first.sinks,
+			Nodes:        first.nodes,
 			MemDefaulted: first.defaulted,
 		}
 		for _, ui := range idxs[1:] {
@@ -252,6 +275,12 @@ func RunSweep(ctx context.Context, cells []Scenario, opts ...Option) (*SweepRepo
 				if err := cs.Sink.Merge(r.sinks[si].Sink); err != nil {
 					return nil, err
 				}
+			}
+			for n := range cell.Nodes {
+				cell.Nodes[n].Evictions += r.nodes[n].Evictions
+				cell.Nodes[n].FailedLoads += r.nodes[n].FailedLoads
+				cell.Nodes[n].PeakResidentMB += r.nodes[n].PeakResidentMB
+				cell.Nodes[n].MeanResidentMB += r.nodes[n].MeanResidentMB
 			}
 			cell.MemDefaulted += r.defaulted
 		}
@@ -415,6 +444,20 @@ func runUnit(ctx context.Context, u unit) (unitResult, error) {
 	for _, obs := range observers {
 		obs.ObserveCluster(clRes)
 	}
+	res.nodes = make([]NodeSummary, len(clRes.NodeStats))
+	for n, ns := range clRes.NodeStats {
+		mean := 0.0
+		if clRes.HorizonSeconds > 0 {
+			mean = ns.ResidentMBSeconds / clRes.HorizonSeconds
+		}
+		res.nodes[n] = NodeSummary{
+			Node:           n,
+			Evictions:      ns.Evictions,
+			FailedLoads:    ns.FailedLoads,
+			PeakResidentMB: ns.PeakResidentMB,
+			MeanResidentMB: mean,
+		}
+	}
 	return res, nil
 }
 
@@ -522,15 +565,18 @@ func (r *SweepReport) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// reportCellJSON is the JSON rendering of one cell.
+// reportCellJSON is the JSON rendering of one cell. Cluster cells
+// carry the per-node aggregates alongside the summary metrics.
 type reportCellJSON struct {
-	Scenario string   `json:"scenario"`
-	Policy   string   `json:"policy"`
-	Metrics  []Metric `json:"metrics"`
+	Scenario string        `json:"scenario"`
+	Policy   string        `json:"policy"`
+	Metrics  []Metric      `json:"metrics"`
+	Nodes    []NodeSummary `json:"nodes,omitempty"`
 }
 
 // WriteJSON renders the report as a JSON array of cells with ordered
-// metric lists.
+// metric lists; cluster cells include per-node stats (evictions,
+// failed loads, peak/mean resident MB), not just the aggregate row.
 func (r *SweepReport) WriteJSON(w io.Writer) error {
 	out := make([]reportCellJSON, len(r.Cells))
 	for i, c := range r.Cells {
@@ -538,6 +584,7 @@ func (r *SweepReport) WriteJSON(w io.Writer) error {
 			Scenario: c.Scenario.String(),
 			Policy:   c.PolicyName,
 			Metrics:  c.Metrics(),
+			Nodes:    c.Nodes,
 		}
 	}
 	enc := json.NewEncoder(w)

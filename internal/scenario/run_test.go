@@ -3,6 +3,7 @@ package scenario
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -277,4 +278,92 @@ func mustParse(t *testing.T, s string) Scenario {
 		t.Fatal(err)
 	}
 	return sc
+}
+
+// TestClusterCellNodeSummaries: cluster cells expose per-node
+// aggregates (evictions, failed loads, peak/mean resident MB); batch
+// cells carry none; a fanned-out shard cluster cell merges the
+// per-shard node rows element-wise (counters add, peaks max).
+func TestClusterCellNodeSummaries(t *testing.T) {
+	ctx := context.Background()
+
+	batch, err := RunScenario(ctx, mustParse(t, "source="+smallGen+"; policy=fixed?ka=10m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Nodes != nil {
+		t.Fatalf("batch cell carries node summaries: %+v", batch.Nodes)
+	}
+
+	cl, err := RunScenario(ctx, mustParse(t,
+		"source="+smallGen+"; policy=fixed?ka=1h; cluster.nodes=3; cluster.mem=300"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Nodes) != 3 {
+		t.Fatalf("cluster cell node summaries = %d, want 3", len(cl.Nodes))
+	}
+	totalEv := 0
+	for n, ns := range cl.Nodes {
+		if ns.Node != n {
+			t.Errorf("node summary %d labeled %d", n, ns.Node)
+		}
+		if ns.PeakResidentMB < ns.MeanResidentMB {
+			t.Errorf("node %d: peak %v below mean %v", n, ns.PeakResidentMB, ns.MeanResidentMB)
+		}
+		totalEv += ns.Evictions
+	}
+	if ev, ok := cl.Metric("evictions"); !ok || float64(totalEv) != ev {
+		t.Errorf("node evictions sum %d != attribution sink evictions %v", totalEv, ev)
+	}
+
+	// Fan-out: the merged node rows are the element-wise sums/maxes of
+	// the per-shard runs.
+	base := "source=" + smallGen + "; policy=fixed?ka=1h; cluster.nodes=2; cluster.mem=300"
+	fan, err := RunScenario(ctx, mustParse(t, base+"; shard=*/2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fan.Nodes) != 2 {
+		t.Fatalf("fanned cell node summaries = %d, want 2", len(fan.Nodes))
+	}
+	var wantEv, wantFail [2]int
+	var wantPeak, wantMean [2]float64
+	for s := 0; s < 2; s++ {
+		part, err := RunScenario(ctx, mustParse(t, base+fmt.Sprintf("; shard=%d/2", s)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n, ns := range part.Nodes {
+			wantEv[n] += ns.Evictions
+			wantFail[n] += ns.FailedLoads
+			wantMean[n] += ns.MeanResidentMB
+			wantPeak[n] += ns.PeakResidentMB
+		}
+	}
+	for n, ns := range fan.Nodes {
+		if ns.Evictions != wantEv[n] || ns.FailedLoads != wantFail[n] ||
+			math.Abs(ns.PeakResidentMB-wantPeak[n]) > 1e-9 ||
+			math.Abs(ns.MeanResidentMB-wantMean[n]) > 1e-9 {
+			t.Errorf("fanned node %d: %+v, want ev=%d fail=%d peak=%v mean=%v",
+				n, ns, wantEv[n], wantFail[n], wantPeak[n], wantMean[n])
+		}
+		if ns.PeakResidentMB < ns.MeanResidentMB {
+			t.Errorf("fanned node %d: peak %v below mean %v", n, ns.PeakResidentMB, ns.MeanResidentMB)
+		}
+	}
+
+	// The JSON report carries the node rows.
+	rep, err := RunSweep(ctx, []Scenario{mustParse(t,
+		"source="+smallGen+"; policy=fixed?ka=1h; cluster.nodes=2; cluster.mem=300")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"nodes"`) || !strings.Contains(buf.String(), `"peak_resident_mb"`) {
+		t.Errorf("JSON report lacks per-node stats:\n%s", buf.String())
+	}
 }

@@ -84,7 +84,10 @@ func (tr *Trace) Validate() error {
 
 // InvocationTimes returns the app's merged, sorted invocation times in
 // seconds from trace start (the union over its functions). The result
-// is cached; callers must not modify it.
+// is cached; callers must not modify it. The memoization is not
+// synchronized — within one simulation each app is walked by exactly
+// one worker, but a trace shared across concurrently-running
+// simulations must be warmed first (Trace.WarmCaches).
 func (a *App) InvocationTimes() []float64 {
 	if a.merged != nil {
 		return a.merged
@@ -105,6 +108,17 @@ func (a *App) InvocationTimes() []float64 {
 // InvalidateCache drops the cached merged invocation times; call it
 // after mutating any function's Invocations.
 func (a *App) InvalidateCache() { a.merged = nil }
+
+// WarmCaches precomputes every app's merged invocation times, leaving
+// no lazy cache writes behind. Call it before handing one trace to
+// several simulations running concurrently (InvocationTimes memoizes
+// without synchronization); the sweep engine warms every trace it
+// shares across cells.
+func (t *Trace) WarmCaches() {
+	for _, a := range t.Apps {
+		a.InvocationTimes()
+	}
+}
 
 // TotalInvocations returns the number of invocations across the app.
 func (a *App) TotalInvocations() int {

@@ -270,6 +270,14 @@ type (
 	ClusterSink = cluster.Sink
 	// Placement assigns apps to nodes.
 	Placement = cluster.Placement
+	// ObliviousPlacement marks a placement whose Place never consults
+	// live residency; the cluster engine pre-assigns such placements
+	// and runs per-node timelines in parallel (ClusterConfig.Workers),
+	// bit-identical to the sequential order. hash and binpack qualify;
+	// least-loaded does not.
+	ObliviousPlacement = cluster.Oblivious
+	// PlacementBuilder constructs a placement from parsed spec params.
+	PlacementBuilder = cluster.PlacementBuilder
 	// ClusterAttributionSink splits cold starts into policy-induced
 	// vs eviction-induced as outcomes stream past.
 	ClusterAttributionSink = metrics.ClusterAttributionSink
@@ -302,6 +310,14 @@ func WithClusterSink(s ClusterSink) ClusterOption { return cluster.WithClusterSi
 // ("hash", "least-loaded", "binpack?order=invocations",
 // "hash?seed=3"); bare names select the defaults.
 func NewPlacement(spec string) (Placement, error) { return cluster.NewPlacement(spec) }
+
+// RegisterPlacement adds a named placement builder to the spec
+// registry. A placement that additionally implements
+// ObliviousPlacement (Place reads only the app footprint, the static
+// cluster shape and Prepare state — never View.ResidentMB) gets the
+// parallel per-node timeline; the contract is enforced at
+// pre-assignment with a view whose ResidentMB panics.
+func RegisterPlacement(name string, b PlacementBuilder) { cluster.RegisterPlacement(name, b) }
 
 // PlacementNames returns the registered placement names, sorted.
 func PlacementNames() []string { return cluster.PlacementNames() }
