@@ -33,6 +33,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -89,12 +90,12 @@ func main() {
 	switch *format {
 	case "table":
 		if err := runTable(ctx, cells); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	case "csv", "json":
 		rep, err := wild.RunSweep(ctx, cells)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if *format == "csv" {
 			err = rep.WriteCSV(os.Stdout)
@@ -107,6 +108,18 @@ func main() {
 	default:
 		log.Fatalf("-format: unknown %q (table, csv, json)", *format)
 	}
+}
+
+// fatal reports a sweep failure and exits non-zero. When the error is
+// a per-cell failure, the failing cell's canonical scenario string is
+// printed on its own stderr line first, so the cell can be re-run in
+// isolation (coldsim -scenario '<that string>').
+func fatal(err error) {
+	var cellErr *wild.ScenarioCellError
+	if errors.As(err, &cellErr) {
+		fmt.Fprintf(os.Stderr, "coldsim: failing cell: %s\n", cellErr.Scenario)
+	}
+	log.Fatal(err)
 }
 
 // deprecatedFlags carries the pre-scenario flag values.
@@ -303,7 +316,8 @@ func scenariosOf(rep *wild.SweepReport) []wild.Scenario {
 func displayColumns(rep *wild.SweepReport) []string {
 	suppress := map[string]bool{
 		"apps": true, "invocations": true, "cold_starts": true,
-		"eviction_cold_starts": true, "policy_cold_starts": true,
+		"eviction_cold_starts": true, "failure_cold_starts": true,
+		"policy_cold_starts": true,
 	}
 	var cols []string
 	for _, name := range rep.MetricNames() {

@@ -41,6 +41,17 @@
 // that window. Cold starts that an infinite-memory run would have
 // served warm are attributed to eviction (AppResult.EvictionColdStarts)
 // — the scenario class the paper cannot express.
+//
+// Timed cluster events (Config.Events) inject capacity incidents —
+// node failures, drains, joins, resizes — into the timeline; see
+// events.go for grammar and semantics. Containers lost to a failed or
+// drained node attribute their induced cold starts separately
+// (AppResult.FailureColdStarts), so the invariant extends to
+// ColdStarts = policy cold starts + EvictionColdStarts +
+// FailureColdStarts. Displaced apps are re-placed on surviving nodes
+// (the Replacer hook, or a deterministic next-up fallback); because
+// re-placement observes live cluster state, event-bearing runs always
+// use the sequential global path, and event-free runs are untouched.
 package cluster
 
 import (
@@ -73,6 +84,13 @@ type Config struct {
 	// View-dependent placements (least-loaded) keep the timeline on one
 	// sequential global shard. Results never depend on Workers.
 	Workers int
+	// Events are timed cluster incidents (node fail/drain/join/resize)
+	// applied during the run; see ParseEvents for the grammar. A non-
+	// empty event list creates cross-node coupling (displaced apps are
+	// re-placed against live cluster state), so event-bearing runs
+	// always take the sequential global path. Event node indices must
+	// be < Nodes.
+	Events []Event
 
 	// forceGlobal pins the run to the sequential global shard even for
 	// oblivious placements — the reference path the equivalence
@@ -94,8 +112,13 @@ type AppResult struct {
 	// EvictionColdStarts counts cold starts that an infinite-memory
 	// cluster would have served warm: the app's window covered the
 	// arrival, but the container had been evicted (or never fit). The
-	// remaining ColdStarts - EvictionColdStarts are policy-induced.
+	// remaining ColdStarts - EvictionColdStarts - FailureColdStarts
+	// are policy-induced.
 	EvictionColdStarts int
+	// FailureColdStarts counts cold starts a healthy cluster would
+	// have served warm: the window covered the arrival, but the
+	// container was lost to a node failure or drain (Config.Events).
+	FailureColdStarts int
 	// WastedMBSeconds is WastedSeconds weighted by the app's memory
 	// (eviction already truncated the underlying window time).
 	WastedMBSeconds float64
@@ -106,8 +129,12 @@ type NodeStats struct {
 	// Evictions counts containers reclaimed on this node.
 	Evictions int
 	// FailedLoads counts loads abandoned because nothing evictable
-	// could make room.
+	// could make room, plus in-flight executions killed by a node
+	// failure (Config.Events).
 	FailedLoads int
+	// FailureUnloads counts containers this node lost to fail/drain
+	// events (zero without Config.Events).
+	FailureUnloads int
 	// PeakResidentMB is the high-water resident memory.
 	PeakResidentMB float64
 	// ResidentMBSeconds integrates resident memory over the horizon.
@@ -159,11 +186,12 @@ func WithClusterSink(s Sink) Option {
 	return func(c *runCfg) { c.csinks = append(c.csinks, s) }
 }
 
-// Simulate runs pol over tr on the configured cluster.
+// Simulate runs pol over tr on the configured cluster. Invalid
+// configurations (an event targeting a node outside the cluster)
+// panic; Run returns them as errors instead.
 func Simulate(tr *trace.Trace, pol policy.Policy, cfg Config) *Result {
 	res, err := simulate(context.Background(), tr, pol, cfg)
 	if err != nil {
-		// Only cancellation errors exist, and the context cannot fire.
 		panic(err)
 	}
 	return res
@@ -230,6 +258,15 @@ func (r *Result) TotalEvictionColdStarts() int {
 	var sum int
 	for _, a := range r.Apps {
 		sum += a.EvictionColdStarts
+	}
+	return sum
+}
+
+// TotalFailureColdStarts sums the failure-induced cold starts.
+func (r *Result) TotalFailureColdStarts() int {
+	var sum int
+	for _, a := range r.Apps {
+		sum += a.FailureColdStarts
 	}
 	return sum
 }

@@ -104,9 +104,9 @@ func TestFiniteCapacityInvariants(t *testing.T) {
 	}
 	for i, c := range got.Apps {
 		s := want.Apps[i]
-		if c.ColdStarts != s.ColdStarts+c.EvictionColdStarts {
-			t.Errorf("app %s: cluster cold %d != sim cold %d + eviction-induced %d",
-				c.AppID, c.ColdStarts, s.ColdStarts, c.EvictionColdStarts)
+		if c.ColdStarts != s.ColdStarts+c.EvictionColdStarts+c.FailureColdStarts {
+			t.Errorf("app %s: cluster cold %d != sim cold %d + eviction-induced %d + failure-induced %d",
+				c.AppID, c.ColdStarts, s.ColdStarts, c.EvictionColdStarts, c.FailureColdStarts)
 		}
 		if c.WastedSeconds > s.WastedSeconds*(1+1e-12)+1e-9 {
 			t.Errorf("app %s: cluster waste %v exceeds infinite-memory waste %v",

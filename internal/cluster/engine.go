@@ -36,10 +36,14 @@ type appState struct {
 	vix     uint32 // version of the latest victim-index entry
 	// Current window residency.
 	resident bool
-	dead     bool    // evicted or load-failed: cold next arrival
-	loadedAt float64 // start of the idle-loaded segment
-	unloadAt float64 // scheduled expiry (+Inf for forever)
-	placed   bool
+	dead     bool // evicted or load-failed: cold next arrival
+	// deadByFail marks dead windows killed by a node failure or drain
+	// (vs eviction/pressure): it selects the cold-start attribution
+	// class at the next arrival. Meaningless while !dead.
+	deadByFail bool
+	loadedAt   float64 // start of the idle-loaded segment
+	unloadAt   float64 // scheduled expiry (+Inf for forever)
+	placed     bool
 }
 
 // nodeState is one node's runtime state: resident accounting, the
@@ -47,6 +51,8 @@ type appState struct {
 type nodeState struct {
 	residentMB  float64
 	lastT       float64
+	capMB       float64       // live capacity (+Inf when infinite; resize events mutate)
+	down        bool          // failed or drained out of service
 	residentCnt int           // containers resident now (finite runs)
 	victims     []victimEntry // min-heap on (unloadAt, app), lazily invalidated
 	stats       NodeStats
@@ -80,11 +86,23 @@ func simulate(ctx context.Context, tr *trace.Trace, pol policy.Policy, cfg Confi
 	if capMB <= 0 {
 		capMB = math.Inf(1)
 	}
+	if err := validateEvents(cfg.Events, cfg.Nodes); err != nil {
+		return nil, err
+	}
+	// The victim index is maintained whenever any node can come under
+	// pressure — including an initially-infinite cluster a resize
+	// event later makes finite.
+	finite := !math.IsInf(capMB, 1)
+	for _, ev := range cfg.Events {
+		if ev.Kind == EventResize && ev.MemMB > 0 {
+			finite = true
+		}
+	}
 
 	e := &engine{
 		cfg:     cfg,
 		capMB:   capMB,
-		finite:  !math.IsInf(capMB, 1),
+		finite:  finite,
 		horizon: tr.Duration.Seconds(),
 		place:   cfg.Placement,
 	}
@@ -107,9 +125,11 @@ func simulate(ctx context.Context, tr *trace.Trace, pol policy.Policy, cfg Confi
 
 // sharded reports whether the run takes the per-node parallel path:
 // the placement must be oblivious (pre-assignable without observing
-// live residency), and the reference global path not forced.
+// live residency), no cluster events may be configured (displacement
+// re-placement couples nodes at event time), and the reference global
+// path not forced.
 func (e *engine) sharded() bool {
-	if e.cfg.forceGlobal {
+	if e.cfg.forceGlobal || len(e.cfg.Events) > 0 {
 		return false
 	}
 	o, ok := e.place.(Oblivious)
@@ -217,6 +237,7 @@ func (e *engine) initStates(tr *trace.Trace) {
 	}
 	e.nodes = make([]nodeState, e.cfg.Nodes)
 	for i := range e.nodes {
+		e.nodes[i].capMB = e.capMB
 		e.nodes[i].stats.UtilSeries = make([]float64, minutes)
 	}
 }
@@ -258,6 +279,14 @@ func (e *engine) runGlobal(ctx context.Context) error {
 		}
 	}
 	sortInvs(sh.invs)
+	// Timed cluster events enter the heap up front; cevent.app carries
+	// the event's Config.Events index, so equal-time events pop in
+	// spec order. Events past the horizon cannot be observed.
+	for idx, ev := range e.cfg.Events {
+		if ev.At <= e.horizon {
+			sh.pushEvent(cevent{t: ev.At, kind: evCluster, app: int32(idx)})
+		}
+	}
 	return sh.timeline(ctx)
 }
 
@@ -371,3 +400,6 @@ func (e *engine) CapacityMB() float64 { return e.capMB }
 
 // ResidentMB implements View.
 func (e *engine) ResidentMB(node int) float64 { return e.nodes[node].residentMB }
+
+// Up implements View.
+func (e *engine) Up(node int) bool { return !e.nodes[node].down }

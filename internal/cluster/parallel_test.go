@@ -36,6 +36,7 @@ func requireResultsEqual(t *testing.T, label string, got, want *Result) {
 			math.Float64bits(g.MemoryMB) != math.Float64bits(w.MemoryMB) ||
 			g.Evictions != w.Evictions ||
 			g.EvictionColdStarts != w.EvictionColdStarts ||
+			g.FailureColdStarts != w.FailureColdStarts ||
 			math.Float64bits(g.WastedMBSeconds) != math.Float64bits(w.WastedMBSeconds) {
 			mismatches++
 			if mismatches <= 5 {
@@ -52,6 +53,7 @@ func requireResultsEqual(t *testing.T, label string, got, want *Result) {
 	for n, w := range want.NodeStats {
 		g := got.NodeStats[n]
 		if g.Evictions != w.Evictions || g.FailedLoads != w.FailedLoads ||
+			g.FailureUnloads != w.FailureUnloads ||
 			math.Float64bits(g.PeakResidentMB) != math.Float64bits(w.PeakResidentMB) ||
 			math.Float64bits(g.ResidentMBSeconds) != math.Float64bits(w.ResidentMBSeconds) {
 			t.Errorf("%s node %d: got %+v want %+v", label, n, g, w)

@@ -41,6 +41,23 @@ type View interface {
 	CapacityMB() float64
 	// ResidentMB returns the memory currently resident on a node.
 	ResidentMB(node int) float64
+	// Up reports whether a node is in service. Nodes only leave
+	// service through timed cluster events (Config.Events); without
+	// events every node is always up. A placement returning a down
+	// node is corrected to the next in-service node by the engine.
+	Up(node int) bool
+}
+
+// Replacer is an optional Placement extension consulted when a
+// cluster event (fail/drain) displaces an app from its node: Replace
+// chooses the surviving node that takes the app over, observing the
+// live View. from is the node the app is leaving (already down).
+// Return -1 when no node can take the app — it re-tries placement at
+// its next load. Placements without the hook fall back to Place with
+// the result advanced to the next in-service node.
+type Replacer interface {
+	Placement
+	Replace(app Footprint, from int, view View) int
 }
 
 // TracePreparer is an optional Placement extension for offline
@@ -96,6 +113,10 @@ func (v staticView) ResidentMB(int) float64 {
 		"a placement that depends on live residency must not report Oblivious()")
 }
 
+// Up implements View: pre-assignment only happens on event-free runs,
+// where every node is permanently in service.
+func (v staticView) Up(int) bool { return true }
+
 // HashPlacement spreads apps by a stable hash of their ID: stateless,
 // coordination-free, and what a consistent-hashing front end degrades
 // to. It ignores load, so skewed app sizes skew nodes. A non-zero
@@ -137,11 +158,34 @@ type LeastLoadedPlacement struct{}
 // Name implements Placement.
 func (LeastLoadedPlacement) Name() string { return "least-loaded" }
 
-// Place implements Placement.
+// Place implements Placement, skipping out-of-service nodes (ties to
+// the lowest index). With no node in service it returns 0 and the
+// engine fails the load.
 func (LeastLoadedPlacement) Place(app Footprint, view View) int {
-	best, bestMB := 0, view.ResidentMB(0)
-	for n := 1; n < view.NumNodes(); n++ {
-		if mb := view.ResidentMB(n); mb < bestMB {
+	best, bestMB := -1, 0.0
+	for n := 0; n < view.NumNodes(); n++ {
+		if !view.Up(n) {
+			continue
+		}
+		if mb := view.ResidentMB(n); best < 0 || mb < bestMB {
+			best, bestMB = n, mb
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// Replace implements Replacer: a displaced app lands on the least-
+// loaded surviving node, -1 when none is in service.
+func (LeastLoadedPlacement) Replace(app Footprint, from int, view View) int {
+	best, bestMB := -1, 0.0
+	for n := 0; n < view.NumNodes(); n++ {
+		if n == from || !view.Up(n) {
+			continue
+		}
+		if mb := view.ResidentMB(n); best < 0 || mb < bestMB {
 			best, bestMB = n, mb
 		}
 	}

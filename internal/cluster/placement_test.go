@@ -9,15 +9,18 @@ import (
 	"repro/internal/trace"
 )
 
-// fakeView is a placement test double.
+// fakeView is a placement test double; a nil down slice means every
+// node is in service.
 type fakeView struct {
-	cap float64
-	mbs []float64
+	cap  float64
+	mbs  []float64
+	down []bool
 }
 
 func (v fakeView) NumNodes() int               { return len(v.mbs) }
 func (v fakeView) CapacityMB() float64         { return v.cap }
 func (v fakeView) ResidentMB(node int) float64 { return v.mbs[node] }
+func (v fakeView) Up(node int) bool            { return v.down == nil || !v.down[node] }
 
 func TestHashPlacementDeterministicAndSpread(t *testing.T) {
 	view := fakeView{cap: 1024, mbs: make([]float64, 8)}

@@ -8,24 +8,37 @@ import (
 	"repro/internal/sim/kernel"
 )
 
-// Event kinds, in processing order at equal times: pre-warm reloads
-// first (an arrival exactly at the reload is warm), invocations, then
-// keep-alive expiries last (an arrival exactly at the window end is
-// warm) — the event order realizes kernel.Classify's inclusive
-// boundaries.
+// Event kinds, in processing order at equal times: timed cluster
+// events first (an incident at t shapes everything else at t), then
+// pre-warm reloads (an arrival exactly at the reload is warm),
+// invocations, keep-alive expiries (an arrival exactly at the window
+// end is warm), and drain flushes last — the order realizes
+// kernel.Classify's inclusive boundaries, and lets a fail at t retire
+// a reload at t before it fires.
 const (
-	evReload = iota
+	evCluster = iota // Config.Events incident; app = event index, gen-free
+	evReload
 	evInvoke // implicit: the merged invocation stream, never heaped
 	evUnload
+	evFlush // drained container's execution ended; app = flush index, gen-free
 )
 
-// cevent is one timed container event (reload or unload), invalidated
-// lazily by the owning app's window generation.
+// cevent is one timed event, invalidated lazily by the owning app's
+// window generation (evCluster/evFlush carry no generation: app is an
+// index into Config.Events / shard.flushes instead).
 type cevent struct {
 	t    float64
 	kind uint8
 	app  int32
 	gen  uint32
+}
+
+// drainFlush is the node-level release of one draining container: the
+// drain detached the app immediately, the node's memory frees when
+// the in-flight execution ends.
+type drainFlush struct {
+	node  int32
+	memMB float64
 }
 
 // inv is one invocation in a shard's merged stream.
@@ -52,10 +65,11 @@ type victimEntry struct {
 // event interleaving across nodes differs, and that interleaving is
 // unobservable node-locally.
 type shard struct {
-	e    *engine
-	invs []inv
-	heap []cevent
-	skip []victimEntry // pickVictim scratch: executing containers set aside
+	e       *engine
+	invs    []inv
+	heap    []cevent
+	skip    []victimEntry // pickVictim scratch: executing containers set aside
+	flushes []drainFlush  // pending drain-outs, indexed by evFlush events
 }
 
 // sortInvs orders a merged invocation stream by (time, app index) —
@@ -85,8 +99,16 @@ func (s *shard) timeline(ctx context.Context) error {
 		if len(s.heap) > 0 {
 			ev := s.heap[0]
 			if ii >= len(s.invs) || ev.t < s.invs[ii].t ||
-				(ev.t == s.invs[ii].t && ev.kind == evReload) {
+				(ev.t == s.invs[ii].t && ev.kind <= evReload) {
 				s.popEvent()
+				switch ev.kind {
+				case evCluster:
+					s.applyClusterEvent(int(ev.app), ev.t)
+					continue
+				case evFlush:
+					s.applyFlush(int(ev.app), ev.t)
+					continue
+				}
 				st := &s.e.states[ev.app]
 				if ev.gen != st.gen {
 					continue // superseded window
@@ -125,12 +147,16 @@ func (s *shard) invoke(ai int32, t float64) {
 	} else {
 		nomWarm, wasted := kernel.Classify(st.cur.D, st.cur.PwSec, st.cur.KaSec, st.prevEnd, t)
 		if st.dead {
-			// The warm container was evicted (or never fit): the
-			// arrival is cold regardless of the window; its truncated
-			// waste was booked at eviction time.
+			// The warm container was evicted, lost to a node event, or
+			// never fit: the arrival is cold regardless of the window;
+			// its truncated waste was booked when the window died.
 			st.res.ColdStarts++
 			if nomWarm {
-				st.res.EvictionColdStarts++
+				if st.deadByFail {
+					st.res.FailureColdStarts++
+				} else {
+					st.res.EvictionColdStarts++
+				}
 			}
 		} else {
 			warm = nomWarm
@@ -141,6 +167,7 @@ func (s *shard) invoke(ai int32, t float64) {
 		}
 	}
 	st.dead = false
+	st.deadByFail = false
 	st.gen++ // retire the previous window's pending events
 
 	// A warm hit continues the resident container. A cold start loads
@@ -267,22 +294,32 @@ func (s *shard) load(ai int32, t float64) bool {
 	if !st.placed {
 		// Global path only: view-dependent placements choose the node
 		// at the app's first load, observing live residency.
-		st.placed = true
 		app := Footprint{ID: st.res.AppID, MemMB: st.memMB, Invocations: st.res.Invocations}
 		node := e.place.Place(app, e)
 		if node < 0 || node >= len(e.nodes) {
 			panic("cluster: placement returned node out of range")
 		}
+		if e.nodes[node].down {
+			node = e.nextUp(node)
+		}
+		if node < 0 {
+			// Every node is out of service: the load fails, and the
+			// app stays unplaced so the next load re-tries placement
+			// (a join may have restored capacity by then).
+			st.deadByFail = true
+			return false
+		}
+		st.placed = true
 		st.node = int32(node)
 		st.res.Node = node
 	}
 	nd := &e.nodes[st.node]
-	if st.memMB > e.capMB {
+	if st.memMB > nd.capMB {
 		// Larger than a whole node: can never be resident.
 		nd.stats.FailedLoads++
 		return false
 	}
-	for nd.residentMB+st.memMB > e.capMB {
+	for nd.residentMB+st.memMB > nd.capMB {
 		victim := s.pickVictim(nd, t)
 		if victim < 0 {
 			nd.stats.FailedLoads++
@@ -338,8 +375,179 @@ func (s *shard) evict(ai int32, t float64) {
 	st.res.Evictions++
 	s.e.nodes[st.node].stats.Evictions++
 	st.dead = true
-	st.gen++ // retire the window's pending events
+	st.deadByFail = false // pressure, not a node event
+	st.gen++              // retire the window's pending events
 	s.removeResident(ai, t)
+}
+
+// applyClusterEvent applies Config.Events[idx] at its scheduled time.
+func (s *shard) applyClusterEvent(idx int, t float64) {
+	ev := s.e.cfg.Events[idx]
+	switch ev.Kind {
+	case EventFail:
+		s.failNode(ev.Node, t)
+	case EventDrain:
+		s.drainNode(ev.Node, t)
+	case EventJoin:
+		s.e.nodes[ev.Node].down = false
+	case EventResize:
+		s.resizeNode(ev.Node, ev.MemMB, t)
+	}
+}
+
+// failNode takes a node down abruptly: every resident container is
+// lost instantly — in-flight executions count as failed loads, idle
+// containers book their truncated waste — and every app placed here
+// is displaced onto a surviving node.
+func (s *shard) failNode(node int, t float64) {
+	e := s.e
+	nd := &e.nodes[node]
+	nd.down = true
+	for ai := range e.states {
+		st := &e.states[ai]
+		if !st.placed || int(st.node) != node {
+			continue
+		}
+		if st.resident {
+			if st.execEnd > t {
+				// The execution dies with the node: a failed load, not
+				// waste (the idle segment never started).
+				nd.stats.FailedLoads++
+			} else {
+				st.res.WastedSeconds += t - st.loadedAt
+			}
+			nd.stats.FailureUnloads++
+			s.removeResident(int32(ai), t)
+		}
+		s.displace(int32(ai))
+	}
+}
+
+// drainNode takes a node down gracefully: idle containers unload now,
+// executing containers finish their work and release the node's
+// memory at execution end (a flush event), and every app placed here
+// is displaced — arrivals during the drain-out already go to the new
+// placement.
+func (s *shard) drainNode(node int, t float64) {
+	e := s.e
+	nd := &e.nodes[node]
+	nd.down = true
+	for ai := range e.states {
+		st := &e.states[ai]
+		if !st.placed || int(st.node) != node {
+			continue
+		}
+		if st.resident {
+			nd.stats.FailureUnloads++
+			if st.execEnd > t {
+				// Detach the app now; the node-level memory frees when
+				// the in-flight execution ends. No waste: the idle
+				// segment never starts.
+				st.resident = false
+				s.flushes = append(s.flushes, drainFlush{node: int32(node), memMB: st.memMB})
+				s.pushEvent(cevent{t: st.execEnd, kind: evFlush, app: int32(len(s.flushes) - 1)})
+			} else {
+				st.res.WastedSeconds += t - st.loadedAt
+				s.removeResident(int32(ai), t)
+			}
+		}
+		s.displace(int32(ai))
+	}
+}
+
+// resizeNode sets a node's live capacity; shrinking below the
+// resident set evicts idle containers (soonest-to-expire first) until
+// the node fits. Executing containers cannot be evicted and may leave
+// the node transiently over capacity.
+func (s *shard) resizeNode(node int, memMB, t float64) {
+	nd := &s.e.nodes[node]
+	nd.capMB = memMB
+	if memMB <= 0 {
+		nd.capMB = math.Inf(1)
+	}
+	for nd.residentMB > nd.capMB {
+		victim := s.pickVictim(nd, t)
+		if victim < 0 {
+			break
+		}
+		s.evict(victim, t)
+	}
+}
+
+// applyFlush releases a drained container's node memory at its
+// execution end (the app itself detached at drain time).
+func (s *shard) applyFlush(idx int, t float64) {
+	f := s.flushes[idx]
+	nd := &s.e.nodes[f.node]
+	nd.advance(t, s.e.horizon)
+	nd.residentMB -= f.memMB
+	if nd.residentMB < 0 {
+		nd.residentMB = 0 // float dust
+	}
+	if s.e.finite {
+		nd.residentCnt--
+	}
+}
+
+// displace kills a displaced app's current window with failure
+// attribution (first cause wins) and re-places the app on a
+// surviving node.
+func (s *shard) displace(ai int32) {
+	st := &s.e.states[ai]
+	if !st.dead {
+		st.dead = true
+		st.deadByFail = true
+	}
+	st.gen++ // retire the window's pending events
+	s.replaceApp(ai)
+}
+
+// replaceApp re-places a displaced app: the placement's Replace hook
+// chooses the surviving node, falling back to Place advanced to the
+// next in-service node. Apps with no remaining arrivals keep their
+// historical node; when no node is in service the app becomes
+// unplaced and re-tries placement at its next load.
+func (s *shard) replaceApp(ai int32) {
+	e := s.e
+	st := &e.states[ai]
+	if st.inv >= len(e.walks[ai].times) {
+		return // no future arrivals: nothing to migrate
+	}
+	app := Footprint{ID: st.res.AppID, MemMB: st.memMB, Invocations: st.res.Invocations}
+	var node int
+	if rp, ok := e.place.(Replacer); ok {
+		node = rp.Replace(app, int(st.node), e)
+		if node >= len(e.nodes) {
+			panic("cluster: Replace returned node out of range")
+		}
+	} else {
+		node = e.place.Place(app, e)
+		if node < 0 || node >= len(e.nodes) {
+			panic("cluster: placement returned node out of range")
+		}
+	}
+	if node >= 0 && e.nodes[node].down {
+		node = e.nextUp(node)
+	}
+	if node < 0 {
+		st.placed = false
+		st.node = -1
+		return
+	}
+	st.node = int32(node)
+	st.res.Node = node
+}
+
+// nextUp returns the first in-service node at or after n (cyclic), or
+// -1 when every node is down.
+func (e *engine) nextUp(n int) int {
+	for i := 0; i < len(e.nodes); i++ {
+		c := (n + i) % len(e.nodes)
+		if !e.nodes[c].down {
+			return c
+		}
+	}
+	return -1
 }
 
 // addResident and removeResident keep the node's resident-memory

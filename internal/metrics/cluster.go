@@ -14,7 +14,8 @@ import (
 
 // ClusterAttributionSink incrementally splits cold starts by cause as
 // cluster app outcomes stream past: eviction-induced (an
-// infinite-memory run would have served the arrival warm) vs
+// infinite-memory run would have served the arrival warm),
+// failure-induced (a chaos event killed or drained the container) vs
 // policy-induced (the keep-alive window genuinely missed). It
 // implements cluster.Sink and plugs into cluster.Run via
 // cluster.WithClusterSink.
@@ -23,6 +24,7 @@ type ClusterAttributionSink struct {
 	invocations   int64
 	coldStarts    int64
 	evictionColds int64
+	failureColds  int64
 	evictions     int64
 }
 
@@ -35,6 +37,7 @@ func (s *ClusterAttributionSink) Consume(_ int, r cluster.AppResult) {
 	s.invocations += int64(r.Invocations)
 	s.coldStarts += int64(r.ColdStarts)
 	s.evictionColds += int64(r.EvictionColdStarts)
+	s.failureColds += int64(r.FailureColdStarts)
 	s.evictions += int64(r.Evictions)
 }
 
@@ -50,9 +53,15 @@ func (s *ClusterAttributionSink) TotalColdStarts() int64 { return s.coldStarts }
 // EvictionColdStarts returns the capacity-attributed cold starts.
 func (s *ClusterAttributionSink) EvictionColdStarts() int64 { return s.evictionColds }
 
+// FailureColdStarts returns the cold starts attributed to cluster
+// events (node failures and drains).
+func (s *ClusterAttributionSink) FailureColdStarts() int64 { return s.failureColds }
+
 // PolicyColdStarts returns the cold starts the policy itself caused —
 // exactly the count the infinite-memory simulator reports.
-func (s *ClusterAttributionSink) PolicyColdStarts() int64 { return s.coldStarts - s.evictionColds }
+func (s *ClusterAttributionSink) PolicyColdStarts() int64 {
+	return s.coldStarts - s.evictionColds - s.failureColds
+}
 
 // Evictions returns the container evictions observed.
 func (s *ClusterAttributionSink) Evictions() int64 { return s.evictions }
@@ -73,13 +82,14 @@ func (s *ClusterAttributionSink) Merge(other *ClusterAttributionSink) {
 	s.invocations += other.invocations
 	s.coldStarts += other.coldStarts
 	s.evictionColds += other.evictionColds
+	s.failureColds += other.failureColds
 	s.evictions += other.evictions
 }
 
 // String renders the attribution for reports.
 func (s *ClusterAttributionSink) String() string {
-	return fmt.Sprintf("cold=%d (policy=%d, eviction=%d) evictions=%d",
-		s.coldStarts, s.PolicyColdStarts(), s.evictionColds, s.evictions)
+	return fmt.Sprintf("cold=%d (policy=%d, eviction=%d, failure=%d) evictions=%d",
+		s.coldStarts, s.PolicyColdStarts(), s.evictionColds, s.failureColds, s.evictions)
 }
 
 // NodeUtilization summarizes one node's memory utilization over a

@@ -49,6 +49,7 @@ type NodeSummary struct {
 	Node           int     `json:"node"`
 	Evictions      int     `json:"evictions"`
 	FailedLoads    int     `json:"failed_loads"`
+	FailureUnloads int     `json:"failure_unloads,omitempty"`
 	PeakResidentMB float64 `json:"peak_resident_mb"`
 	MeanResidentMB float64 `json:"mean_resident_mb"`
 }
@@ -107,6 +108,26 @@ func RunScenario(ctx context.Context, sc Scenario, opts ...Option) (*CellResult,
 	}
 	return rep.Cells[0], nil
 }
+
+// CellError wraps one failing cell's error with the cell's canonical
+// scenario string, so sweep drivers (coldsim) can report exactly
+// which cell failed — and re-run it in isolation — before exiting
+// non-zero. RunSweep returns a *CellError for every per-cell failure
+// (validation or mid-run); errors.As recovers it.
+type CellError struct {
+	// Index is the cell's position in the sweep.
+	Index int
+	// Scenario is the failing cell.
+	Scenario Scenario
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("cell %d (%s): %v", e.Index, e.Scenario, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
 
 // openFn opens a fresh, full (unsharded) source for one run.
 type openFn func() (trace.Source, func() error, error)
@@ -169,7 +190,7 @@ func RunSweep(ctx context.Context, cells []Scenario, opts ...Option) (*SweepRepo
 		for i, sc := range cells {
 			f, err := sourceForScenario(sc)
 			if err != nil {
-				return nil, fmt.Errorf("cell %d (%s): %w", i, sc, err)
+				return nil, &CellError{Index: i, Scenario: sc, Err: err}
 			}
 			key := f.Spec()
 			if shared, ok := factories[key]; ok {
@@ -188,7 +209,7 @@ func RunSweep(ctx context.Context, cells []Scenario, opts ...Option) (*SweepRepo
 	unitsPerCell := make([][]int, len(cells))
 	for ci, sc := range cells {
 		if err := validateCell(sc); err != nil {
-			return nil, fmt.Errorf("cell %d (%s): %w", ci, sc, err)
+			return nil, &CellError{Index: ci, Scenario: sc, Err: err}
 		}
 		add := func(u unit) {
 			unitsPerCell[ci] = append(unitsPerCell[ci], len(units))
@@ -200,7 +221,7 @@ func RunSweep(ctx context.Context, cells []Scenario, opts ...Option) (*SweepRepo
 		}
 		i, n, all, err := parseShardField(sc.Shard)
 		if err != nil {
-			return nil, fmt.Errorf("cell %d (%s): %w", ci, sc, err)
+			return nil, &CellError{Index: ci, Scenario: sc, Err: err}
 		}
 		if !all {
 			add(unit{cell: ci, sc: sc, shardI: i, shardN: n, open: opens[ci]})
@@ -240,7 +261,7 @@ func RunSweep(ctx context.Context, cells []Scenario, opts ...Option) (*SweepRepo
 			for i := range next {
 				res, err := runUnit(ctx, units[i])
 				if err != nil {
-					errs[i] = fmt.Errorf("cell %d (%s): %w", units[i].cell, units[i].sc, err)
+					errs[i] = &CellError{Index: units[i].cell, Scenario: units[i].sc, Err: err}
 					continue
 				}
 				results[i] = res
@@ -279,6 +300,7 @@ func RunSweep(ctx context.Context, cells []Scenario, opts ...Option) (*SweepRepo
 			for n := range cell.Nodes {
 				cell.Nodes[n].Evictions += r.nodes[n].Evictions
 				cell.Nodes[n].FailedLoads += r.nodes[n].FailedLoads
+				cell.Nodes[n].FailureUnloads += r.nodes[n].FailureUnloads
 				cell.Nodes[n].PeakResidentMB += r.nodes[n].PeakResidentMB
 				cell.Nodes[n].MeanResidentMB += r.nodes[n].MeanResidentMB
 			}
@@ -323,6 +345,16 @@ func validateCell(sc Scenario) error {
 		if sc.Cluster.MemCSV != "" {
 			if _, err := os.Stat(sc.Cluster.MemCSV); err != nil {
 				return fmt.Errorf("scenario: cluster.memcsv: %w", err)
+			}
+		}
+		evs, err := cluster.ParseEvents(sc.Cluster.Events)
+		if err != nil {
+			return fmt.Errorf("scenario: cluster.events: %w", err)
+		}
+		for _, ev := range evs {
+			if ev.Node >= sc.Cluster.Nodes {
+				return fmt.Errorf("scenario: cluster.events: event %s: node %d out of range (cluster.nodes=%d)",
+					ev, ev.Node, sc.Cluster.Nodes)
 			}
 		}
 	}
@@ -417,6 +449,11 @@ func runUnit(ctx context.Context, u unit) (unitResult, error) {
 		UseExecTime: sc.ExecTime,
 		Workers:     sc.Workers,
 	}
+	if sc.Cluster.Events != "" {
+		if cfg.Events, err = cluster.ParseEvents(sc.Cluster.Events); err != nil {
+			return unitResult{}, err
+		}
+	}
 	var clOpts []cluster.Option
 	var observers []clusterObserver
 	for _, cs := range sinks {
@@ -454,6 +491,7 @@ func runUnit(ctx context.Context, u unit) (unitResult, error) {
 			Node:           n,
 			Evictions:      ns.Evictions,
 			FailedLoads:    ns.FailedLoads,
+			FailureUnloads: ns.FailureUnloads,
 			PeakResidentMB: ns.PeakResidentMB,
 			MeanResidentMB: mean,
 		}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -365,5 +366,43 @@ func TestClusterCellNodeSummaries(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `"nodes"`) || !strings.Contains(buf.String(), `"peak_resident_mb"`) {
 		t.Errorf("JSON report lacks per-node stats:\n%s", buf.String())
+	}
+}
+
+// TestCellErrorIdentifiesFailingCell pins the sweep's error contract:
+// a failing cell surfaces as a *CellError carrying the cell index and
+// the scenario (so a CLI can print the canonical spec of exactly the
+// cell that broke), wrapping the underlying cause.
+func TestCellErrorIdentifiesFailingCell(t *testing.T) {
+	ctx := context.Background()
+	cells := []Scenario{
+		mustParse(t, "source="+smallGen+"; policy=fixed?ka=10m"),
+		mustParse(t, "source="+smallGen+"; policy=fixed?ka=10m; cluster.nodes=2; cluster.events=fail@1h:node=5"),
+	}
+	_, err := RunSweep(ctx, cells)
+	if err == nil {
+		t.Fatal("sweep with out-of-range event node: no error")
+	}
+	var cellErr *CellError
+	if !errors.As(err, &cellErr) {
+		t.Fatalf("error %v (%T) is not a *CellError", err, err)
+	}
+	if cellErr.Index != 1 {
+		t.Errorf("CellError.Index = %d, want 1", cellErr.Index)
+	}
+	if got := cellErr.Scenario.String(); !strings.Contains(got, "cluster.events=fail@1h:node=5") {
+		t.Errorf("CellError.Scenario = %q, want the failing cell's spec", got)
+	}
+	if !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("error %q does not name the cause", err)
+	}
+	if !strings.Contains(err.Error(), "cell 1 (") {
+		t.Errorf("error %q does not keep the cell-index format", err)
+	}
+
+	// Single-scenario runs wrap too (index 0).
+	_, err = RunScenario(ctx, cells[1])
+	if !errors.As(err, &cellErr) || cellErr.Index != 0 {
+		t.Errorf("RunScenario error %v: want *CellError with Index 0", err)
 	}
 }

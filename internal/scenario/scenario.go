@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/trace"
 )
 
@@ -80,13 +81,17 @@ type ClusterSpec struct {
 	// schema) applied before the run; apps it does not cover charge
 	// the paper-median default.
 	MemCSV string `json:"memcsv,omitempty"`
+	// Events is a timed cluster-event list (cluster.ParseEvents
+	// grammar): "fail@36h:node=3,join@48h:node=3". Stored canonical;
+	// empty means no events (identical to omitting the key).
+	Events string `json:"events,omitempty"`
 }
 
 // scenarioKeys lists the text-grammar field keys in canonical order
 // (the order String emits).
 var scenarioKeys = []string{
 	"source", "policy",
-	"cluster.nodes", "cluster.mem", "cluster.place", "cluster.memcsv",
+	"cluster.nodes", "cluster.mem", "cluster.place", "cluster.memcsv", "cluster.events",
 	"sinks", "workers", "shard", "exectime", "seed",
 }
 
@@ -161,6 +166,20 @@ func (sc *Scenario) set(key, val string) error {
 		sc.ensureCluster().Placement = val
 	case "cluster.memcsv":
 		sc.ensureCluster().MemCSV = val
+	case "cluster.events":
+		evs, err := cluster.ParseEvents(val)
+		if err != nil {
+			return fmt.Errorf("scenario: cluster.events: %w", err)
+		}
+		if len(evs) == 0 {
+			// An empty event list is identical to omitting the key: it
+			// must not materialize a cluster section by itself.
+			if sc.Cluster != nil {
+				sc.Cluster.Events = ""
+			}
+			return nil
+		}
+		sc.ensureCluster().Events = cluster.EventsString(evs)
 	case "sinks":
 		sc.Sinks = nil
 		for _, s := range strings.Split(val, ",") {
@@ -220,6 +239,13 @@ func (sc *Scenario) normalize() error {
 		if sc.Cluster.Nodes < 0 {
 			return fmt.Errorf("scenario: cluster.nodes: want a positive integer, got %d", sc.Cluster.Nodes)
 		}
+		// Canonicalize the event list (the JSON path accepts the same
+		// grammar, including ';' separators, as raw text).
+		evs, err := cluster.ParseEvents(sc.Cluster.Events)
+		if err != nil {
+			return fmt.Errorf("scenario: cluster.events: %w", err)
+		}
+		sc.Cluster.Events = cluster.EventsString(evs)
 	}
 	if sc.Shard != "" {
 		if _, _, _, err := parseShardField(sc.Shard); err != nil {
@@ -269,6 +295,9 @@ func (sc Scenario) String() string {
 		}
 		if c.MemCSV != "" {
 			add("cluster.memcsv", c.MemCSV)
+		}
+		if c.Events != "" {
+			add("cluster.events", c.Events)
 		}
 	}
 	if len(sc.Sinks) > 0 {

@@ -20,6 +20,9 @@ func TestScenarioRoundTrip(t *testing.T) {
 		"source=shard:1/4 of csv:big.csv; policy=hybrid",
 		"source=gen:apps=80; policy=hybrid; cluster.nodes=8; cluster.mem=4096; cluster.place=binpack?order=invocations",
 		"source=gen:apps=80; policy=hybrid; cluster.nodes=2; cluster.memcsv=mem.csv; sinks=coldstart?q=50:75:99,attribution",
+		"source=gen:apps=80; policy=hybrid; cluster.nodes=4; cluster.mem=2048; cluster.events=fail@36h:node=3,join@48h:node=3,drain@60h:node=0,resize@72h:node=1&mem=2048",
+		"source=gen:apps=20&mode=ramp&rps0=10&rps1=20&step=5; policy=hybrid",
+		"source=gen:apps=20&mode=burst&rps0=0.5&rps1=10&period=5&burst=2; policy=fixed?ka=10m",
 		"policy=hybrid", // sourceless base (fixed-trace runs)
 		"",
 	}
@@ -110,6 +113,9 @@ func TestScenarioParseErrors(t *testing.T) {
 		{"seed=-1", "seed"},
 		{`{"source": "gen:", "polcy": "hybrid"}`, "polcy"},
 		{`{"cluster": {"nodes": -1}}`, "cluster.nodes"},
+		{"cluster.nodes=2; cluster.events=boom@1h:node=0", "cluster.events"},
+		{"cluster.nodes=2; cluster.events=fail@1h", "cluster.events"},
+		{`{"cluster": {"nodes": 2, "events": "fail@-1h:node=0"}}`, "cluster.events"},
 	}
 	for _, c := range cases {
 		_, err := ParseScenario(c.spec)
@@ -224,5 +230,95 @@ func TestLabels(t *testing.T) {
 	}
 	if !reflect.DeepEqual(labels, want) {
 		t.Fatalf("labels = %q, want %q", labels, want)
+	}
+}
+
+// TestClusterEventsCodec pins the chaos-event field's codec corners:
+// an empty list is identical to an absent key (no Cluster section
+// materializes), the JSON form accepts ';' separators (since ';'
+// separates text-grammar fields), and both normalize to the canonical
+// comma-separated form.
+func TestClusterEventsCodec(t *testing.T) {
+	empty, err := ParseScenario("policy=hybrid; cluster.events=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	absent, err := ParseScenario("policy=hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(empty, absent) {
+		t.Errorf("empty cluster.events materialized state: %+v != %+v", empty, absent)
+	}
+	if empty.Cluster != nil {
+		t.Errorf("empty cluster.events materialized a Cluster section: %+v", empty.Cluster)
+	}
+
+	fromJSON, err := ParseScenario(
+		`{"policy": "hybrid", "cluster": {"nodes": 2, "events": "fail@36h:node=1; join@48h:node=1"}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const canon = "fail@36h:node=1,join@48h:node=1"
+	if fromJSON.Cluster == nil || fromJSON.Cluster.Events != canon {
+		t.Fatalf("JSON ';' events normalized to %+v, want %q", fromJSON.Cluster, canon)
+	}
+	fromText, err := ParseScenario("policy=hybrid; cluster.nodes=2; cluster.events=" + canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromJSON, fromText) {
+		t.Errorf("JSON form %+v != text form %+v", fromJSON, fromText)
+	}
+	wantStr := "policy=hybrid; cluster.nodes=2; cluster.events=" + canon
+	if got := fromJSON.String(); got != wantStr {
+		t.Errorf("String() = %q, want %q", got, wantStr)
+	}
+}
+
+// TestShapedGenSpecCanonical pins that shaped generator specs survive
+// the factory's Spec() canonicalization, including default elision
+// (slot=1, period=10, burst=1 are defaults and must not be emitted).
+func TestShapedGenSpecCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{
+			"gen:apps=20&mode=ramp&rps0=10&rps1=20&step=5&slot=1",
+			"gen:apps=20&seed=42&mode=ramp&rps0=10&rps1=20&step=5",
+		},
+		{
+			"gen:apps=20&mode=burst&rps0=0.5&rps1=10&period=10&burst=1",
+			"gen:apps=20&seed=42&mode=burst&rps0=0.5&rps1=10",
+		},
+		{
+			"gen:apps=20&mode=burst&rps1=10&period=5&burst=2",
+			"gen:apps=20&seed=42&mode=burst&rps1=10&period=5&burst=2",
+		},
+	}
+	for _, c := range cases {
+		f, err := NewSource(c.in)
+		if err != nil {
+			t.Fatalf("NewSource(%q): %v", c.in, err)
+		}
+		spec := f.Spec()
+		if spec != c.want {
+			t.Errorf("Spec(%q) = %q, want %q", c.in, spec, c.want)
+		}
+		f2, err := NewSource(spec)
+		if err != nil {
+			t.Fatalf("re-parsing canonical spec %q: %v", spec, err)
+		}
+		if f2.Spec() != spec {
+			t.Errorf("canonical spec not stable: %q then %q", spec, f2.Spec())
+		}
+	}
+	// Shaped-parameter validation surfaces through the source registry.
+	for _, bad := range []struct{ spec, wantSub string }{
+		{"gen:apps=10&mode=spike", "unknown Mode"},
+		{"gen:apps=10&rps0=5", "without Mode"},
+		{"gen:apps=10&mode=ramp&rps0=5&rps1=1", "RPS0 <= RPS1"},
+	} {
+		if _, err := NewSource(bad.spec); err == nil || !strings.Contains(err.Error(), bad.wantSub) {
+			t.Errorf("NewSource(%q) = %v, want error containing %q", bad.spec, err, bad.wantSub)
+		}
 	}
 }

@@ -179,6 +179,7 @@ func (s *attributionScenarioSink) Metrics() []Metric {
 		{Name: "evict_cold_pct", Value: s.EvictionColdPercent()},
 		{Name: "evictions", Value: float64(s.Evictions())},
 		{Name: "eviction_cold_starts", Value: float64(s.EvictionColdStarts())},
+		{Name: "failure_cold_starts", Value: float64(s.FailureColdStarts())},
 		{Name: "policy_cold_starts", Value: float64(s.PolicyColdStarts())},
 	}
 }

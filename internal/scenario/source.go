@@ -148,6 +148,27 @@ func (f *genFactory) Spec() string {
 	if f.cfg.MaxEventsPerFunction != 200000 {
 		parts = append(parts, fmt.Sprintf("maxevents=%d", f.cfg.MaxEventsPerFunction))
 	}
+	if f.cfg.Mode != "" {
+		parts = append(parts, "mode="+f.cfg.Mode)
+		if f.cfg.RPS0 != 0 {
+			parts = append(parts, fmt.Sprintf("rps0=%g", f.cfg.RPS0))
+		}
+		if f.cfg.RPS1 != 0 {
+			parts = append(parts, fmt.Sprintf("rps1=%g", f.cfg.RPS1))
+		}
+		if f.cfg.StepRPS != 0 {
+			parts = append(parts, fmt.Sprintf("step=%g", f.cfg.StepRPS))
+		}
+		if f.cfg.SlotMins != 0 && f.cfg.SlotMins != 1 {
+			parts = append(parts, fmt.Sprintf("slot=%d", f.cfg.SlotMins))
+		}
+		if f.cfg.PeriodMins != 0 && f.cfg.PeriodMins != 10 {
+			parts = append(parts, fmt.Sprintf("period=%d", f.cfg.PeriodMins))
+		}
+		if f.cfg.BurstMins != 0 && f.cfg.BurstMins != 1 {
+			parts = append(parts, fmt.Sprintf("burst=%d", f.cfg.BurstMins))
+		}
+	}
 	return "gen:" + strings.Join(parts, "&")
 }
 
@@ -306,6 +327,28 @@ func init() {
 			return nil, err
 		}
 		if cfg.MaxEventsPerFunction, err = p.Int("maxevents", 200000); err != nil {
+			return nil, err
+		}
+		// Shaped arrival modes ("mode=ramp&rps0=10&rps1=20&step=5",
+		// "mode=burst&rps0=2&rps1=50"); workload.Config.Validate rejects
+		// shaped parameters without a mode and mode-mismatched ones.
+		cfg.Mode = p.String("mode", "")
+		if cfg.RPS0, err = p.Float("rps0", 0); err != nil {
+			return nil, err
+		}
+		if cfg.RPS1, err = p.Float("rps1", 0); err != nil {
+			return nil, err
+		}
+		if cfg.StepRPS, err = p.Float("step", 0); err != nil {
+			return nil, err
+		}
+		if cfg.SlotMins, err = p.Int("slot", 0); err != nil {
+			return nil, err
+		}
+		if cfg.PeriodMins, err = p.Int("period", 0); err != nil {
+			return nil, err
+		}
+		if cfg.BurstMins, err = p.Int("burst", 0); err != nil {
 			return nil, err
 		}
 		if left := p.Unused(); len(left) > 0 {

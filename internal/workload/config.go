@@ -39,6 +39,31 @@ type Config struct {
 	// MaxEventsPerFunction bounds the realized events of any single
 	// function (default 200000).
 	MaxEventsPerFunction int
+
+	// Mode selects a shaped arrival profile instead of the calibrated
+	// Azure workload: "" (default, calibrated), ModeRamp or ModeBurst.
+	// Shaped traces give every app a single HTTP-triggered function
+	// whose per-minute invocation count follows the configured RPS
+	// shape — the trace-synthesizer idiom of load-testing harnesses —
+	// while memory and execution times still sample the calibrated
+	// distributions so finite-memory runs stay meaningful.
+	Mode string
+	// RPS0 is the shaped starting (ramp) or baseline (burst) rate, in
+	// invocations per second per app.
+	RPS0 float64
+	// RPS1 is the shaped target (ramp) or burst-height (burst) rate.
+	RPS1 float64
+	// StepRPS is the ramp increment applied every SlotMins minutes
+	// (ramp mode only).
+	StepRPS float64
+	// SlotMins is the ramp slot length in minutes (default 1).
+	SlotMins int
+	// PeriodMins is the burst repetition period in minutes (burst mode
+	// only; default 10).
+	PeriodMins int
+	// BurstMins is how many minutes of each period run at RPS1 (burst
+	// mode only; default 1).
+	BurstMins int
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +78,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEventsPerFunction == 0 {
 		c.MaxEventsPerFunction = 200000
+	}
+	if c.Mode != "" {
+		if c.SlotMins == 0 {
+			c.SlotMins = 1
+		}
+		if c.PeriodMins == 0 {
+			c.PeriodMins = 10
+		}
+		if c.BurstMins == 0 {
+			c.BurstMins = 1
+		}
 	}
 	return c
 }
@@ -71,6 +107,42 @@ func (c Config) Validate() error {
 	}
 	if c.MaxEventsPerFunction <= 0 {
 		return fmt.Errorf("workload: MaxEventsPerFunction must be positive")
+	}
+	switch c.Mode {
+	case "":
+		if c.RPS0 != 0 || c.RPS1 != 0 || c.StepRPS != 0 ||
+			c.SlotMins != 0 || c.PeriodMins != 0 || c.BurstMins != 0 {
+			return fmt.Errorf("workload: shaped parameters set without Mode")
+		}
+	case ModeRamp:
+		if c.RPS0 < 0 || c.RPS1 < c.RPS0 {
+			return fmt.Errorf("workload: ramp wants 0 <= RPS0 <= RPS1, got %g..%g", c.RPS0, c.RPS1)
+		}
+		if c.StepRPS < 0 {
+			return fmt.Errorf("workload: StepRPS %g negative", c.StepRPS)
+		}
+		if c.RPS1 > c.RPS0 && c.StepRPS == 0 {
+			return fmt.Errorf("workload: ramp from %g to %g RPS needs StepRPS > 0", c.RPS0, c.RPS1)
+		}
+		if c.SlotMins < 1 {
+			return fmt.Errorf("workload: SlotMins %d must be >= 1", c.SlotMins)
+		}
+		if c.PeriodMins != 10 || c.BurstMins != 1 {
+			return fmt.Errorf("workload: PeriodMins/BurstMins are burst-mode parameters")
+		}
+	case ModeBurst:
+		if c.RPS0 < 0 || c.RPS1 < c.RPS0 {
+			return fmt.Errorf("workload: burst wants 0 <= RPS0 <= RPS1, got %g..%g", c.RPS0, c.RPS1)
+		}
+		if c.BurstMins < 1 || c.PeriodMins <= c.BurstMins {
+			return fmt.Errorf("workload: burst wants 1 <= BurstMins < PeriodMins, got burst=%d period=%d",
+				c.BurstMins, c.PeriodMins)
+		}
+		if c.StepRPS != 0 || c.SlotMins != 1 {
+			return fmt.Errorf("workload: StepRPS/SlotMins are ramp-mode parameters")
+		}
+	default:
+		return fmt.Errorf("workload: unknown Mode %q (%s, %s)", c.Mode, ModeRamp, ModeBurst)
 	}
 	return nil
 }

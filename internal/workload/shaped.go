@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Shaped arrival modes (Config.Mode): deterministic RPS profiles in
+// the style of load-testing trace synthesizers, for driving the
+// cluster under controlled pressure (ramp to a target rate, or
+// periodic bursts over a baseline) instead of the calibrated Azure
+// distributions. Each invocation count is invocations-per-minute =
+// round(rps × 60), evenly spaced within the minute.
+const (
+	// ModeRamp steps the rate from RPS0 toward RPS1 by StepRPS every
+	// SlotMins minutes, then holds at RPS1.
+	ModeRamp = "ramp"
+	// ModeBurst runs the first BurstMins minutes of every
+	// PeriodMins-minute period at RPS1 and the rest at RPS0.
+	ModeBurst = "burst"
+)
+
+// shapedRPS returns the configured rate for one minute of the horizon
+// (cfg must have defaults applied).
+func shapedRPS(cfg Config, minute int) float64 {
+	switch cfg.Mode {
+	case ModeRamp:
+		rps := cfg.RPS0 + cfg.StepRPS*float64(minute/cfg.SlotMins)
+		return math.Min(rps, cfg.RPS1)
+	case ModeBurst:
+		if minute%cfg.PeriodMins < cfg.BurstMins {
+			return cfg.RPS1
+		}
+		return cfg.RPS0
+	}
+	return 0
+}
+
+// generateShapedApp synthesizes one shaped-mode application: a single
+// HTTP-triggered function invoked round(rps×60) times per minute on
+// an even grid, truncated at the horizon and the per-function event
+// cap. Memory and execution times sample the calibrated distributions
+// from the app's RNG, so Generate and the lazy Source stay
+// bit-identical.
+func generateShapedApp(r *stats.RNG, idx int, fnCounter *int, cfg Config, horizon float64) (*trace.App, AppMeta) {
+	app := &trace.App{
+		ID:       fmt.Sprintf("app%06d", idx),
+		Owner:    fmt.Sprintf("owner%05d", idx/3),
+		MemoryMB: memoryDist.Sample(r),
+	}
+	minutes := int(math.Ceil(horizon / 60))
+	var times []float64
+	for m := 0; m < minutes && len(times) < cfg.MaxEventsPerFunction; m++ {
+		n := int(math.Round(shapedRPS(cfg, m) * 60))
+		if n <= 0 {
+			continue
+		}
+		gap := 60.0 / float64(n)
+		for k := 0; k < n; k++ {
+			t := float64(m)*60 + (float64(k)+0.5)*gap
+			if t >= horizon || len(times) >= cfg.MaxEventsPerFunction {
+				break
+			}
+			times = append(times, t)
+		}
+	}
+	fn := &trace.Function{
+		ID:          fmt.Sprintf("fn%08d", *fnCounter),
+		Trigger:     trace.TriggerHTTP,
+		Invocations: times,
+	}
+	*fnCounter++
+	fn.ExecStats = generateExecStats(r, trace.TriggerHTTP, len(times))
+	app.Functions = append(app.Functions, fn)
+
+	kind := KindPeriodicExternal
+	if cfg.Mode == ModeBurst {
+		kind = KindBursty
+	}
+	rate := 0.0
+	if days := horizon / 86400; days > 0 {
+		rate = float64(len(times)) / days
+	}
+	meta := AppMeta{
+		DailyRate: rate,
+		Functions: []FnMeta{{DailyRate: rate, Kind: kind, Trigger: trace.TriggerHTTP}},
+	}
+	return app, meta
+}

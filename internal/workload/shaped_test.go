@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// minuteCounts buckets one function's invocations per minute.
+func minuteCounts(fn *trace.Function, minutes int) []int {
+	counts := make([]int, minutes)
+	for _, t := range fn.Invocations {
+		counts[int(t/60)]++
+	}
+	return counts
+}
+
+// TestShapedRampCounts pins the ramp shape: invocations per minute =
+// round(rps × 60) with rps stepping every SlotMins minutes and
+// holding at RPS1.
+func TestShapedRampCounts(t *testing.T) {
+	pop, err := Generate(Config{
+		Seed: 1, NumApps: 1, Duration: 10 * time.Minute,
+		Mode: ModeRamp, RPS0: 1, RPS1: 3, StepRPS: 1, SlotMins: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := pop.Trace.Apps[0]
+	if len(app.Functions) != 1 || app.Functions[0].Trigger != trace.TriggerHTTP {
+		t.Fatalf("shaped app: %d functions (trigger %v), want 1 HTTP function",
+			len(app.Functions), app.Functions[0].Trigger)
+	}
+	got := minuteCounts(app.Functions[0], 10)
+	// rps: 1,1 → 2,2 → 3,3 → clamped at 3 for the rest.
+	want := []int{60, 60, 120, 120, 180, 180, 180, 180, 180, 180}
+	for m := range want {
+		if got[m] != want[m] {
+			t.Errorf("minute %d: %d invocations, want %d", m, got[m], want[m])
+		}
+	}
+	// Invocations are strictly increasing (evenly spaced, no collisions).
+	inv := app.Functions[0].Invocations
+	for i := 1; i < len(inv); i++ {
+		if inv[i] <= inv[i-1] {
+			t.Fatalf("invocations not strictly increasing at %d: %v then %v", i, inv[i-1], inv[i])
+		}
+	}
+}
+
+// TestShapedBurstCounts pins the burst shape: the first BurstMins
+// minutes of every PeriodMins-minute period run at RPS1, the rest at
+// the RPS0 baseline.
+func TestShapedBurstCounts(t *testing.T) {
+	pop, err := Generate(Config{
+		Seed: 1, NumApps: 1, Duration: 10 * time.Minute,
+		Mode: ModeBurst, RPS0: 1, RPS1: 5, PeriodMins: 5, BurstMins: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := minuteCounts(pop.Trace.Apps[0].Functions[0], 10)
+	want := []int{300, 300, 60, 60, 60, 300, 300, 60, 60, 60}
+	for m := range want {
+		if got[m] != want[m] {
+			t.Errorf("minute %d: %d invocations, want %d", m, got[m], want[m])
+		}
+	}
+}
+
+// TestShapedSourceMatchesGenerate: the lazy source and the batch
+// generator agree bit for bit on shaped workloads too.
+func TestShapedSourceMatchesGenerate(t *testing.T) {
+	cfg := Config{
+		Seed: 23, NumApps: 8, Duration: 30 * time.Minute,
+		Mode: ModeBurst, RPS0: 0.5, RPS1: 10,
+	}
+	pop, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range pop.Trace.Apps {
+		got, err := src.Next()
+		if err != nil {
+			t.Fatalf("app %d: %v", i, err)
+		}
+		if got.ID != want.ID || got.MemoryMB != want.MemoryMB {
+			t.Fatalf("app %d: %s/%v vs %s/%v", i, got.ID, got.MemoryMB, want.ID, want.MemoryMB)
+		}
+		gfn, wfn := got.Functions[0], want.Functions[0]
+		if gfn.ID != wfn.ID || gfn.ExecStats != wfn.ExecStats || len(gfn.Invocations) != len(wfn.Invocations) {
+			t.Fatalf("app %s: function mismatch", want.ID)
+		}
+		for k := range wfn.Invocations {
+			if gfn.Invocations[k] != wfn.Invocations[k] {
+				t.Fatalf("app %s invocation %d differs", want.ID, k)
+			}
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("after drain: %v, want io.EOF", err)
+	}
+}
+
+// TestShapedMaxEventsCap: the per-function event cap truncates shaped
+// streams like calibrated ones.
+func TestShapedMaxEventsCap(t *testing.T) {
+	pop, err := Generate(Config{
+		Seed: 1, NumApps: 1, Duration: time.Hour,
+		Mode: ModeRamp, RPS0: 10, RPS1: 10, MaxEventsPerFunction: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(pop.Trace.Apps[0].Functions[0].Invocations); n != 100 {
+		t.Fatalf("%d invocations, want the 100-event cap", n)
+	}
+}
+
+// TestShapedValidation pins the mode/parameter error surface.
+func TestShapedValidation(t *testing.T) {
+	base := Config{NumApps: 1, Duration: 10 * time.Minute}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"params without mode", func(c *Config) { c.RPS0 = 5 }, "without Mode"},
+		{"unknown mode", func(c *Config) { c.Mode = "spike" }, "unknown Mode"},
+		{"ramp without step", func(c *Config) { c.Mode = ModeRamp; c.RPS0 = 1; c.RPS1 = 5 }, "StepRPS"},
+		{"ramp inverted", func(c *Config) { c.Mode = ModeRamp; c.RPS0 = 5; c.RPS1 = 1 }, "RPS0 <= RPS1"},
+		{"ramp with period", func(c *Config) {
+			c.Mode = ModeRamp
+			c.RPS0, c.RPS1, c.StepRPS = 1, 2, 1
+			c.PeriodMins = 20
+		}, "burst-mode parameters"},
+		{"burst with step", func(c *Config) { c.Mode = ModeBurst; c.RPS1, c.StepRPS = 5, 1 }, "ramp-mode parameters"},
+		{"burst longer than period", func(c *Config) {
+			c.Mode = ModeBurst
+			c.RPS1, c.PeriodMins, c.BurstMins = 5, 5, 5
+		}, "BurstMins < PeriodMins"},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	// The happy paths validate.
+	for _, cfg := range []Config{
+		{NumApps: 1, Duration: 10 * time.Minute, Mode: ModeRamp, RPS0: 1, RPS1: 5, StepRPS: 2},
+		{NumApps: 1, Duration: 10 * time.Minute, Mode: ModeBurst, RPS0: 0, RPS1: 5},
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("valid shaped config rejected: %v", err)
+		}
+	}
+}

@@ -429,7 +429,27 @@ type (
 	SweepReport = scenario.SweepReport
 	// ScenarioOption configures RunScenario / RunSweep.
 	ScenarioOption = scenario.Option
+	// ScenarioCellError is the per-cell failure RunSweep returns: it
+	// carries the failing cell's index and canonical scenario, so
+	// drivers can report exactly which cell of a sweep broke.
+	ScenarioCellError = scenario.CellError
+	// ClusterEvent is one timed chaos event of a cluster run
+	// (fail/drain/join/resize), see ParseClusterEvents.
+	ClusterEvent = cluster.Event
+	// ClusterReplacer is the optional placement hook consulted when a
+	// cluster event displaces apps from a node.
+	ClusterReplacer = cluster.Replacer
 )
+
+// ParseClusterEvents parses a timed cluster event list
+// ("fail@36h:node=3, join@48h:node=3, resize@72h:node=1&mem=2048");
+// ClusterEventsString renders the canonical form back.
+func ParseClusterEvents(s string) ([]ClusterEvent, error) { return cluster.ParseEvents(s) }
+
+// ClusterEventsString renders an event list in the canonical
+// comma-separated form accepted by ParseClusterEvents and the
+// scenario key cluster.events.
+func ClusterEventsString(evs []ClusterEvent) string { return cluster.EventsString(evs) }
 
 // ParseScenario parses a scenario from the text grammar
 // ("source=gen:apps=400; policy=hybrid?cv=2; cluster.nodes=8") or
