@@ -2,8 +2,10 @@ package wild
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"repro/internal/ithist"
 	"repro/internal/policy"
 	"repro/internal/prodimpl"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -286,6 +289,48 @@ func BenchmarkClusterInfinite(b *testing.B) {
 			b.Fatal("empty simulation")
 		}
 	}
+}
+
+// BenchmarkServeDecide measures one decision through the serving
+// control plane in steady state — the policy's NextWindows plus the
+// sharded-lookup and bookkeeping overhead internal/serve adds. The
+// delta against BenchmarkPolicyOverhead is the serving tax; it must
+// stay allocation-free (pinned by the serve package's alloc test).
+func BenchmarkServeDecide(b *testing.B) {
+	ctrl := serve.NewController(policy.NewHybrid(policy.DefaultHybridConfig()), serve.Config{})
+	defer ctrl.Release()
+	r := stats.NewRNG(9)
+	vt := time.Unix(0, 0).UTC()
+	for i := 0; i <= policy.DefaultHybridConfig().ARIMAMaxSeries+16; i++ {
+		vt = vt.Add(time.Duration(r.Float64() * float64(30*time.Minute)))
+		ctrl.Decide("bench", vt)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vt = vt.Add(17 * time.Minute)
+		ctrl.Decide("bench", vt)
+	}
+}
+
+// BenchmarkServeDecideParallel measures decision throughput with many
+// goroutines over disjoint apps — the shard-contention picture the
+// soak harness reports percentiles for.
+func BenchmarkServeDecideParallel(b *testing.B) {
+	ctrl := serve.NewController(policy.NewHybrid(policy.DefaultHybridConfig()), serve.Config{})
+	defer ctrl.Release()
+	var worker atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		w := worker.Add(1)
+		app := fmt.Sprintf("bench%03d", w)
+		r := stats.NewRNG(uint64(w))
+		vt := time.Unix(0, 0).UTC()
+		for pb.Next() {
+			vt = vt.Add(time.Duration(r.ExpFloat64() * float64(2*time.Minute)))
+			ctrl.Decide(app, vt)
+		}
+	})
 }
 
 // BenchmarkWorkloadGeneration measures trace synthesis.

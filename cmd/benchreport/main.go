@@ -5,16 +5,21 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_1.json] [-bench regexp] [-benchtime 2s] [-count 1]
+//	go run ./cmd/benchreport [-out BENCH_7.json] [-bench regexp] [-benchtime 2s] [-count 1] [-soak 2s]
 //
 // The default benchmark set covers the per-invocation decision
 // pipeline the §5.3 overhead study cares about (simulator, policy,
-// histogram, forecaster) plus the workload generator and codecs.
+// histogram, forecaster, the serving controller) plus the workload
+// generator and codecs. Unless -soak 0 is given, the report also
+// carries a short concurrent soak of the serving control plane
+// (internal/serve) with decision-latency percentiles — the
+// latency-percentile leg of the perf trajectory.
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +29,8 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"repro/internal/serve"
 )
 
 // Entry is one benchmark's measurement. Allocs and Bytes are -1 when
@@ -35,22 +42,26 @@ type Entry struct {
 	Iterations  int64   `json:"iterations"`
 }
 
-// Report is the file layout: benchmark name -> measurement.
+// Report is the file layout: benchmark name -> measurement, plus the
+// optional serving-soak section (sustained-concurrency decision
+// latency percentiles; see internal/serve.Soak).
 type Report struct {
-	GeneratedAt string           `json:"generated_at"`
-	GoVersion   string           `json:"go_version"`
-	BenchTime   string           `json:"benchtime"`
-	Entries     map[string]Entry `json:"entries"`
+	GeneratedAt string            `json:"generated_at"`
+	GoVersion   string            `json:"go_version"`
+	BenchTime   string            `json:"benchtime"`
+	Entries     map[string]Entry  `json:"entries"`
+	Soak        *serve.SoakResult `json:"soak,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("out", "BENCH_1.json", "output file")
+	out := flag.String("out", "BENCH_7.json", "output file")
 	bench := flag.String("bench", defaultBenchRegexp, "benchmark regexp passed to go test")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark time")
 	count := flag.Int("count", 1, "benchmark repetitions (minimum ns/op is kept)")
+	soak := flag.Duration("soak", 2*time.Second, "serving-soak length (0 disables the soak section)")
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench,
@@ -93,6 +104,18 @@ func main() {
 		}
 	}
 
+	if *soak > 0 {
+		res, err := serve.Soak(context.Background(), serve.SoakConfig{Duration: *soak})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport: soak:", err)
+			os.Exit(1)
+		}
+		rep.Soak = res
+		fmt.Fprintf(os.Stderr,
+			"benchreport: soak %s  %.0f decisions/s  p50 %v  p99 %v  p99.9 %v\n",
+			res.Policy, res.ThroughputPerSec, res.P50, res.P99, res.P999)
+	}
+
 	names := make([]string, 0, len(rep.Entries))
 	for n := range rep.Entries {
 		names = append(names, n)
@@ -121,4 +144,4 @@ func main() {
 // regeneration benchmarks are excluded by default (they are dominated
 // by the same simulator paths and would stretch the run severalfold);
 // pass -bench 'Benchmark' for everything.
-const defaultBenchRegexp = `BenchmarkSimulator|BenchmarkCluster|BenchmarkPolicyOverhead|BenchmarkHistogram|BenchmarkARIMAFit|BenchmarkExpSmoothingFit|BenchmarkProd|BenchmarkWorkloadGeneration|BenchmarkTraceCSVRoundTrip`
+const defaultBenchRegexp = `BenchmarkSimulator|BenchmarkCluster|BenchmarkPolicyOverhead|BenchmarkHistogram|BenchmarkARIMAFit|BenchmarkExpSmoothingFit|BenchmarkProd|BenchmarkWorkloadGeneration|BenchmarkTraceCSVRoundTrip|BenchmarkServeDecide`

@@ -5,21 +5,30 @@
 // Usage:
 //
 //	faasd -listen :8080 -policy 'hybrid?range=4h'
-//	faasd -policy 'fixed?ka=20m'
+//	faasd -policy 'fixed?ka=20m' -record traffic.bundle
 //	curl -X PUT  localhost:8080/actions/hello -d '{"exec_ms":50,"memory_mb":128}'
 //	curl -X POST localhost:8080/invoke/hello
 //	curl         localhost:8080/stats
+//
+// With -record, every invocation is captured and written out as an
+// incident bundle on shutdown (Ctrl-C), replayable with
+// coldsim -scenario 'source=bundle:traffic.bundle; policy=[...]'.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/platform"
 	"repro/internal/policy"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -32,6 +41,7 @@ func main() {
 			fmt.Sprintf("keep-alive policy spec, e.g. 'hybrid?range=4h' or 'fixed?ka=20m' (registered: %v)", policy.SpecNames()))
 		invokers  = flag.Int("invokers", 4, "invoker count")
 		coldStart = flag.Duration("cold-start", 500*time.Millisecond, "simulated container cold start")
+		record    = flag.String("record", "", "write served traffic as an incident bundle on shutdown")
 	)
 	flag.Parse()
 
@@ -40,16 +50,45 @@ func main() {
 		log.Fatal(err)
 	}
 
-	p := platform.NewPlatform(platform.Config{
+	cfg := platform.Config{
 		NumInvokers:    *invokers,
 		ColdStartDelay: *coldStart,
-	}, pol)
+	}
+	var rec *serve.Recorder
+	if *record != "" {
+		rec = serve.NewRecorder(time.Now())
+		cfg.Recorder = rec
+	}
+
+	p := platform.NewPlatform(cfg, pol)
 	defer p.Stop()
 
 	api := platform.NewAPI(p)
 	fmt.Printf("faasd: %d invokers, policy %s, listening on %s\n",
 		*invokers, pol.Name(), *listen)
-	if err := http.ListenAndServe(*listen, api); err != nil {
+
+	srv := &http.Server{Addr: *listen, Handler: api}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		srv.Shutdown(context.Background())
+	}()
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+
+	if rec != nil {
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteBundle(f, "faasd", 0); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("recorded %d invocations to %s", rec.Invocations(), *record)
 	}
 }

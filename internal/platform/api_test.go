@@ -3,12 +3,15 @@ package platform
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/policy"
+	"repro/internal/serve"
 )
 
 func newTestAPI(t *testing.T) (*API, *Platform) {
@@ -145,5 +148,113 @@ func TestAPIDefaultMemory(t *testing.T) {
 	}
 	if spec.MemoryMB != 128 {
 		t.Fatalf("default memory = %v", spec.MemoryMB)
+	}
+}
+
+func TestAPIInvokeAfterStop(t *testing.T) {
+	api, p := newTestAPI(t)
+	doJSON(t, api, http.MethodPut, "/actions/hello", map[string]any{"exec_ms": 0})
+	p.Stop()
+	rec := doJSON(t, api, http.MethodPost, "/invoke/hello", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("invoke after Stop: status = %d, want 503", rec.Code)
+	}
+}
+
+// TestAPIConcurrentInvokeStats hammers the API from many goroutines —
+// invokes on several actions, stats reads, action lookups and
+// re-registrations — and checks every response and the final decision
+// count. Run under -race this covers the serving path end to end: the
+// HTTP layer, the dispatch controller, and the sharded decision
+// service underneath.
+func TestAPIConcurrentInvokeStats(t *testing.T) {
+	api, p := newTestAPI(t)
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		if rec := doJSON(t, api, http.MethodPut, "/actions/"+name,
+			map[string]any{"exec_ms": 0, "memory_mb": 64}); rec.Code != http.StatusCreated {
+			t.Fatalf("register %s: status = %d", name, rec.Code)
+		}
+	}
+
+	const workers, per = 6, 40
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*per)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := []string{"alpha", "beta", "gamma"}[w%3]
+			for i := 0; i < per; i++ {
+				switch {
+				case w == 0 && i%8 == 0: // stats reader
+					if rec := doJSON(t, api, http.MethodGet, "/stats", nil); rec.Code != http.StatusOK {
+						errs <- fmt.Sprintf("stats: %d", rec.Code)
+					}
+				case w == 1 && i%8 == 0: // concurrent re-registration
+					if rec := doJSON(t, api, http.MethodPut, "/actions/"+name,
+						map[string]any{"exec_ms": 0, "memory_mb": 64}); rec.Code != http.StatusCreated {
+						errs <- fmt.Sprintf("re-register: %d", rec.Code)
+					}
+				default:
+					if rec := doJSON(t, api, http.MethodPost, "/invoke/"+name, nil); rec.Code != http.StatusOK {
+						errs <- fmt.Sprintf("invoke %s: %d — %s", name, rec.Code, rec.Body.String())
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// Every invoke flowed through the decision service exactly once.
+	invokes := 0
+	for _, ao := range p.AppOutcomes() {
+		invokes += ao.Invocations
+	}
+	if got := p.Controller().Decider().Decisions(); got != int64(invokes) {
+		t.Fatalf("decision service served %d decisions, platform saw %d invokes", got, invokes)
+	}
+	if got := p.LatencyHistogram().Count(); got != int64(invokes) {
+		t.Fatalf("latency histogram holds %d samples, want %d", got, invokes)
+	}
+}
+
+// TestAPIInvokesRecordedAsBundle wires a Recorder into the platform
+// and checks HTTP invokes come out the other end as a replayable
+// incident bundle: the live serving loop's capture path.
+func TestAPIInvokesRecordedAsBundle(t *testing.T) {
+	cfg := fastCfg()
+	rec := serve.NewRecorder(cfg.Clock.Now())
+	cfg.Recorder = rec
+	p := NewPlatform(cfg, policy.FixedKeepAlive{KeepAlive: 10 * time.Minute})
+	t.Cleanup(p.Stop)
+	api := NewAPI(p)
+
+	doJSON(t, api, http.MethodPut, "/actions/hello", map[string]any{"app": "demo", "exec_ms": 1})
+	const n = 5
+	for i := 0; i < n; i++ {
+		if rec := doJSON(t, api, http.MethodPost, "/invoke/hello", nil); rec.Code != http.StatusOK {
+			t.Fatalf("invoke %d: status = %d", i, rec.Code)
+		}
+	}
+	if got := rec.Invocations(); got != n {
+		t.Fatalf("recorder captured %d invocations, want %d", got, n)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteBundle(&buf, "api-capture", 0); err != nil {
+		t.Fatal(err)
+	}
+	meta, tr, err := serve.ReadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Invocations != n || meta.Apps != 1 {
+		t.Fatalf("bundle meta = %+v, want %d invocations of 1 app", meta, n)
+	}
+	if tr.Apps[0].ID != "demo" || tr.Apps[0].Functions[0].ID != "hello" {
+		t.Fatalf("bundle holds %s/%s, want demo/hello", tr.Apps[0].ID, tr.Apps[0].Functions[0].ID)
 	}
 }

@@ -7,35 +7,36 @@ import (
 	"time"
 
 	"repro/internal/policy"
+	"repro/internal/serve"
 )
 
-// appState is the Load Balancer's per-application bookkeeping: the
-// policy instance (histogram and friends), the end of the last
-// execution for idle-time computation, and the pending pre-warm timer.
-type appState struct {
-	mu        sync.Mutex
-	pol       policy.AppPolicy
-	memoryMB  float64
-	invoker   int
-	seen      bool
-	lastEnd   time.Time
-	prewarm   *time.Timer
-	decisions int
+// dispatchState is the controller's per-application dispatch
+// bookkeeping: the invoker pin, the registered memory footprint and
+// the pending pre-warm timer. The policy side of per-app state (the
+// histogram, idle tracking, decision path) lives in the serve
+// controller, behind its sharded locks.
+type dispatchState struct {
+	mu       sync.Mutex
+	memoryMB float64
+	invoker  int
+	prewarm  *time.Timer
 }
 
 // Controller mirrors the OpenWhisk Controller with the paper's
-// modified Load Balancer (§4.3, modification #1): it owns per-app
-// policy state, stamps each activation with the latest keep-alive
-// parameter, and publishes pre-warm messages when a pre-warming
-// window elapses.
+// modified Load Balancer (§4.3, modification #1). Keep-alive
+// decisions flow through the internal/serve decision service — the
+// same hot path the soak harness benchmarks — while the controller
+// keeps what is platform-specific: invoker pinning, activation
+// dispatch, and pre-warm scheduling on the (possibly scaled) clock.
 type Controller struct {
 	clock Clock
 	bus   *Bus
-	pol   policy.Policy
-	n     int // invokers
+	dec   *serve.Controller
+	rec   *serve.Recorder // optional incident-stream capture
+	n     int             // invokers
 
 	mu   sync.Mutex
-	apps map[string]*appState
+	apps map[string]*dispatchState
 
 	// PolicyOverhead accumulates time spent in policy decisions (real
 	// time), backing the §5.3 overhead measurements.
@@ -44,30 +45,38 @@ type Controller struct {
 	overheadCount int64
 }
 
-// NewController creates a controller balancing across n invokers.
+// NewController creates a controller balancing across n invokers,
+// with decisions served by a fresh serve.Controller over pol.
 func NewController(clock Clock, bus *Bus, pol policy.Policy, n int) *Controller {
 	return &Controller{
 		clock: clock,
 		bus:   bus,
-		pol:   pol,
+		dec:   serve.NewController(pol, serve.Config{}),
 		n:     n,
-		apps:  make(map[string]*appState),
+		apps:  make(map[string]*dispatchState),
 	}
 }
 
-// state returns (creating if needed) the app's state. Apps are pinned
-// to an invoker by hash, the simplest healthy-capacity-aware stand-in
-// for OpenWhisk's scheduling, and the one that preserves container
-// affinity.
-func (c *Controller) state(app string, memoryMB float64) *appState {
+// SetRecorder attaches an incident-stream recorder: every invocation
+// routed through the controller is captured (at the platform clock's
+// timestamps) for later bundle export. Attach before traffic starts.
+func (c *Controller) SetRecorder(r *serve.Recorder) { c.rec = r }
+
+// Decider exposes the underlying decision service.
+func (c *Controller) Decider() *serve.Controller { return c.dec }
+
+// state returns (creating if needed) the app's dispatch state. Apps
+// are pinned to an invoker by hash, the simplest
+// healthy-capacity-aware stand-in for OpenWhisk's scheduling, and the
+// one that preserves container affinity.
+func (c *Controller) state(app string, memoryMB float64) *dispatchState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st, ok := c.apps[app]
 	if !ok {
 		h := fnv.New32a()
 		h.Write([]byte(app))
-		st = &appState{
-			pol:      c.pol.NewApp(app),
+		st = &dispatchState{
 			memoryMB: memoryMB,
 			invoker:  int(h.Sum32()) % c.n,
 		}
@@ -81,28 +90,25 @@ func (c *Controller) state(app string, memoryMB float64) *appState {
 func (c *Controller) Invoke(app, fn string, exec time.Duration, memoryMB float64) (Outcome, error) {
 	st := c.state(app, memoryMB)
 
-	st.mu.Lock()
-	// Idle time: from the last execution end to this arrival (§3.4).
-	now := c.clock.Now()
-	idle := now.Sub(st.lastEnd)
-	first := !st.seen
-	if idle < 0 {
-		idle = 0
-	}
 	// Cancel any pending pre-warm; the invocation supersedes it.
+	st.mu.Lock()
 	if st.prewarm != nil {
 		st.prewarm.Stop()
 		st.prewarm = nil
 	}
-
-	// Policy decision for the window after this execution.
-	t0 := time.Now()
-	d := st.pol.NextWindows(idle, first)
-	c.recordOverhead(time.Since(t0))
-	st.seen = true
-	st.decisions++
 	invoker := st.invoker
 	st.mu.Unlock()
+
+	// Policy decision for the window after this execution: idle time
+	// runs from the last execution end to this arrival (§3.4), tracked
+	// inside the decision service.
+	now := c.clock.Now()
+	t0 := time.Now()
+	d := c.dec.Decide(app, now)
+	c.recordOverhead(time.Since(t0))
+	if c.rec != nil {
+		c.rec.Record(app, fn, now)
+	}
 
 	reply := make(chan Outcome, 1)
 	msg := ActivationMessage{
@@ -116,8 +122,8 @@ func (c *Controller) Invoke(app, fn string, exec time.Duration, memoryMB float64
 	}
 	out := <-reply
 
+	c.dec.CompleteExec(app, out.End)
 	st.mu.Lock()
-	st.lastEnd = out.End
 	// Schedule the pre-warm after the execution that just finished.
 	if !d.Forever && d.PreWarm > 0 {
 		ka := keepAliveFor(d)

@@ -5,7 +5,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/policy"
+	"repro/internal/serve"
 )
 
 // Config parameterizes a platform instance. Zero values select the
@@ -23,6 +25,11 @@ type Config struct {
 	// Clock is the time source (default RealClock). Use a ScaledClock
 	// to replay hours of trace in seconds.
 	Clock Clock
+	// Recorder, when set, captures every invocation routed through the
+	// controller (at the platform clock's timestamps) into an incident
+	// bundle recorder, for later what-if replay via
+	// replay.ReplayBundle.
+	Recorder *serve.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +59,7 @@ type Platform struct {
 	mu      sync.Mutex
 	perApp  map[string]*AppOutcome
 	latency []time.Duration
+	latHist *metrics.LatencyHistogram
 	stopped bool
 }
 
@@ -74,11 +82,15 @@ func (a AppOutcome) ColdPercent() float64 {
 func NewPlatform(cfg Config, pol policy.Policy) *Platform {
 	cfg = cfg.withDefaults()
 	p := &Platform{
-		cfg:    cfg,
-		bus:    NewBus(),
-		perApp: make(map[string]*AppOutcome),
+		cfg:     cfg,
+		bus:     NewBus(),
+		perApp:  make(map[string]*AppOutcome),
+		latHist: metrics.NewLatencyHistogram(),
 	}
 	p.controller = NewController(cfg.Clock, p.bus, pol, cfg.NumInvokers)
+	if cfg.Recorder != nil {
+		p.controller.SetRecorder(cfg.Recorder)
+	}
 	for i := 0; i < cfg.NumInvokers; i++ {
 		inv := NewInvoker(i, cfg.Clock, cfg.ColdStartDelay, cfg.RuntimeInitDelay)
 		inv.Serve(p.bus.Subscribe(InvokerTopic(i)))
@@ -105,6 +117,7 @@ func (p *Platform) Invoke(app, fn string, exec time.Duration, memoryMB float64) 
 	}
 	p.latency = append(p.latency, out.Latency)
 	p.mu.Unlock()
+	p.latHist.Observe(out.Latency)
 	return out, nil
 }
 
@@ -142,6 +155,11 @@ func (p *Platform) AppOutcomes() []AppOutcome {
 	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
 	return out
 }
+
+// LatencyHistogram returns the platform's streaming invocation
+// latency histogram (virtual time): constant-memory percentiles for
+// serving runs too long to keep the full latency slice.
+func (p *Platform) LatencyHistogram() *metrics.LatencyHistogram { return p.latHist }
 
 // Latencies returns a copy of all recorded invocation latencies
 // (virtual time).

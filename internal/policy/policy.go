@@ -66,8 +66,10 @@ func (m Mode) String() string {
 // time that preceded the invocation that just ran (first=true for the
 // app's first invocation, in which case idle is ignored).
 //
-// Implementations are not safe for concurrent use; the platform
-// serializes per-app policy updates.
+// Implementations are not safe for concurrent use; callers serialize
+// per-app policy updates — the simulator by walking one app per
+// goroutine, the serving path (internal/serve) with a per-app mutex
+// behind sharded locks.
 type AppPolicy interface {
 	NextWindows(idle time.Duration, first bool) Decision
 }

@@ -15,6 +15,10 @@ import (
 // so the adapter advances a virtual per-app clock from a fixed epoch
 // by the observed idle times; day rotation and retention operate on
 // that virtual clock.
+//
+// Because it satisfies policy.Policy it also drops straight into the
+// serving path: serve.NewController(prodimpl.NewPolicyAdapter(cfg), …)
+// serializes per-app state exactly as the AppPolicy contract assumes.
 type PolicyAdapter struct {
 	cfg Config
 	// Epoch anchors the virtual clock (defaults to 2026-01-05, a

@@ -1,0 +1,42 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/scenario"
+	"repro/internal/serve"
+)
+
+// ReplayBundle re-runs a captured incident bundle (see
+// internal/serve's Recorder and bundle format) against candidate
+// policy specs: the recorded invocation stream is parsed back through
+// the trace row codec — bit-identical to what was recorded — and each
+// candidate policy is simulated over it, one sweep cell per spec. The
+// returned SweepReport carries the per-policy cold-start and
+// wasted-memory metrics side by side (the default sinks; pass
+// scenario options or richer cells via RunSweep directly for more),
+// which is the what-if question an incident review asks: "which
+// keep-alive policy would have held up under *this* traffic?"
+//
+// The bundle's meta header is returned alongside the report so
+// callers can label results with the incident's name and extent.
+func ReplayBundle(ctx context.Context, r io.Reader, policySpecs []string, opts ...scenario.Option) (*scenario.SweepReport, serve.BundleMeta, error) {
+	meta, tr, err := serve.ReadBundle(r)
+	if err != nil {
+		return nil, serve.BundleMeta{}, err
+	}
+	if len(policySpecs) == 0 {
+		return nil, meta, fmt.Errorf("replay: ReplayBundle needs at least one policy spec")
+	}
+	cells := make([]scenario.Scenario, len(policySpecs))
+	for i, ps := range policySpecs {
+		cells[i] = scenario.Scenario{Policy: ps}
+	}
+	rep, err := scenario.RunSweep(ctx, cells, append(opts, scenario.WithFixedTrace(tr))...)
+	if err != nil {
+		return nil, meta, err
+	}
+	return rep, meta, nil
+}

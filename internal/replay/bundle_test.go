@@ -1,0 +1,110 @@
+package replay
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// recordedBundle synthesizes a captured serving stream: a seeded
+// multi-app arrival process driven through a Recorder and written out
+// as a bundle, returning both the bytes and the recorder (for the
+// in-memory reference trace).
+func recordedBundle(t *testing.T, seed uint64) ([]byte, *serve.Recorder) {
+	t.Helper()
+	epoch := time.Unix(0, 0).UTC()
+	rec := serve.NewRecorder(epoch)
+	r := stats.NewRNG(seed)
+	clocks := make([]time.Time, 8)
+	for i := range clocks {
+		clocks[i] = epoch
+	}
+	for i := 0; i < 600; i++ {
+		a := r.Intn(len(clocks))
+		clocks[a] = clocks[a].Add(time.Duration(r.ExpFloat64() * float64(10*time.Minute)))
+		rec.Record(fmt.Sprintf("app%02d", a), fmt.Sprintf("app%02d-fn", a), clocks[a])
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteBundle(&buf, fmt.Sprintf("incident-%d", seed), 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rec
+}
+
+// TestReplayBundleMatchesDirectSweep is the record/replay acceptance
+// property: simulating the policies over the bundle (the serialized,
+// re-parsed stream) produces exactly the metrics of simulating them
+// over the recorder's in-memory trace — the serialization loop is
+// lossless all the way through the sim engine, across seeds and
+// policy families.
+func TestReplayBundleMatchesDirectSweep(t *testing.T) {
+	specs := []string{"hybrid", "fixed?ka=10m"}
+	for seed := uint64(1); seed <= 3; seed++ {
+		raw, rec := recordedBundle(t, seed)
+
+		rep, meta, err := ReplayBundle(context.Background(), bytes.NewReader(raw), specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.Name != fmt.Sprintf("incident-%d", seed) {
+			t.Fatalf("seed %d: meta.Name = %q", seed, meta.Name)
+		}
+		if meta.Invocations != 600 {
+			t.Fatalf("seed %d: meta.Invocations = %d, want 600", seed, meta.Invocations)
+		}
+
+		cells := make([]scenario.Scenario, len(specs))
+		for i, ps := range specs {
+			cells[i] = scenario.Scenario{Policy: ps}
+		}
+		want, err := scenario.RunSweep(context.Background(), cells,
+			scenario.WithFixedTrace(rec.Trace(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if len(rep.Cells) != len(want.Cells) {
+			t.Fatalf("seed %d: %d cells, want %d", seed, len(rep.Cells), len(want.Cells))
+		}
+		for i, cell := range rep.Cells {
+			got, ref := cell.Metrics(), want.Cells[i].Metrics()
+			if len(got) == 0 {
+				t.Fatalf("seed %d cell %s: no metrics", seed, cell.PolicyName)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d cell %s: %d metrics, want %d", seed, cell.PolicyName, len(got), len(ref))
+			}
+			for j := range got {
+				if got[j] != ref[j] {
+					t.Fatalf("seed %d cell %s metric %s: bundle %v, direct %v (replay must be bit-identical)",
+						seed, cell.PolicyName, got[j].Name, got[j].Value, ref[j].Value)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayBundleErrors covers the failure modes: no policies, and a
+// corrupt bundle.
+func TestReplayBundleErrors(t *testing.T) {
+	raw, _ := recordedBundle(t, 42)
+	if _, _, err := ReplayBundle(context.Background(), bytes.NewReader(raw), nil); err == nil ||
+		!strings.Contains(err.Error(), "at least one policy spec") {
+		t.Fatalf("no-spec error = %v", err)
+	}
+	if _, _, err := ReplayBundle(context.Background(), strings.NewReader("not a bundle\n"),
+		[]string{"hybrid"}); err == nil {
+		t.Fatal("ReplayBundle accepted a corrupt bundle")
+	}
+	if _, _, err := ReplayBundle(context.Background(), bytes.NewReader(raw),
+		[]string{"no-such-policy"}); err == nil {
+		t.Fatal("ReplayBundle accepted an unknown policy spec")
+	}
+}

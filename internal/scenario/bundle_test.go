@@ -1,0 +1,176 @@
+package scenario
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// writeTestBundle materializes a small recorded stream as a bundle
+// file and returns its path plus the recorder's reference trace.
+func writeTestBundle(t *testing.T) (string, *trace.Trace) {
+	t.Helper()
+	epoch := time.Unix(0, 0).UTC()
+	rec := serve.NewRecorder(epoch)
+	for app, pattern := range map[string][]int{
+		"app00": {0, 3, 7, 12, 30, 55},
+		"app01": {1, 2, 4, 8, 16, 32, 64},
+		"app02": {5, 35, 65},
+	} {
+		for _, m := range pattern {
+			rec.Record(app, app+"-fn", epoch.Add(time.Duration(m)*time.Minute+15*time.Second))
+		}
+	}
+	path := filepath.Join(t.TempDir(), "incident.bundle")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteBundle(f, "test-incident", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, rec.Trace(0)
+}
+
+// TestBundleSourceStreams checks "bundle:path" resolves to a source
+// yielding exactly the recorded apps, with a canonical spec.
+func TestBundleSourceStreams(t *testing.T) {
+	path, want := writeTestBundle(t)
+	f, err := NewSource("bundle:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Spec(); got != "bundle:"+path {
+		t.Fatalf("Spec() = %q, want %q", got, "bundle:"+path)
+	}
+	// The spec round-trips through the registry.
+	f2, err := NewSource(f.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Spec() != f.Spec() {
+		t.Fatalf("re-parsed spec %q, want %q", f2.Spec(), f.Spec())
+	}
+
+	src, release, err := f.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if src.Horizon() != want.Duration {
+		t.Fatalf("Horizon() = %v, want %v", src.Horizon(), want.Duration)
+	}
+	n := 0
+	for {
+		app, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if app.ID != want.Apps[n].ID {
+			t.Fatalf("app %d: %s, want %s", n, app.ID, want.Apps[n].ID)
+		}
+		n++
+	}
+	if n != len(want.Apps) {
+		t.Fatalf("streamed %d apps, want %d", n, len(want.Apps))
+	}
+}
+
+// TestBundleSourceInScenario runs a bundle-sourced cell end to end and
+// checks it equals the same policy over the in-memory trace — the
+// "replay an incident like any dataset CSV" contract.
+func TestBundleSourceInScenario(t *testing.T) {
+	path, tr := writeTestBundle(t)
+	got, err := RunScenario(context.Background(), Scenario{
+		Source: "bundle:" + path,
+		Policy: "fixed?ka=10m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunScenario(context.Background(), Scenario{Policy: "fixed?ka=10m"}, WithFixedTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, wm := got.Metrics(), want.Metrics()
+	if len(gm) == 0 || len(gm) != len(wm) {
+		t.Fatalf("metrics %d vs %d", len(gm), len(wm))
+	}
+	for i := range gm {
+		if gm[i] != wm[i] {
+			t.Fatalf("metric %s: bundle %v, fixed-trace %v", gm[i].Name, gm[i].Value, wm[i].Value)
+		}
+	}
+}
+
+// TestBundleSourceErrors pins the scheme's error surface.
+func TestBundleSourceErrors(t *testing.T) {
+	if _, err := NewSource("bundle:"); err == nil || !strings.Contains(err.Error(), "want bundle:path") {
+		t.Fatalf("empty rest error = %v", err)
+	}
+	f, err := NewSource("bundle:/no/such/file.bundle")
+	if err != nil {
+		t.Fatal(err) // path errors surface at Open, like csv:
+	}
+	if _, _, err := f.Open(); err == nil {
+		t.Fatal("Open() of a missing bundle succeeded")
+	}
+	// A plain CSV is not a bundle: the header line must be JSON.
+	path := filepath.Join(t.TempDir(), "plain.csv")
+	if err := os.WriteFile(path, []byte("HashOwner,HashApp,HashFunction,Trigger,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err = NewSource("bundle:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Open(); err == nil {
+		t.Fatal("Open() of a headerless file succeeded")
+	}
+}
+
+// TestGenSpecDiurnalRoundTrip pins the mode-aware period elision: a
+// diurnal cell's default period (one day) is elided, while an explicit
+// period equal to the burst default (10) survives the round trip.
+func TestGenSpecDiurnalRoundTrip(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"gen:apps=5&mode=diurnal&rps0=1&rps1=30",
+			"gen:apps=5&seed=42&mode=diurnal&rps0=1&rps1=30"},
+		{"gen:apps=5&mode=diurnal&rps0=1&rps1=30&period=1440",
+			"gen:apps=5&seed=42&mode=diurnal&rps0=1&rps1=30"},
+		{"gen:apps=5&mode=diurnal&rps0=1&rps1=30&period=10",
+			"gen:apps=5&seed=42&mode=diurnal&rps0=1&rps1=30&period=10"},
+		{"gen:apps=5&mode=burst&rps0=1&rps1=30&period=10",
+			"gen:apps=5&seed=42&mode=burst&rps0=1&rps1=30"},
+	}
+	for _, c := range cases {
+		f, err := NewSource(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if got := f.Spec(); got != c.want {
+			t.Errorf("%q: Spec() = %q, want %q", c.in, got, c.want)
+		}
+		// And the canonical spec is a fixed point.
+		f2, err := NewSource(f.Spec())
+		if err != nil {
+			t.Fatalf("%q: reparse: %v", f.Spec(), err)
+		}
+		if f2.Spec() != f.Spec() {
+			t.Errorf("%q: not a fixed point (-> %q)", f.Spec(), f2.Spec())
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 //	csv:trace/invocations.csv        streaming dataset CSV
 //	gen:apps=400&days=7&seed=7       synthetic generation (query syntax)
 //	shard:1/4 of csv:big.csv         the i-th of n interleaved shards
+//	bundle:incidents/oct-stampede    captured incident bundle (serve)
 //
 // trace.Source values are single-use, so the registry hands out
 // factories: every Open returns a fresh source, which is what lets a
@@ -162,7 +163,14 @@ func (f *genFactory) Spec() string {
 		if f.cfg.SlotMins != 0 && f.cfg.SlotMins != 1 {
 			parts = append(parts, fmt.Sprintf("slot=%d", f.cfg.SlotMins))
 		}
-		if f.cfg.PeriodMins != 0 && f.cfg.PeriodMins != 10 {
+		// The elidable period default is per mode (burst 10, diurnal one
+		// day); an explicit non-default period must survive the round
+		// trip even when it equals another mode's default.
+		defPeriod := 10
+		if f.cfg.Mode == workload.ModeDiurnal {
+			defPeriod = 24 * 60
+		}
+		if f.cfg.PeriodMins != 0 && f.cfg.PeriodMins != defPeriod {
 			parts = append(parts, fmt.Sprintf("period=%d", f.cfg.PeriodMins))
 		}
 		if f.cfg.BurstMins != 0 && f.cfg.BurstMins != 1 {
@@ -330,8 +338,9 @@ func init() {
 			return nil, err
 		}
 		// Shaped arrival modes ("mode=ramp&rps0=10&rps1=20&step=5",
-		// "mode=burst&rps0=2&rps1=50"); workload.Config.Validate rejects
-		// shaped parameters without a mode and mode-mismatched ones.
+		// "mode=burst&rps0=2&rps1=50", "mode=diurnal&rps0=1&rps1=30");
+		// workload.Config.Validate rejects shaped parameters without a
+		// mode and mode-mismatched ones.
 		cfg.Mode = p.String("mode", "")
 		if cfg.RPS0, err = p.Float("rps0", 0); err != nil {
 			return nil, err

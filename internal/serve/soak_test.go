@@ -1,0 +1,72 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestSoakShort runs a brief soak and sanity-checks the result shape:
+// decisions flowed, percentiles are ordered, the recorded bundle holds
+// exactly the driven stream.
+func TestSoakShort(t *testing.T) {
+	var bundle bytes.Buffer
+	res, err := serve.Soak(context.Background(), serve.SoakConfig{
+		Apps:     32,
+		Workers:  4,
+		Duration: 150 * time.Millisecond,
+		Record:   &bundle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions <= 0 {
+		t.Fatal("soak made no decisions")
+	}
+	if res.ThroughputPerSec <= 0 {
+		t.Fatalf("throughput = %v", res.ThroughputPerSec)
+	}
+	if res.P50 > res.P99 || res.P99 > res.P999 {
+		t.Fatalf("percentiles out of order: p50 %v p99 %v p99.9 %v", res.P50, res.P99, res.P999)
+	}
+	if res.Hist == nil || res.Hist.Count() != res.Decisions {
+		t.Fatalf("histogram holds %d samples, want %d", res.Hist.Count(), res.Decisions)
+	}
+
+	meta, tr, err := serve.ReadBundle(&bundle)
+	if err != nil {
+		t.Fatalf("recorded bundle unreadable: %v", err)
+	}
+	if int64(meta.Invocations) != res.Decisions {
+		t.Fatalf("bundle holds %d invocations, soak made %d decisions", meta.Invocations, res.Decisions)
+	}
+	total := 0
+	for _, app := range tr.Apps {
+		for _, fn := range app.Functions {
+			total += len(fn.Invocations)
+		}
+	}
+	if int64(total) != res.Decisions {
+		t.Fatalf("bundle expands to %d timestamps, want %d", total, res.Decisions)
+	}
+}
+
+// TestSoakBadPolicy checks spec errors surface instead of soaking.
+func TestSoakBadPolicy(t *testing.T) {
+	if _, err := serve.Soak(context.Background(), serve.SoakConfig{PolicySpec: "no-such-policy"}); err == nil {
+		t.Fatal("Soak accepted an unknown policy spec")
+	}
+}
+
+// TestSoakCancelledContext checks a pre-cancelled context ends the run
+// immediately with the context error rather than a zero result.
+func TestSoakCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := serve.Soak(ctx, serve.SoakConfig{Duration: time.Minute}); err == nil {
+		t.Fatal("Soak with a dead context returned no error")
+	}
+}

@@ -153,11 +153,21 @@ func parseInvocationRow(rec []string, minutes, line int) (owner, appID string, f
 		if n < 0 {
 			return "", "", nil, fmt.Errorf("trace: line %d minute %d: negative count", line, m+1)
 		}
-		base := float64(m) * 60
-		for k := 0; k < n; k++ {
-			// Spread n invocations evenly across the minute.
-			fn.Invocations = append(fn.Invocations, base+60*float64(k)/float64(n))
-		}
+		fn.Invocations = SpreadMinute(fn.Invocations, m, n)
 	}
 	return strings.Clone(rec[0]), strings.Clone(rec[1]), fn, nil
+}
+
+// SpreadMinute appends minute m's n invocations to dst at the codec's
+// canonical timestamps: evenly spread, 60m + 60k/n seconds for
+// k = 0..n-1. This is the single definition of how per-minute counts
+// become timestamps; the CSV readers and the incident-bundle recorder
+// (internal/serve) share it, which is what makes a recorded stream
+// replay bit-identically to its CSV round trip.
+func SpreadMinute(dst []float64, m, n int) []float64 {
+	base := float64(m) * 60
+	for k := 0; k < n; k++ {
+		dst = append(dst, base+60*float64(k)/float64(n))
+	}
+	return dst
 }

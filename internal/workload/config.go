@@ -41,7 +41,8 @@ type Config struct {
 	MaxEventsPerFunction int
 
 	// Mode selects a shaped arrival profile instead of the calibrated
-	// Azure workload: "" (default, calibrated), ModeRamp or ModeBurst.
+	// Azure workload: "" (default, calibrated), ModeRamp, ModeBurst or
+	// ModeDiurnal.
 	// Shaped traces give every app a single HTTP-triggered function
 	// whose per-minute invocation count follows the configured RPS
 	// shape — the trace-synthesizer idiom of load-testing harnesses —
@@ -58,8 +59,9 @@ type Config struct {
 	StepRPS float64
 	// SlotMins is the ramp slot length in minutes (default 1).
 	SlotMins int
-	// PeriodMins is the burst repetition period in minutes (burst mode
-	// only; default 10).
+	// PeriodMins is the burst repetition period (burst mode; default
+	// 10) or the diurnal cycle length (diurnal mode; default 1440, one
+	// day), in minutes.
 	PeriodMins int
 	// BurstMins is how many minutes of each period run at RPS1 (burst
 	// mode only; default 1).
@@ -84,7 +86,11 @@ func (c Config) withDefaults() Config {
 			c.SlotMins = 1
 		}
 		if c.PeriodMins == 0 {
-			c.PeriodMins = 10
+			if c.Mode == ModeDiurnal {
+				c.PeriodMins = 24 * 60
+			} else {
+				c.PeriodMins = 10
+			}
 		}
 		if c.BurstMins == 0 {
 			c.BurstMins = 1
@@ -141,8 +147,21 @@ func (c Config) Validate() error {
 		if c.StepRPS != 0 || c.SlotMins != 1 {
 			return fmt.Errorf("workload: StepRPS/SlotMins are ramp-mode parameters")
 		}
+	case ModeDiurnal:
+		if c.RPS0 < 0 || c.RPS1 < c.RPS0 {
+			return fmt.Errorf("workload: diurnal wants 0 <= RPS0 <= RPS1, got %g..%g", c.RPS0, c.RPS1)
+		}
+		if c.PeriodMins < 2 {
+			return fmt.Errorf("workload: diurnal PeriodMins %d must be >= 2", c.PeriodMins)
+		}
+		if c.StepRPS != 0 || c.SlotMins != 1 {
+			return fmt.Errorf("workload: StepRPS/SlotMins are ramp-mode parameters")
+		}
+		if c.BurstMins != 1 {
+			return fmt.Errorf("workload: BurstMins is a burst-mode parameter")
+		}
 	default:
-		return fmt.Errorf("workload: unknown Mode %q (%s, %s)", c.Mode, ModeRamp, ModeBurst)
+		return fmt.Errorf("workload: unknown Mode %q (%s, %s, %s)", c.Mode, ModeRamp, ModeBurst, ModeDiurnal)
 	}
 	return nil
 }

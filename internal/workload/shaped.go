@@ -21,6 +21,11 @@ const (
 	// ModeBurst runs the first BurstMins minutes of every
 	// PeriodMins-minute period at RPS1 and the rest at RPS0.
 	ModeBurst = "burst"
+	// ModeDiurnal follows a sinusoidal daily cycle between the RPS0
+	// trough and the RPS1 peak over a PeriodMins-minute period
+	// (default one day): the Figure 4 load shape — trough at the cycle
+	// start, peak at its midpoint — as a deterministic profile.
+	ModeDiurnal = "diurnal"
 )
 
 // shapedRPS returns the configured rate for one minute of the horizon
@@ -35,6 +40,11 @@ func shapedRPS(cfg Config, minute int) float64 {
 			return cfg.RPS1
 		}
 		return cfg.RPS0
+	case ModeDiurnal:
+		// Raised cosine: RPS0 at minute 0 of each cycle, RPS1 at the
+		// midpoint, symmetric about it.
+		phase := 2 * math.Pi * float64(minute%cfg.PeriodMins) / float64(cfg.PeriodMins)
+		return cfg.RPS0 + (cfg.RPS1-cfg.RPS0)*(1-math.Cos(phase))/2
 	}
 	return 0
 }

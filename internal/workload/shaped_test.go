@@ -71,6 +71,50 @@ func TestShapedBurstCounts(t *testing.T) {
 	}
 }
 
+// TestShapedDiurnalCounts pins the diurnal shape: a raised cosine
+// between the RPS0 trough (cycle start) and the RPS1 peak (cycle
+// midpoint), repeating every PeriodMins minutes.
+func TestShapedDiurnalCounts(t *testing.T) {
+	pop, err := Generate(Config{
+		Seed: 1, NumApps: 1, Duration: 12 * time.Minute,
+		Mode: ModeDiurnal, RPS0: 0, RPS1: 2, PeriodMins: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := pop.Trace.Apps[0]
+	if len(app.Functions) != 1 || app.Functions[0].Trigger != trace.TriggerHTTP {
+		t.Fatalf("shaped app: %d functions (trigger %v), want 1 HTTP function",
+			len(app.Functions), app.Functions[0].Trigger)
+	}
+	got := minuteCounts(app.Functions[0], 12)
+	// round(60 · 2 · (1 − cos(2πm/10))/2): a symmetric bell per cycle,
+	// wrapping back to the trough at minute 10.
+	want := []int{0, 11, 41, 79, 109, 120, 109, 79, 41, 11, 0, 11}
+	for m := range want {
+		if got[m] != want[m] {
+			t.Errorf("minute %d: %d invocations, want %d", m, got[m], want[m])
+		}
+	}
+
+	// A nonzero trough floors every minute: rps0=0.5..1.5 over a
+	// 4-minute cycle.
+	pop, err = Generate(Config{
+		Seed: 1, NumApps: 1, Duration: 6 * time.Minute,
+		Mode: ModeDiurnal, RPS0: 0.5, RPS1: 1.5, PeriodMins: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = minuteCounts(pop.Trace.Apps[0].Functions[0], 6)
+	want = []int{30, 60, 90, 60, 30, 60}
+	for m := range want {
+		if got[m] != want[m] {
+			t.Errorf("trough run minute %d: %d invocations, want %d", m, got[m], want[m])
+		}
+	}
+}
+
 // TestShapedSourceMatchesGenerate: the lazy source and the batch
 // generator agree bit for bit on shaped workloads too.
 func TestShapedSourceMatchesGenerate(t *testing.T) {
@@ -146,6 +190,13 @@ func TestShapedValidation(t *testing.T) {
 			c.Mode = ModeBurst
 			c.RPS1, c.PeriodMins, c.BurstMins = 5, 5, 5
 		}, "BurstMins < PeriodMins"},
+		{"diurnal inverted", func(c *Config) { c.Mode = ModeDiurnal; c.RPS0, c.RPS1 = 5, 1 }, "RPS0 <= RPS1"},
+		{"diurnal degenerate period", func(c *Config) {
+			c.Mode = ModeDiurnal
+			c.RPS1, c.PeriodMins = 5, 1
+		}, "must be >= 2"},
+		{"diurnal with step", func(c *Config) { c.Mode = ModeDiurnal; c.RPS1, c.StepRPS = 5, 1 }, "ramp-mode parameters"},
+		{"diurnal with burst", func(c *Config) { c.Mode = ModeDiurnal; c.RPS1, c.BurstMins = 5, 3 }, "burst-mode parameter"},
 	}
 	for _, tc := range cases {
 		cfg := base
@@ -159,6 +210,8 @@ func TestShapedValidation(t *testing.T) {
 	for _, cfg := range []Config{
 		{NumApps: 1, Duration: 10 * time.Minute, Mode: ModeRamp, RPS0: 1, RPS1: 5, StepRPS: 2},
 		{NumApps: 1, Duration: 10 * time.Minute, Mode: ModeBurst, RPS0: 0, RPS1: 5},
+		{NumApps: 1, Duration: 10 * time.Minute, Mode: ModeDiurnal, RPS0: 1, RPS1: 30},
+		{NumApps: 1, Duration: 10 * time.Minute, Mode: ModeDiurnal, RPS0: 0, RPS1: 2, PeriodMins: 10},
 	} {
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("valid shaped config rejected: %v", err)

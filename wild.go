@@ -42,6 +42,7 @@ package wild
 import (
 	"context"
 	"io"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/replay"
 	"repro/internal/scenario"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -376,6 +378,71 @@ func ReplayContext(ctx context.Context, p *Platform, tr *Trace, opt ReplayOption
 func Replay(p *Platform, tr *Trace, opt ReplayOptions) (*ReplayReport, error) {
 	return replay.Replay(context.Background(), p, tr, opt)
 }
+
+// Serving control plane: the concurrent keep-alive decision service
+// (internal/serve), the record/replay loop for captured incident
+// bundles, and the soak harness. Where Platform is a whole in-process
+// cluster, ServeController isolates just the decision component —
+// sharded, per-app-serialized, allocation-free in steady state — for
+// embedding into serving paths at production rates.
+type (
+	// ServeConfig parameterizes a ServeController (lock shard count).
+	ServeConfig = serve.Config
+	// ServeController is the concurrent keep-alive decision service.
+	ServeController = serve.Controller
+	// ServeRecorder captures a live invocation stream for bundling.
+	ServeRecorder = serve.Recorder
+	// BundleMeta is an incident bundle's versioned JSON header.
+	BundleMeta = serve.BundleMeta
+	// SoakConfig parameterizes a serving soak run.
+	SoakConfig = serve.SoakConfig
+	// SoakResult reports a soak's decision-latency percentiles and
+	// throughput.
+	SoakResult = serve.SoakResult
+	// LatencyHistogram is the wait-free fixed-footprint latency
+	// histogram behind the soak percentiles (≤ 6.25% relative error).
+	LatencyHistogram = metrics.LatencyHistogram
+)
+
+// NewServeController builds a decision service over pol.
+func NewServeController(pol Policy, cfg ServeConfig) *ServeController {
+	return serve.NewController(pol, cfg)
+}
+
+// NewServeRecorder returns a recorder anchored at epoch; feed it from
+// a serving path (or PlatformConfig.Recorder) and write the captured
+// stream out with WriteBundle for later what-if replay.
+func NewServeRecorder(epoch time.Time) *ServeRecorder { return serve.NewRecorder(epoch) }
+
+// WriteTraceBundle writes tr as a versioned incident bundle (JSON
+// header + dataset-codec invocation rows).
+func WriteTraceBundle(w io.Writer, name string, tr *Trace) error {
+	return serve.WriteTraceBundle(w, name, tr)
+}
+
+// ReadBundle parses an incident bundle into its header and a
+// materialized trace.
+func ReadBundle(r io.Reader) (BundleMeta, *Trace, error) { return serve.ReadBundle(r) }
+
+// StreamBundle opens an incident bundle as a constant-memory trace
+// source (also available as the "bundle:path" scenario source).
+func StreamBundle(r io.Reader) (BundleMeta, TraceSource, error) { return serve.StreamBundle(r) }
+
+// ReplayBundle re-simulates a captured incident bundle against
+// candidate policy specs — one sweep cell per spec, default coldstart
+// and waste sinks — answering "which policy would have held up under
+// this traffic?".
+func ReplayBundle(ctx context.Context, r io.Reader, policySpecs []string, opts ...ScenarioOption) (*SweepReport, BundleMeta, error) {
+	return replay.ReplayBundle(ctx, r, policySpecs, opts...)
+}
+
+// RunSoak drives a fresh decision service at sustained concurrency
+// and reports decision-latency percentiles and throughput (the
+// cmd/soakbench entry point, embeddable).
+func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakResult, error) { return serve.Soak(ctx, cfg) }
+
+// NewLatencyHistogram returns an empty latency histogram.
+func NewLatencyHistogram() *LatencyHistogram { return metrics.NewLatencyHistogram() }
 
 // Experiments.
 type (
