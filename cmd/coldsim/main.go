@@ -11,6 +11,12 @@
 //	coldsim -scenario 'source=csv:inv.csv; policy=hybrid; cluster.nodes=8; cluster.mem=4096'
 //	coldsim -scenario @sweep.json           # JSON {"base", "axes", "cells"}
 //	coldsim -scenario ... -format csv       # machine-readable report
+//	coldsim -scenario ... -fanout 8         # 8 shard worker processes per cell
+//
+// -fanout n rewrites unsharded cells to shard=*/n and runs every unit
+// in its own worker process (this binary re-exec'd), merging the
+// workers' sink states exactly as the in-process sweep would — results
+// are bit-identical, but the cells spread across address spaces.
 //
 // Deprecated aliases (kept so existing invocations work; they desugar
 // into the same scenario grammar):
@@ -50,6 +56,10 @@ const defaultPolicies = "nounload,fixed?ka=10m,fixed?ka=1h,fixed?ka=2h,hybrid"
 const baselineSpec = "fixed?ka=10m"
 
 func main() {
+	// A coldsim spawned by -fanout serves as a sweep worker and exits
+	// inside this call; ordinary invocations fall through.
+	wild.MaybeRunScenarioWorker()
+
 	log.SetFlags(0)
 	log.SetPrefix("coldsim: ")
 
@@ -57,6 +67,8 @@ func main() {
 		scenarioFlag = flag.String("scenario", "",
 			"scenario or sweep grid (text grammar, JSON, or @file.json); replaces the deprecated flags below")
 		format = flag.String("format", "table", "output format: table, csv or json")
+		fanout = flag.Int("fanout", 0,
+			"run each cell as n shard worker processes (rewrites unsharded cells to shard=*/n)")
 
 		// Deprecated aliases, desugared into the scenario grammar.
 		tracePath = flag.String("trace", "", "deprecated: invocations CSV (source=csv:...)")
@@ -87,13 +99,29 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// -fanout n: unsharded cells become n-way shard fan-outs, and every
+	// unit runs in its own worker process (results are bit-identical to
+	// the in-process sweep).
+	run := wild.RunSweep
+	if *fanout > 0 {
+		for i := range cells {
+			if cells[i].Shard == "" {
+				cells[i].Shard = fmt.Sprintf("*/%d", *fanout)
+			}
+		}
+		n := *fanout
+		run = func(ctx context.Context, cs []wild.Scenario, opts ...wild.ScenarioOption) (*wild.SweepReport, error) {
+			return wild.RunSweepProcs(ctx, cs, n, opts...)
+		}
+	}
+
 	switch *format {
 	case "table":
-		if err := runTable(ctx, cells); err != nil {
+		if err := runTable(ctx, cells, run); err != nil {
 			fatal(err)
 		}
 	case "csv", "json":
-		rep, err := wild.RunSweep(ctx, cells)
+		rep, err := run(ctx, cells)
 		if err != nil {
 			fatal(err)
 		}
@@ -212,11 +240,12 @@ func desugar(dep deprecatedFlags) (wild.ScenarioGrid, error) {
 // normalized to the fixed-10-minute baseline of the cell's group (all
 // assignments but the policy). Baseline cells missing from the sweep
 // run implicitly and are not printed.
-func runTable(ctx context.Context, cells []wild.Scenario) error {
+func runTable(ctx context.Context, cells []wild.Scenario,
+	run func(context.Context, []wild.Scenario, ...wild.ScenarioOption) (*wild.SweepReport, error)) error {
 	visible := len(cells)
 	cells = append(cells, missingBaselines(cells)...)
 
-	rep, err := wild.RunSweep(ctx, cells)
+	rep, err := run(ctx, cells)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,12 @@
 //	tracegen -source 'gen:apps=500&days=7&seed=42' -out ./trace
 //	tracegen -source 'shard:2/8 of gen:apps=100000&seed=42' -out ./trace-shard2
 //	tracegen -source 'csv:big.csv' -out ./copy
+//	tracegen -source 'gen:apps=1000000&seed=42' -encode -out ./trace
+//
+// With -encode the output is a single compact binary bundle
+// (trace.bin, readable via the tracec: source scheme) instead of the
+// CSV trio: one file, run-length + varint compressed invocation
+// columns, exec stats and memory carried natively.
 //
 // Deprecated aliases (desugared into the source grammar):
 //
@@ -38,7 +44,8 @@ func main() {
 	var (
 		source = flag.String("source", "",
 			fmt.Sprintf("trace source spec (schemes: %v); replaces the deprecated flags below", scenario.SourceNames()))
-		out = flag.String("out", "trace", "output directory")
+		out    = flag.String("out", "trace", "output directory")
+		encode = flag.Bool("encode", false, "write a compact binary bundle (trace.bin) instead of the CSV trio")
 
 		// Deprecated aliases, desugared into the source grammar.
 		apps    = flag.Int("apps", 500, "deprecated: number of applications (gen:apps=...)")
@@ -92,15 +99,21 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
-	write("invocations.csv", func(f *os.File) error {
-		return trace.WriteInvocationsCSV(f, tr)
-	})
-	write("durations.csv", func(f *os.File) error {
-		return trace.WriteDurationsCSV(f, tr)
-	})
-	write("memory.csv", func(f *os.File) error {
-		return trace.WriteMemoryCSV(f, tr)
-	})
+	if *encode {
+		write("trace.bin", func(f *os.File) error {
+			return trace.WriteBinary(f, tr)
+		})
+	} else {
+		write("invocations.csv", func(f *os.File) error {
+			return trace.WriteInvocationsCSV(f, tr)
+		})
+		write("durations.csv", func(f *os.File) error {
+			return trace.WriteDurationsCSV(f, tr)
+		})
+		write("memory.csv", func(f *os.File) error {
+			return trace.WriteMemoryCSV(f, tr)
+		})
+	}
 	fmt.Printf("materialized %s: %d apps, %d functions, %d invocations over %v\n",
 		factory.Spec(), len(tr.Apps), tr.TotalFunctions(), tr.TotalInvocations(), tr.Duration)
 }

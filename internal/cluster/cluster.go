@@ -20,8 +20,12 @@
 // The engine is sharded by node. All cluster coupling — pressure,
 // eviction, keep-alive expiry, pre-warm reloads — is per-node, so once
 // an app's (sticky) node is known its timeline interacts with nothing
-// off that node. The coordinator (engine.go) precomputes the decision
-// walks, and the node-local event core (shard.go) replays one node's
+// off that node. The coordinator (engine.go) streams decision walks
+// just in time — each walk is produced as its node's simulation first
+// needs it and released when the node finishes with it, so only
+// O(workers × apps-per-node) walks are live at once regardless of
+// trace size — and the node-local event core (shard.go) replays one
+// node's
 // invocations and container events against its own event queue,
 // resident accounting and victim index. Placements that never consult
 // live residency (the Oblivious contract in placement.go — hash,
@@ -79,8 +83,9 @@ type Config struct {
 	// (absent from the memory table); default trace.DefaultAppMemoryMB.
 	DefaultAppMemMB float64
 	// Workers bounds the simulation parallelism (default GOMAXPROCS):
-	// the per-app decision precompute always runs Workers wide, and
-	// with an Oblivious placement the per-node timelines do too.
+	// per-app decision walks are streamed Workers wide just ahead of
+	// the node timelines that consume them, and with an Oblivious
+	// placement the per-node timelines run Workers wide too.
 	// View-dependent placements (least-loaded) keep the timeline on one
 	// sequential global shard. Results never depend on Workers.
 	Workers int

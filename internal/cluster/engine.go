@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/policy"
 	"repro/internal/sim"
@@ -21,10 +22,18 @@ type appWalk struct {
 	runs  []policy.DecisionRun
 }
 
+// bytes is the heap footprint the walk's owned slices pin: the run and
+// exec copies. times alias the trace's memoized merge — trace memory,
+// which exists either way, not walk memory.
+func (w *appWalk) bytes() int64 {
+	return int64(cap(w.execs))*8 + int64(cap(w.runs))*int64(unsafe.Sizeof(policy.DecisionRun{}))
+}
+
 // appState is one app's runtime state on the timeline. Exactly one
 // shard ever touches an app's state (the shard driving its node), so
 // the sharded path needs no synchronization around it.
 type appState struct {
+	walk    *appWalk // live while the app's node is running (see produceWalk)
 	cur     kernel.RunCursor
 	res     AppResult
 	memMB   float64
@@ -67,12 +76,32 @@ type engine struct {
 	finite  bool    // victim index maintained only under pressure
 	horizon float64
 	place   Placement
-	walks   []appWalk
+	tr      *trace.Trace
+	pol     policy.Policy
 	states  []appState
 	nodes   []nodeState
+
+	// Streaming-precompute accounting: bytes of decision walks
+	// currently materialized and the peak across the run. On the
+	// sharded path walks are produced per node just in time, so the
+	// peak is O(workers × apps-per-node) — constant in total app count
+	// at fixed per-node density (pinned by TestStreamingWalkMemory).
+	walkLive atomic.Int64
+	walkPeak atomic.Int64
 }
 
 func simulate(ctx context.Context, tr *trace.Trace, pol policy.Policy, cfg Config) (*Result, error) {
+	e, err := runEngine(ctx, tr, pol, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.finish(pol.Name()), nil
+}
+
+// runEngine validates the configuration and drives the simulation to
+// the horizon, returning the engine with its final state (the tests
+// probing internals — walk-memory peaks — call it directly).
+func runEngine(ctx context.Context, tr *trace.Trace, pol policy.Policy, cfg Config) (*engine, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
 	}
@@ -105,22 +134,23 @@ func simulate(ctx context.Context, tr *trace.Trace, pol policy.Policy, cfg Confi
 		finite:  finite,
 		horizon: tr.Duration.Seconds(),
 		place:   cfg.Placement,
+		tr:      tr,
+		pol:     pol,
 	}
-	walks, err := precompute(ctx, tr, pol, cfg)
-	if err != nil {
-		return nil, err
-	}
-	e.walks = walks
 	e.initStates(tr)
+	var err error
 	if e.sharded() {
 		err = e.runSharded(ctx)
 	} else {
+		if err = e.precomputeAll(ctx); err != nil {
+			return nil, err
+		}
 		err = e.runGlobal(ctx)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return e.finish(pol.Name()), nil
+	return e, nil
 }
 
 // sharded reports whether the run takes the per-node parallel path:
@@ -148,22 +178,69 @@ func (e *engine) workerCount(limit int) int {
 	return w
 }
 
-// precompute runs the shared kernel over every app in parallel: idle
-// times, batch decisions (released back to the policy pool), and exec
-// times, copied out of the per-worker scratch.
-func precompute(ctx context.Context, tr *trace.Trace, pol policy.Policy, cfg Config) ([]appWalk, error) {
-	n := len(tr.Apps)
-	walks := make([]appWalk, n)
+// produceWalk runs the shared kernel over one app into wk and wires it
+// to the app's state: idle times, batch decisions (released back to
+// the policy pool), and exec times, copied out of the worker-local
+// scratch. Both paths call exactly this per app — a walk depends only
+// on the app and the policy, never on when or where it is produced, so
+// just-in-time production is bit-identical to the old up-front
+// materialization.
+func (e *engine) produceWalk(ai int32, sc *kernel.Scratch, wk *appWalk) {
+	app := e.tr.Apps[ai]
+	times := app.InvocationTimes()
+	*wk = appWalk{times: times}
+	if len(times) > 0 {
+		if e.cfg.UseExecTime {
+			wk.execs = append([]float64(nil), sc.ExecSeconds(app)...)
+		}
+		ap := e.pol.NewApp(app.ID)
+		idles := sc.IdleTimes(times, wk.execs)
+		wk.runs = append([]policy.DecisionRun(nil), sc.DecideRuns(ap, idles)...)
+		if rel, ok := ap.(policy.Releasable); ok {
+			rel.Release()
+		}
+	}
+	st := &e.states[ai]
+	st.walk = wk
+	st.cur.Reset(wk.runs)
+	if b := wk.bytes(); b > 0 {
+		live := e.walkLive.Add(b)
+		for {
+			p := e.walkPeak.Load()
+			if live <= p || e.walkPeak.CompareAndSwap(p, live) {
+				break
+			}
+		}
+	}
+}
+
+// releaseWalks drops a completed node's walks: the cursors keep their
+// final decision (finish books trailing windows from the value fields
+// alone), the run and exec copies go back to the collector.
+func (e *engine) releaseWalks(apps []int32) {
+	var freed int64
+	for _, ai := range apps {
+		st := &e.states[ai]
+		if st.walk == nil {
+			continue
+		}
+		freed += st.walk.bytes()
+		st.walk = nil
+		st.cur.ReleaseRuns()
+	}
+	e.walkLive.Add(-freed)
+}
+
+// precomputeAll materializes every walk up front — the global path's
+// requirement: one sequential shard interleaves all apps, so no walk
+// can be released before the end of the run.
+func (e *engine) precomputeAll(ctx context.Context) error {
+	n := len(e.tr.Apps)
 	if n == 0 {
-		return walks, ctx.Err()
+		return ctx.Err()
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
+	walks := make([]appWalk, n)
+	workers := e.workerCount(n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -179,30 +256,17 @@ func precompute(ctx context.Context, tr *trace.Trace, pol policy.Policy, cfg Con
 				if i >= n {
 					return
 				}
-				app := tr.Apps[i]
-				times := app.InvocationTimes()
-				wk := appWalk{times: times}
-				if len(times) > 0 {
-					if cfg.UseExecTime {
-						wk.execs = append([]float64(nil), sc.ExecSeconds(app)...)
-					}
-					ap := pol.NewApp(app.ID)
-					idles := sc.IdleTimes(times, wk.execs)
-					wk.runs = append([]policy.DecisionRun(nil), sc.DecideRuns(ap, idles)...)
-					if rel, ok := ap.(policy.Releasable); ok {
-						rel.Release()
-					}
-				}
-				walks[i] = wk
+				e.produceWalk(int32(i), &sc, &walks[i])
 			}
 		}()
 	}
 	wg.Wait()
-	return walks, ctx.Err()
+	return ctx.Err()
 }
 
 // initStates builds the runtime state: per-app states, per-node
-// accounting, and the offline placement preparation.
+// accounting, and the offline placement preparation. Walks are not
+// touched — invocation counts come straight from the trace.
 func (e *engine) initStates(tr *trace.Trace) {
 	n := len(tr.Apps)
 	e.states = make([]appState, n)
@@ -218,13 +282,12 @@ func (e *engine) initStates(tr *trace.Trace) {
 		}
 		st.node = -1
 		st.res = AppResult{
-			AppResult: sim.AppResult{AppID: app.ID, Invocations: len(e.walks[i].times)},
+			AppResult: sim.AppResult{AppID: app.ID, Invocations: app.TotalInvocations()},
 			Node:      -1,
 			MemoryMB:  st.memMB,
 		}
-		st.cur.Reset(e.walks[i].runs)
 		if fps != nil {
-			fps = append(fps, Footprint{ID: app.ID, MemMB: st.memMB, Invocations: len(e.walks[i].times)})
+			fps = append(fps, Footprint{ID: app.ID, MemMB: st.memMB, Invocations: st.res.Invocations})
 		}
 	}
 	if fps != nil {
@@ -269,17 +332,17 @@ func (e *engine) preassign() {
 // view-dependent placement's residency reads are well-defined.
 func (e *engine) runGlobal(ctx context.Context) error {
 	total := 0
-	for _, wk := range e.walks {
-		total += len(wk.times)
+	for ai := range e.states {
+		total += len(e.states[ai].walk.times)
 	}
 	sh := shard{e: e, invs: make([]inv, 0, total)}
-	for ai, wk := range e.walks {
-		for _, t := range wk.times {
+	for ai := range e.states {
+		for _, t := range e.states[ai].walk.times {
 			sh.invs = append(sh.invs, inv{t: t, app: int32(ai)})
 		}
 	}
 	sortInvs(sh.invs)
-	// Timed cluster events enter the heap up front; cevent.app carries
+	// Timed cluster events enter the queue up front; cevent.app carries
 	// the event's Config.Events index, so equal-time events pop in
 	// spec order. Events past the horizon cannot be observed.
 	for idx, ev := range e.cfg.Events {
@@ -291,30 +354,31 @@ func (e *engine) runGlobal(ctx context.Context) error {
 }
 
 // runSharded is the oblivious-placement fast path: every app is
-// pre-assigned, the merged invocation stream is bucketed per node, and
-// each node's timeline runs to completion independently — workerCount
-// at a time, each worker sorting its own node's stream. Node timelines
-// share no mutable state (all cluster coupling is per-node), so the
-// results are bit-identical to runGlobal for any worker count.
+// pre-assigned and each node's timeline runs to completion
+// independently, workerCount at a time. Walks are produced per node
+// just in time — a worker computes its current node's walks, buckets
+// and sorts that node's invocation stream, replays the timeline, and
+// releases the walks before stealing the next node. Only
+// O(workers × apps-per-node) walks are ever live, instead of O(apps);
+// everything else (assignment, per-app results) stays O(apps) scalars.
+// Node timelines share no mutable state (all cluster coupling is
+// per-node), so the results are bit-identical to runGlobal for any
+// worker count.
 func (e *engine) runSharded(ctx context.Context) error {
 	e.preassign()
 	counts := make([]int, len(e.nodes))
 	for ai := range e.states {
 		if st := &e.states[ai]; st.placed {
-			counts[st.node] += len(e.walks[ai].times)
+			counts[st.node]++
 		}
 	}
-	byNode := make([][]inv, len(e.nodes))
+	appsByNode := make([][]int32, len(e.nodes))
 	for n, c := range counts {
-		byNode[n] = make([]inv, 0, c)
+		appsByNode[n] = make([]int32, 0, c)
 	}
 	for ai := range e.states {
-		st := &e.states[ai]
-		if !st.placed {
-			continue
-		}
-		for _, t := range e.walks[ai].times {
-			byNode[st.node] = append(byNode[st.node], inv{t: t, app: int32(ai)})
+		if st := &e.states[ai]; st.placed {
+			appsByNode[st.node] = append(appsByNode[st.node], int32(ai))
 		}
 	}
 
@@ -329,14 +393,41 @@ func (e *engine) runSharded(ctx context.Context) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sc kernel.Scratch
+			var walks []appWalk
+			sh := shard{e: e}
 			for {
 				n := int(next.Add(1) - 1)
 				if n >= len(e.nodes) {
 					return
 				}
-				sh := shard{e: e, invs: byNode[n]}
+				if err := ctx.Err(); err != nil {
+					errs[n] = err
+					continue
+				}
+				apps := appsByNode[n]
+				if cap(walks) < len(apps) {
+					walks = make([]appWalk, len(apps))
+				}
+				walks = walks[:len(apps)]
+				total := 0
+				for wi, ai := range apps {
+					e.produceWalk(ai, &sc, &walks[wi])
+					total += len(walks[wi].times)
+				}
+				sh.invs = sh.invs[:0]
+				if cap(sh.invs) < total {
+					sh.invs = make([]inv, 0, total)
+				}
+				for wi, ai := range apps {
+					for _, t := range walks[wi].times {
+						sh.invs = append(sh.invs, inv{t: t, app: ai})
+					}
+				}
 				sortInvs(sh.invs)
+				sh.reset()
 				errs[n] = sh.timeline(ctx)
+				e.releaseWalks(apps)
 			}
 		}()
 	}

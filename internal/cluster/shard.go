@@ -67,9 +67,16 @@ type victimEntry struct {
 type shard struct {
 	e       *engine
 	invs    []inv
-	heap    []cevent
+	q       eventQueue    // timer-wheel container-event queue (wheel.go)
 	skip    []victimEntry // pickVictim scratch: executing containers set aside
 	flushes []drainFlush  // pending drain-outs, indexed by evFlush events
+}
+
+// reset prepares a worker-owned shard for its next node, keeping the
+// queue's slot and buffer capacity.
+func (s *shard) reset() {
+	s.flushes = s.flushes[:0]
+	s.q.reset()
 }
 
 // sortInvs orders a merged invocation stream by (time, app index) —
@@ -89,18 +96,17 @@ func sortInvs(invs []inv) {
 }
 
 // timeline is the discrete-event loop: the shard's invocation stream
-// and its container-event heap advance together in time order.
+// and its container-event queue advance together in time order.
 func (s *shard) timeline(ctx context.Context) error {
 	ii := 0
-	for steps := 0; ii < len(s.invs) || len(s.heap) > 0; steps++ {
+	for steps := 0; ii < len(s.invs) || s.q.n > 0; steps++ {
 		if steps&4095 == 4095 && ctx.Err() != nil {
 			return ctx.Err()
 		}
-		if len(s.heap) > 0 {
-			ev := s.heap[0]
+		if ev, ok := s.q.peek(); ok {
 			if ii >= len(s.invs) || ev.t < s.invs[ii].t ||
 				(ev.t == s.invs[ii].t && ev.kind <= evReload) {
-				s.popEvent()
+				s.q.pop()
 				switch ev.kind {
 				case evCluster:
 					s.applyClusterEvent(int(ev.app), ev.t)
@@ -137,7 +143,7 @@ func (s *shard) timeline(ctx context.Context) error {
 func (s *shard) invoke(ai int32, t float64) {
 	e := s.e
 	st := &e.states[ai]
-	wk := &e.walks[ai]
+	wk := st.walk
 	i := st.inv
 	st.inv++
 
@@ -225,7 +231,7 @@ func (s *shard) schedule(ai int32) {
 	default:
 		// Pre-warmed window: unload at execution end, reload PreWarm
 		// later (the reload event re-checks memory pressure).
-		if st.prevEnd <= e.walks[ai].times[st.inv-1] {
+		if st.prevEnd <= st.walk.times[st.inv-1] {
 			// Zero execution time: the unload is immediate.
 			if st.resident {
 				s.removeResident(ai, st.prevEnd)
@@ -247,9 +253,8 @@ func (s *shard) schedule(ai int32) {
 // st.inv, so this is the next arrival the stream will deliver.
 func (s *shard) nextArrival(ai int32) float64 {
 	st := &s.e.states[ai]
-	wk := &s.e.walks[ai]
-	if st.inv < len(wk.times) {
-		return wk.times[st.inv]
+	if st.inv < len(st.walk.times) {
+		return st.walk.times[st.inv]
 	}
 	return math.Inf(1)
 }
@@ -510,7 +515,7 @@ func (s *shard) displace(ai int32) {
 func (s *shard) replaceApp(ai int32) {
 	e := s.e
 	st := &e.states[ai]
-	if st.inv >= len(e.walks[ai].times) {
+	if st.inv >= len(st.walk.times) {
 		return // no future arrivals: nothing to migrate
 	}
 	app := Footprint{ID: st.res.AppID, MemMB: st.memMB, Invocations: st.res.Invocations}
@@ -612,9 +617,10 @@ func (nd *nodeState) advance(t, horizon float64) {
 	}
 }
 
-// Event heap: ordered by (time, kind, app) — reloads before unloads
-// at equal times, app index for determinism. Per-shard, so the sharded
-// path keeps one small heap per node instead of one global heap.
+// Event ordering: (time, kind, app) — reloads before unloads at equal
+// times, app index for determinism. The queue realizing the order is
+// the timer wheel in wheel.go; per-shard, so the sharded path keeps
+// one small queue per worker instead of one global heap.
 
 func eventLess(a, b cevent) bool {
 	if a.t != b.t {
@@ -626,40 +632,7 @@ func eventLess(a, b cevent) bool {
 	return a.app < b.app
 }
 
-func (s *shard) pushEvent(ev cevent) {
-	s.heap = append(s.heap, ev)
-	i := len(s.heap) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !eventLess(s.heap[i], s.heap[parent]) {
-			break
-		}
-		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
-		i = parent
-	}
-}
-
-func (s *shard) popEvent() {
-	n := len(s.heap) - 1
-	s.heap[0] = s.heap[n]
-	s.heap = s.heap[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && eventLess(s.heap[l], s.heap[small]) {
-			small = l
-		}
-		if r < n && eventLess(s.heap[r], s.heap[small]) {
-			small = r
-		}
-		if small == i {
-			return
-		}
-		s.heap[i], s.heap[small] = s.heap[small], s.heap[i]
-		i = small
-	}
-}
+func (s *shard) pushEvent(ev cevent) { s.q.push(ev) }
 
 // Victim index heap: ordered by (unloadAt, app). Stale entries are
 // tolerated and skipped on pop; pushVictim compacts the index when

@@ -1,0 +1,248 @@
+package cluster
+
+import "math/bits"
+
+// The shard's container-event queue is a two-level hierarchical timer
+// wheel with a near heap in front and a far-future overflow heap
+// behind, replacing the plain binary heap: pushes and pops are O(1)
+// expected (slot append / bitmap scan) instead of O(log n), which
+// matters on the global path and under heavy pressure where thousands
+// of reload/expiry events are pending at once.
+//
+// Layout. Absolute level-0 slot s(t) = floor(t / wheelSlotSec);
+// absolute level-1 slot S(t) = s(t) / wheelSlots. The queue tracks a
+// position cur (the last level-0 slot drained) and the level-1 slot s1
+// whose aligned range [s1·wheelSlots, (s1+1)·wheelSlots) the level-0
+// ring currently covers. Every event lives in exactly one place:
+//
+//   - near heap: s(t) <= cur. The invocation stream runs behind the
+//     peeked event time, so pushes may land at or before the drained
+//     position — they go to the near heap, never into a slot the scan
+//     already passed.
+//   - level-0 ring: cur < s(t) < (s1+1)·wheelSlots.
+//   - level-1 ring: s1 < S(t) < s1+wheelSlots.
+//   - overflow heap: S(t) >= s1+wheelSlots.
+//
+// The four regions partition time in ascending order (near events are
+// strictly earlier than any slot or overflow event), so draining the
+// near heap first, then the next occupied level-0 slot, then cascading
+// the next occupied level-1 slot, then re-admitting overflow yields
+// the exact (t, kind, app) total order the old heap produced — within
+// a slot, events reach the near heap and pop in eventLess order. The
+// golden and sharded≡global property tests pin that bit for bit;
+// wheel_test.go additionally checks the queue against a reference
+// heap on adversarial push/pop schedules.
+const (
+	wheelSlotSec = 64.0 // level-0 slot width, seconds
+	wheelSlots   = 256  // slots per level (power of two)
+	wheelMask    = wheelSlots - 1
+	wheelWords   = wheelSlots / 64
+)
+
+// eventQueue is one shard's pending container events. The zero value
+// is an empty queue positioned at t = 0.
+type eventQueue struct {
+	n    int   // total pending events across all regions
+	cur  int64 // absolute level-0 slot the wheel has drained through
+	s1   int64 // absolute level-1 slot the level-0 ring covers
+	cnt0 int
+	cnt1 int
+	near []cevent // eventLess heap: events at or before the position
+	over []cevent // eventLess heap: events beyond the level-1 window
+	bm0  [wheelWords]uint64
+	bm1  [wheelWords]uint64
+
+	slot0 [wheelSlots][]cevent
+	slot1 [wheelSlots][]cevent
+}
+
+// push enqueues ev (ev.t must be finite and non-negative — schedule
+// never heaps unbounded windows).
+func (q *eventQueue) push(ev cevent) {
+	q.n++
+	s := int64(ev.t / wheelSlotSec)
+	if s <= q.cur {
+		heapPush(&q.near, ev)
+		return
+	}
+	if s < (q.s1+1)*wheelSlots {
+		i := int(s & wheelMask)
+		q.slot0[i] = append(q.slot0[i], ev)
+		q.bm0[i>>6] |= 1 << uint(i&63)
+		q.cnt0++
+		return
+	}
+	if S := s / wheelSlots; S < q.s1+wheelSlots {
+		i := int(S & wheelMask)
+		q.slot1[i] = append(q.slot1[i], ev)
+		q.bm1[i>>6] |= 1 << uint(i&63)
+		q.cnt1++
+		return
+	}
+	heapPush(&q.over, ev)
+}
+
+// peek returns the earliest pending event without removing it,
+// advancing the wheel position until that event sits in the near heap.
+func (q *eventQueue) peek() (cevent, bool) {
+	if q.n == 0 {
+		return cevent{}, false
+	}
+	if len(q.near) == 0 {
+		q.advance()
+	}
+	return q.near[0], true
+}
+
+// pop removes the event the preceding peek returned.
+func (q *eventQueue) pop() {
+	q.n--
+	heapPop(&q.near)
+}
+
+// advance moves the position forward until the near heap holds the
+// earliest pending event. Caller guarantees q.n > 0.
+func (q *eventQueue) advance() {
+	for len(q.near) == 0 {
+		if q.cnt0 > 0 {
+			// Drain the next occupied level-0 slot. Occupied slots are
+			// all past the position: pushes at or before it went to the
+			// near heap, and drained slots were cleared.
+			lo := int(q.cur + 1 - q.s1*wheelSlots)
+			i := nextSlot(&q.bm0, lo)
+			evs := q.slot0[i]
+			q.slot0[i] = evs[:0]
+			q.bm0[i>>6] &^= 1 << uint(i&63)
+			q.cnt0 -= len(evs)
+			q.cur = q.s1*wheelSlots + int64(i)
+			for _, ev := range evs {
+				heapPush(&q.near, ev)
+			}
+			continue
+		}
+		if q.cnt1 > 0 {
+			// Cascade the next occupied level-1 slot into the (empty)
+			// level-0 ring, which realigns under it.
+			start := int((q.s1 + 1) & wheelMask)
+			i := nextSlotWrap(&q.bm1, start)
+			q.s1 += int64((i-start)&wheelMask) + 1
+			q.cur = q.s1*wheelSlots - 1
+			evs := q.slot1[i]
+			q.slot1[i] = evs[:0]
+			q.bm1[i>>6] &^= 1 << uint(i&63)
+			q.cnt1 -= len(evs)
+			for _, ev := range evs {
+				s := int64(ev.t / wheelSlotSec)
+				j := int(s & wheelMask)
+				q.slot0[j] = append(q.slot0[j], ev)
+				q.bm0[j>>6] |= 1 << uint(j&63)
+				q.cnt0++
+			}
+			q.admitOverflow()
+			continue
+		}
+		// Only far-future overflow left: jump the window to its earliest
+		// event and re-admit everything the new window covers.
+		q.s1 = int64(q.over[0].t/wheelSlotSec) / wheelSlots
+		q.cur = q.s1*wheelSlots - 1
+		q.admitOverflow()
+	}
+}
+
+// admitOverflow re-pushes overflow events the advanced level-1 window
+// now covers, restoring the invariant that every overflow event is
+// later than all wheel content. Called whenever s1 moves.
+func (q *eventQueue) admitOverflow() {
+	for len(q.over) > 0 && int64(q.over[0].t/wheelSlotSec)/wheelSlots < q.s1+wheelSlots {
+		ev := q.over[0]
+		heapPop(&q.over)
+		q.n--
+		q.push(ev)
+	}
+}
+
+// reset empties the queue and rewinds the position to t = 0, keeping
+// slot and heap capacity for the worker's next node.
+func (q *eventQueue) reset() {
+	if q.n > 0 {
+		for i := range q.slot0 {
+			q.slot0[i] = q.slot0[i][:0]
+			q.slot1[i] = q.slot1[i][:0]
+		}
+		q.bm0, q.bm1 = [wheelWords]uint64{}, [wheelWords]uint64{}
+		q.cnt0, q.cnt1 = 0, 0
+		q.n = 0
+	}
+	q.near, q.over = q.near[:0], q.over[:0]
+	q.cur, q.s1 = 0, 0
+}
+
+// nextSlot returns the first occupied slot index >= lo. The caller's
+// occupancy count guarantees one exists.
+func nextSlot(bm *[wheelWords]uint64, lo int) int {
+	mask := ^uint64(0) << uint(lo&63)
+	for w := lo >> 6; w < wheelWords; w++ {
+		if b := bm[w] & mask; b != 0 {
+			return w<<6 | bits.TrailingZeros64(b)
+		}
+		mask = ^uint64(0)
+	}
+	panic("cluster: event wheel occupancy out of sync")
+}
+
+// nextSlotWrap scans cyclically from lo.
+func nextSlotWrap(bm *[wheelWords]uint64, lo int) int {
+	mask := ^uint64(0) << uint(lo&63)
+	for w := lo >> 6; w < wheelWords; w++ {
+		if b := bm[w] & mask; b != 0 {
+			return w<<6 | bits.TrailingZeros64(b)
+		}
+		mask = ^uint64(0)
+	}
+	for w := 0; w <= (lo>>6)&(wheelWords-1); w++ {
+		if b := bm[w]; b != 0 {
+			return w<<6 | bits.TrailingZeros64(b)
+		}
+	}
+	panic("cluster: event wheel occupancy out of sync")
+}
+
+// Binary heaps over eventLess, shared by the near and overflow ends of
+// the queue.
+
+func heapPush(h *[]cevent, ev cevent) {
+	*h = append(*h, ev)
+	hs := *h
+	i := len(hs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(hs[i], hs[parent]) {
+			break
+		}
+		hs[i], hs[parent] = hs[parent], hs[i]
+		i = parent
+	}
+}
+
+func heapPop(h *[]cevent) {
+	hs := *h
+	n := len(hs) - 1
+	hs[0] = hs[n]
+	*h = hs[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(hs[l], hs[small]) {
+			small = l
+		}
+		if r < n && eventLess(hs[r], hs[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		hs[i], hs[small] = hs[small], hs[i]
+		i = small
+	}
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// refQueue is the obviously-correct reference: a plain binary heap
+// over eventLess (the structure the wheel replaced).
+type refQueue struct{ h []cevent }
+
+func (r *refQueue) push(ev cevent) { heapPush(&r.h, ev) }
+func (r *refQueue) pop() cevent {
+	ev := r.h[0]
+	heapPop(&r.h)
+	return ev
+}
+
+// TestWheelMatchesReferenceHeap drives the timer wheel and a reference
+// heap through identical randomized push/pop schedules and requires
+// identical pop sequences. The schedule is adversarial for a wheel:
+// times cluster at slot boundaries, pushes land behind the advanced
+// position (the timeline's normal pattern — peeks run ahead of the
+// invocation stream), and a heavy far-future tail exercises the
+// overflow heap and its window-advance cascade.
+func TestWheelMatchesReferenceHeap(t *testing.T) {
+	rng := stats.NewRNG(42)
+	for trial := 0; trial < 50; trial++ {
+		var q eventQueue
+		var ref refQueue
+		// lastPopped tracks the time floor below which new pushes would
+		// break queue discipline; the timeline never pushes an event
+		// earlier than the event it is currently processing.
+		lastPopped := 0.0
+		ops := 2000
+		for op := 0; op < ops; op++ {
+			if q.n != len(ref.h) {
+				t.Fatalf("trial %d op %d: size %d, reference %d", trial, op, q.n, len(ref.h))
+			}
+			doPush := q.n == 0 || rng.Float64() < 0.55
+			if doPush {
+				var dt float64
+				switch r := rng.Float64(); {
+				case r < 0.25:
+					dt = rng.Float64() * 10 // same or next slot
+				case r < 0.5:
+					dt = float64(int(rng.Float64()*8)) * wheelSlotSec // exact slot boundaries
+				case r < 0.85:
+					dt = rng.Float64() * 4 * wheelSlots * wheelSlotSec // level-1 range
+				default:
+					dt = rng.Float64() * 4 * wheelSlots * wheelSlots * wheelSlotSec // overflow
+				}
+				ev := cevent{
+					t:    lastPopped + dt,
+					kind: uint8(1 + int(rng.Float64()*4)), // evReload..evFlush
+					app:  int32(rng.Float64() * 64),
+					gen:  uint32(op),
+				}
+				q.push(ev)
+				ref.push(ev)
+				continue
+			}
+			got, ok := q.peek()
+			if !ok {
+				t.Fatalf("trial %d op %d: empty peek with %d pending", trial, op, q.n)
+			}
+			q.pop()
+			want := ref.pop()
+			if got != want {
+				t.Fatalf("trial %d op %d: popped %+v, reference %+v", trial, op, got, want)
+			}
+			lastPopped = got.t
+		}
+		// Drain both completely: every pending event must come out in
+		// the exact total order.
+		for q.n > 0 {
+			got, _ := q.peek()
+			q.pop()
+			if want := ref.pop(); got != want {
+				t.Fatalf("trial %d drain: popped %+v, reference %+v", trial, got, want)
+			}
+		}
+		if len(ref.h) != 0 {
+			t.Fatalf("trial %d: reference still holds %d events", trial, len(ref.h))
+		}
+	}
+}
+
+// TestWheelReset verifies a drained-then-reset queue behaves like a
+// fresh one (the worker-reuse path), including after an abandoned
+// non-empty queue.
+func TestWheelReset(t *testing.T) {
+	var q eventQueue
+	// Leave events stranded in every region, then reset.
+	q.push(cevent{t: 5, kind: evUnload, app: 1})
+	q.push(cevent{t: 3 * wheelSlotSec, kind: evUnload, app: 2})
+	q.push(cevent{t: 3 * wheelSlots * wheelSlotSec, kind: evUnload, app: 3})
+	q.push(cevent{t: 2 * wheelSlots * wheelSlots * wheelSlotSec, kind: evUnload, app: 4})
+	if _, ok := q.peek(); !ok {
+		t.Fatal("peek on non-empty queue failed")
+	}
+	q.reset()
+	if q.n != 0 || q.cnt0 != 0 || q.cnt1 != 0 || len(q.near) != 0 || len(q.over) != 0 {
+		t.Fatalf("reset left state behind: %+v", q.n)
+	}
+	if _, ok := q.peek(); ok {
+		t.Fatal("peek on reset queue returned an event")
+	}
+	// The reset queue must order a fresh schedule correctly from t=0.
+	times := []float64{7, 1, wheelSlotSec * 5, 0.5, wheelSlots * wheelSlotSec * 1.5}
+	for i, ti := range times {
+		q.push(cevent{t: ti, kind: evUnload, app: int32(i)})
+	}
+	prev := math.Inf(-1)
+	for q.n > 0 {
+		ev, _ := q.peek()
+		q.pop()
+		if ev.t < prev {
+			t.Fatalf("out of order after reset: %v before %v", prev, ev.t)
+		}
+		prev = ev.t
+	}
+}

@@ -202,34 +202,9 @@ func RunSweep(ctx context.Context, cells []Scenario, opts ...Option) (*SweepRepo
 		}
 	}
 
-	// Expand cells into schedulable units (shard fan-out), validating
-	// every component spec up front: a typo in any cell fails here,
-	// before any cell simulates.
-	var units []unit
-	unitsPerCell := make([][]int, len(cells))
-	for ci, sc := range cells {
-		if err := validateCell(sc); err != nil {
-			return nil, &CellError{Index: ci, Scenario: sc, Err: err}
-		}
-		add := func(u unit) {
-			unitsPerCell[ci] = append(unitsPerCell[ci], len(units))
-			units = append(units, u)
-		}
-		if sc.Shard == "" {
-			add(unit{cell: ci, sc: sc, shardI: -1, open: opens[ci]})
-			continue
-		}
-		i, n, all, err := parseShardField(sc.Shard)
-		if err != nil {
-			return nil, &CellError{Index: ci, Scenario: sc, Err: err}
-		}
-		if !all {
-			add(unit{cell: ci, sc: sc, shardI: i, shardN: n, open: opens[ci]})
-			continue
-		}
-		for s := 0; s < n; s++ {
-			add(unit{cell: ci, shardIdx: s, sc: sc, shardI: s, shardN: n, open: opens[ci]})
-		}
+	units, unitsPerCell, err := expandUnits(cells, opens)
+	if err != nil {
+		return nil, err
 	}
 
 	workers := o.sweepWorkers
@@ -278,7 +253,51 @@ func RunSweep(ctx context.Context, cells []Scenario, opts ...Option) (*SweepRepo
 		}
 	}
 
-	// Assemble cells: merge fanned-out shard sinks in shard order.
+	return assembleReport(cells, unitsPerCell, results)
+}
+
+// expandUnits expands cells into schedulable units (shard fan-out),
+// validating every component spec up front: a typo in any cell fails
+// here, before any cell simulates. opens may be nil when the caller
+// executes units elsewhere (process fan-out).
+func expandUnits(cells []Scenario, opens []openFn) ([]unit, [][]int, error) {
+	var units []unit
+	unitsPerCell := make([][]int, len(cells))
+	for ci, sc := range cells {
+		if err := validateCell(sc); err != nil {
+			return nil, nil, &CellError{Index: ci, Scenario: sc, Err: err}
+		}
+		var open openFn
+		if opens != nil {
+			open = opens[ci]
+		}
+		add := func(u unit) {
+			unitsPerCell[ci] = append(unitsPerCell[ci], len(units))
+			units = append(units, u)
+		}
+		if sc.Shard == "" {
+			add(unit{cell: ci, sc: sc, shardI: -1, open: open})
+			continue
+		}
+		i, n, all, err := parseShardField(sc.Shard)
+		if err != nil {
+			return nil, nil, &CellError{Index: ci, Scenario: sc, Err: err}
+		}
+		if !all {
+			add(unit{cell: ci, sc: sc, shardI: i, shardN: n, open: open})
+			continue
+		}
+		for s := 0; s < n; s++ {
+			add(unit{cell: ci, shardIdx: s, sc: sc, shardI: s, shardN: n, open: open})
+		}
+	}
+	return units, unitsPerCell, nil
+}
+
+// assembleReport merges the executed units back into per-cell results:
+// fanned-out shard sinks merge in shard order via their exact Merges,
+// per-node aggregates add element-wise.
+func assembleReport(cells []Scenario, unitsPerCell [][]int, results []unitResult) (*SweepReport, error) {
 	rep := &SweepReport{Cells: make([]*CellResult, len(cells))}
 	for ci, sc := range cells {
 		idxs := unitsPerCell[ci]

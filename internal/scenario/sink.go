@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -226,6 +227,27 @@ func (s *utilScenarioSink) Merge(other Sink) error {
 	}
 	s.residentMBSeconds += o.residentMBSeconds
 	s.capacityMBSeconds += o.capacityMBSeconds
+	return nil
+}
+
+// utilState is utilScenarioSink's wire form for process fan-out; the
+// other builtin sinks inherit their codecs from the embedded metrics
+// sinks.
+type utilState struct {
+	ResidentMBSeconds float64 `json:"resident_mb_seconds"`
+	CapacityMBSeconds float64 `json:"capacity_mb_seconds"`
+}
+
+func (s *utilScenarioSink) MarshalState() ([]byte, error) {
+	return json.Marshal(utilState{s.residentMBSeconds, s.capacityMBSeconds})
+}
+
+func (s *utilScenarioSink) UnmarshalState(data []byte) error {
+	var st utilState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	*s = utilScenarioSink{residentMBSeconds: st.ResidentMBSeconds, capacityMBSeconds: st.CapacityMBSeconds}
 	return nil
 }
 

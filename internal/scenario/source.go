@@ -22,6 +22,7 @@ import (
 // where rest's shape belongs to the scheme:
 //
 //	csv:trace/invocations.csv        streaming dataset CSV
+//	tracec:trace/bundle.bin          compact binary bundle (tracegen -encode)
 //	gen:apps=400&days=7&seed=7       synthetic generation (query syntax)
 //	shard:1/4 of csv:big.csv         the i-th of n interleaved shards
 //	bundle:incidents/oct-stampede    captured incident bundle (serve)
@@ -124,6 +125,24 @@ func (f *csvFactory) Open() (trace.Source, func() error, error) {
 		return nil, nil, err
 	}
 	return src, file.Close, nil
+}
+
+// tracecFactory re-opens a binary trace bundle per run: the decoder
+// streams one app at a time (memory-mapping the file when the platform
+// allows), so bundles far larger than RAM run in constant memory —
+// and, unlike CSV, carry exec stats and memory footprints natively.
+type tracecFactory struct {
+	path string
+}
+
+func (f *tracecFactory) Spec() string { return "tracec:" + f.path }
+
+func (f *tracecFactory) Open() (trace.Source, func() error, error) {
+	src, err := trace.OpenBinaryFile(f.path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return src, src.Close, nil
 }
 
 // genFactory generates the configured synthetic population per open.
@@ -311,6 +330,12 @@ func init() {
 			return nil, fmt.Errorf("want csv:path")
 		}
 		return &csvFactory{path: rest}, nil
+	})
+	RegisterSource("tracec", func(rest string) (SourceFactory, error) {
+		if rest == "" {
+			return nil, fmt.Errorf("want tracec:path")
+		}
+		return &tracecFactory{path: rest}, nil
 	})
 	RegisterSource("gen", func(rest string) (SourceFactory, error) {
 		p, err := spec.Parse(rest)

@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestTracecSource pins the binary-bundle source scheme: a tracec:
+// factory re-opens the bundle per run, streams the same apps the
+// writer saw, and composes with shard wrappers.
+func TestTracecSource(t *testing.T) {
+	tr := &trace.Trace{Duration: 30 * time.Minute}
+	for _, id := range []string{"a1", "a2", "a3", "a4"} {
+		tr.Apps = append(tr.Apps, &trace.App{ID: id, Owner: "o", MemoryMB: 200,
+			Functions: []*trace.Function{{ID: id + "f", Trigger: trace.TriggerHTTP,
+				Invocations: []float64{30, 90}}}})
+	}
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fac, err := NewSource("tracec:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fac.Spec() != "tracec:"+path {
+		t.Fatalf("spec %q", fac.Spec())
+	}
+	// Two opens must both stream the full bundle (sources are
+	// single-use; the factory re-opens).
+	for round := 0; round < 2; round++ {
+		src, release, err := fac.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := trace.Collect(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := release(); err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Apps) != 4 || got.Duration != tr.Duration {
+			t.Fatalf("round %d: %d apps over %v", round, len(got.Apps), got.Duration)
+		}
+		for i, app := range got.Apps {
+			if app.ID != tr.Apps[i].ID || app.MemoryMB != 200 || len(app.Functions[0].Invocations) != 2 {
+				t.Fatalf("round %d app %d: %+v", round, i, app)
+			}
+		}
+	}
+
+	// Shard composition: "shard:0/2 of tracec:..." selects the even
+	// interleaved apps.
+	shardFac, err := NewSource("shard:0/2 of tracec:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, release, err := shardFac.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	got, err := trace.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Apps) != 2 || got.Apps[0].ID != "a1" || got.Apps[1].ID != "a3" {
+		t.Fatalf("shard 0/2: %+v", got.Apps)
+	}
+
+	if _, err := NewSource("tracec:"); err == nil {
+		t.Fatal("empty tracec path accepted")
+	}
+	if _, err := NewSource("tracec:" + filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		// Factories defer existence checks to Open.
+		fac, _ := NewSource("tracec:" + filepath.Join(t.TempDir(), "missing.bin"))
+		if _, _, err := fac.Open(); err == nil {
+			t.Fatal("missing bundle opened")
+		}
+	}
+}

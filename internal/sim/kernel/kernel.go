@@ -166,6 +166,14 @@ func (c *RunCursor) Reset(runs []policy.DecisionRun) {
 	c.D, c.PwSec, c.KaSec = policy.Decision{}, 0, 0
 }
 
+// ReleaseRuns drops the cursor's backing run slice while keeping the
+// decision fields (D, PwSec, KaSec) valid — exactly what trailing-
+// window accounting reads after a walk is complete. The cluster
+// engine's streaming precompute calls it when an app's timeline
+// finishes, so completed apps pin no walk memory; Step after release
+// is a programming error (the cursor has nothing left to step to).
+func (c *RunCursor) ReleaseRuns() { c.runs = nil }
+
 // Step advances to the decision governing the next invocation,
 // attributing the whole run's invocation count to its mode the first
 // time the run is entered.

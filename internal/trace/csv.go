@@ -119,6 +119,7 @@ func ReadInvocationsCSV(r io.Reader) (*Trace, error) {
 
 	apps := make(map[string]*App)
 	var order []string
+	var counts []int
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -127,7 +128,7 @@ func ReadInvocationsCSV(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: reading invocations line %d: %w", line, err)
 		}
-		owner, appID, fn, err := parseInvocationRow(rec, minutes, line)
+		owner, appID, fn, err := parseInvocationRow(rec, minutes, line, &counts)
 		if err != nil {
 			return nil, err
 		}

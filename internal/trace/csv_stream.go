@@ -34,8 +34,9 @@ type CSVSource struct {
 	pendingOwner string
 	pendingApp   string
 
-	seen map[string]struct{} // app IDs whose groups have ended
-	err  error               // sticky terminal state (io.EOF or failure)
+	seen   map[string]struct{} // app IDs whose groups have ended
+	counts []int               // per-row minute-count scratch, reused across rows
+	err    error               // sticky terminal state (io.EOF or failure)
 }
 
 // StreamInvocationsCSV opens an invocations table for streaming. The
@@ -121,7 +122,7 @@ func (s *CSVSource) readRow() (owner, appID string, fn *Function, err error) {
 	if err != nil {
 		return "", "", nil, fmt.Errorf("trace: reading invocations line %d: %w", s.line, err)
 	}
-	return parseInvocationRow(rec, s.minutes, s.line)
+	return parseInvocationRow(rec, s.minutes, s.line, &s.counts)
 }
 
 // checkInvocationsHeader validates the fixed leading columns of an
@@ -135,8 +136,13 @@ func checkInvocationsHeader(header []string) error {
 
 // parseInvocationRow parses one data row of an invocations table into
 // a Function plus its owning IDs. The returned strings are cloned out
-// of rec, which may be a buffer the CSV reader reuses.
-func parseInvocationRow(rec []string, minutes, line int) (owner, appID string, fn *Function, err error) {
+// of rec, which may be a buffer the CSV reader reuses. scratch holds
+// the caller's reusable minute-count buffer: counts are parsed into it
+// first so the invocation slice can be allocated exactly once at its
+// final size, instead of growing by appends across thousands of minute
+// columns (the dominant per-row allocation cost at trace scale; pinned
+// by TestStreamCSVAllocsPerRow).
+func parseInvocationRow(rec []string, minutes, line int, scratch *[]int) (owner, appID string, fn *Function, err error) {
 	if len(rec) != minutes+4 {
 		return "", "", nil, fmt.Errorf("trace: line %d has %d fields, want %d", line, len(rec), minutes+4)
 	}
@@ -144,7 +150,8 @@ func parseInvocationRow(rec []string, minutes, line int) (owner, appID string, f
 	if err != nil {
 		return "", "", nil, fmt.Errorf("trace: line %d: %w", line, err)
 	}
-	fn = &Function{ID: strings.Clone(rec[2]), Trigger: trig}
+	counts := (*scratch)[:0]
+	total := 0
 	for m := 0; m < minutes; m++ {
 		n, err := strconv.Atoi(rec[4+m])
 		if err != nil {
@@ -153,7 +160,18 @@ func parseInvocationRow(rec []string, minutes, line int) (owner, appID string, f
 		if n < 0 {
 			return "", "", nil, fmt.Errorf("trace: line %d minute %d: negative count", line, m+1)
 		}
-		fn.Invocations = SpreadMinute(fn.Invocations, m, n)
+		counts = append(counts, n)
+		total += n
+	}
+	*scratch = counts
+	fn = &Function{ID: strings.Clone(rec[2]), Trigger: trig}
+	if total > 0 {
+		fn.Invocations = make([]float64, 0, total)
+		for m, n := range counts {
+			if n > 0 {
+				fn.Invocations = SpreadMinute(fn.Invocations, m, n)
+			}
+		}
 	}
 	return strings.Clone(rec[0]), strings.Clone(rec[1]), fn, nil
 }

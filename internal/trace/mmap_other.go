@@ -1,0 +1,10 @@
+//go:build !unix
+
+package trace
+
+import "os"
+
+// Non-unix platforms always take the buffered read path.
+func mmapFile(f *os.File) ([]byte, bool) { return nil, false }
+
+func munmapFile(data []byte) {}

@@ -544,6 +544,20 @@ func RunSweep(ctx context.Context, cells []Scenario, opts ...ScenarioOption) (*S
 	return scenario.RunSweep(ctx, cells, opts...)
 }
 
+// RunSweepProcs executes a sweep like RunSweep, but each unit (a cell,
+// or one shard of a fanned-out "*/n" cell) runs in its own worker
+// process — this binary re-exec'd — up to procs concurrent. Binaries
+// using it must call MaybeRunScenarioWorker first thing in main.
+// Results are bit-identical to RunSweep over the same cells.
+func RunSweepProcs(ctx context.Context, cells []Scenario, procs int, opts ...ScenarioOption) (*SweepReport, error) {
+	return scenario.RunSweepProcs(ctx, cells, procs, opts...)
+}
+
+// MaybeRunScenarioWorker turns this process into a sweep worker if it
+// was spawned as one by RunSweepProcs, and never returns in that case;
+// otherwise it is a no-op.
+func MaybeRunScenarioWorker() { scenario.MaybeRunWorker() }
+
 // WithSweepWorkers bounds how many cells run concurrently (default
 // GOMAXPROCS); the bound never changes results.
 func WithSweepWorkers(n int) ScenarioOption { return scenario.WithSweepWorkers(n) }
