@@ -127,7 +127,7 @@ func main() {
 	}
 
 	rep := Report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339), //wildlint:allow wallclock
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
 		CPUModel:    cpuModel(),
@@ -315,9 +315,9 @@ func runScale(scenario string, fanout int) (*ScaleRun, error) {
 	cmd := exec.Command(bin, args...)
 	cmd.Stdout = os.Stderr // the CSV report is progress output here
 	cmd.Stderr = os.Stderr
-	start := time.Now()
+	start := time.Now() //wildlint:allow wallclock
 	runErr := cmd.Run()
-	wall := time.Since(start)
+	wall := time.Since(start) //wildlint:allow wallclock
 	if runErr != nil {
 		return nil, fmt.Errorf("coldsim: %w", runErr)
 	}

@@ -56,7 +56,7 @@ func main() {
 	}
 	var rec *serve.Recorder
 	if *record != "" {
-		rec = serve.NewRecorder(time.Now())
+		rec = serve.NewRecorder(time.Now()) //wildlint:allow wallclock
 		cfg.Recorder = rec
 	}
 

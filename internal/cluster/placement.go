@@ -87,7 +87,11 @@ type TracePreparer interface {
 // Oblivious() == true must honor the contract: during pre-assignment
 // the engine hands Place a View whose ResidentMB panics, so a
 // placement that claims obliviousness but reads residency fails loudly
-// instead of silently diverging.
+// instead of silently diverging. The wildlint oblivious analyzer
+// (internal/lint) additionally proves the contract at compile time for
+// in-repo placements: a constant-true Oblivious() whose Place call
+// graph reaches View.ResidentMB fails the CI lint job before it can
+// panic at runtime.
 type Oblivious interface {
 	Placement
 	// Oblivious reports whether Place never consults View.ResidentMB.
@@ -342,6 +346,7 @@ func PlacementNames() []string {
 	placementMu.RLock()
 	defer placementMu.RUnlock()
 	names := make([]string, 0, len(placementReg))
+	//wildlint:orderinvariant
 	for n := range placementReg {
 		names = append(names, n)
 	}

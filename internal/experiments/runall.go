@@ -53,6 +53,8 @@ func (c Config) withDefaults() Config {
 // be nil). Cancellation via ctx is honored between figures and inside
 // the platform replay (the longest single step); a canceled run
 // returns ctx.Err() with no figures.
+//
+//wildlint:allow wallclock — per-figure progress timers
 func RunAll(ctx context.Context, cfg Config, progress io.Writer) ([]*Figure, error) {
 	cfg = cfg.withDefaults()
 	logf := func(format string, args ...any) {

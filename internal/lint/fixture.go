@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fixtureLoader loads GOPATH-style fixture trees: import path P
+// resolves to srcRoot/P when that directory exists (type-checked from
+// source, recursively), and to the real module's gc export data
+// otherwise — so fixtures can import both their own helper packages
+// and real packages like repro/internal/spec or the stdlib without
+// any copies.
+type fixtureLoader struct {
+	srcRoot string
+	modRoot string
+	fset    *token.FileSet
+	exports *exportSet
+	gcImp   types.Importer
+	source  map[string]*Package
+}
+
+func newFixtureLoader(srcRoot, modRoot string) *fixtureLoader {
+	l := &fixtureLoader{
+		srcRoot: srcRoot,
+		modRoot: modRoot,
+		fset:    token.NewFileSet(),
+		exports: newExportSet(),
+		source:  map[string]*Package{},
+	}
+	l.gcImp = importer.ForCompiler(l.fset, "gc", l.exports.lookup)
+	return l
+}
+
+// Import implements types.Importer for fixture type-checking.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	pkg, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+func (l *fixtureLoader) load(path string) (*Package, error) {
+	if pkg, ok := l.source[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	if names, err := goFilesIn(dir); err == nil && len(names) > 0 {
+		pkg, err := checkPackage(l.fset, l, path, dir, names)
+		if err != nil {
+			return nil, err
+		}
+		l.source[path] = pkg
+		return pkg, nil
+	}
+	// Not a fixture package: import the real thing via export data,
+	// extending the set lazily with the path's dependency closure.
+	if _, ok := l.exports.files[path]; !ok {
+		listed, err := goList(l.modRoot, path)
+		if err != nil {
+			return nil, err
+		}
+		l.exports.add(listed)
+	}
+	tpkg, err := l.gcImp.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{PkgPath: path, Fset: l.fset, Types: tpkg}
+	l.source[path] = pkg
+	return pkg, nil
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// expectation is one parsed `// want "re"` clause.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	met  bool
+}
+
+// RunFixture loads the fixture package at pkgPath (rooted at
+// testdata/src in the caller's directory), runs the analyzer over it,
+// and matches the diagnostics against `// want "regexp"` comments —
+// the analysistest contract: every diagnostic must be wanted on its
+// line, every want must be produced.
+func RunFixture(t *testing.T, a *Analyzer, pkgPath string) {
+	t.Helper()
+	l := newFixtureLoader(filepath.Join("testdata", "src"), ".")
+	pkg, err := l.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	if pkg.Info == nil {
+		t.Fatalf("fixture %s resolved to export data, not testdata/src", pkgPath)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	wants, err := collectWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", pkgPath, err)
+	}
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", pkgPath, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", pkgPath, w.file, w.line, w.text)
+		}
+	}
+}
+
+func claimWant(wants []*expectation, d Diagnostic) bool {
+	for _, w := range wants {
+		if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses `// want "re" "re2"` comments (double-quoted Go
+// strings or backquoted raw strings, space-separated).
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range splitQuoted(rest) {
+					text, err := strconv.Unquote(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want clause %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, text, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, text: text})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted splits space-separated Go string literals ("x" `y`).
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			// Not a literal: take the rest as one token and let
+			// Unquote report the malformed clause.
+			return append(out, s)
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == quote && (quote == '`' || s[end-1] != '\\') {
+				break
+			}
+			end++
+		}
+		if end == len(s) {
+			return append(out, s)
+		}
+		out = append(out, s[:end+1])
+		s = s[end+1:]
+	}
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Oblivious proves the placement contract of
+// internal/cluster/placement.go at compile time: a placement whose
+// Oblivious() method returns a constant true must never reach
+// View.ResidentMB through Place's call graph. The engine's runtime
+// guard (a panicking pre-assignment view) becomes a compile-time
+// guarantee. Only intra-package static calls are traced; calls
+// through function values are outside the contract's shapes.
+var Oblivious = &Analyzer{
+	Name: "oblivious",
+	Doc:  "a constant-true Oblivious() placement must not reach View.ResidentMB from Place",
+	Run:  runOblivious,
+}
+
+func runOblivious(pass *Pass) error {
+	decls := packageFuncDecls(pass)
+
+	// Candidate placements: receiver types with an Oblivious() bool
+	// method whose body is exactly `return <constant true>`. A
+	// runtime-dependent Oblivious() (returning false or a computed
+	// value) promises nothing and is left alone.
+	for obj, fd := range decls {
+		if obj.Name() != "Oblivious" || fd.Recv == nil || fd.Body == nil {
+			continue
+		}
+		sig := obj.Type().(*types.Signature)
+		if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		if b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Bool {
+			continue
+		}
+		if len(fd.Body.List) != 1 {
+			continue
+		}
+		ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 || !constTrue(pass, ret.Results[0]) {
+			continue
+		}
+		recv := namedRecv(sig)
+		if recv == nil {
+			continue
+		}
+		place := methodDecl(pass, decls, recv, "Place")
+		if place == nil {
+			continue
+		}
+		checkObliviousReach(pass, decls, recv, place)
+	}
+	return nil
+}
+
+// packageFuncDecls maps every function and method declared in the
+// package to its syntax.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	m := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					m[obj] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+// namedRecv returns the receiver's named-type symbol, nil for
+// anonymous receivers.
+func namedRecv(sig *types.Signature) *types.TypeName {
+	if sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// methodDecl finds the declaration of recv's method with the given
+// name in this package.
+func methodDecl(pass *Pass, decls map[*types.Func]*ast.FuncDecl, recv *types.TypeName, name string) *ast.FuncDecl {
+	for obj, fd := range decls {
+		if obj.Name() != name {
+			continue
+		}
+		if r := namedRecv(obj.Type().(*types.Signature)); r == recv {
+			return fd
+		}
+	}
+	return nil
+}
+
+// checkObliviousReach walks the static call graph from the placement's
+// Place method, reporting any reachable ResidentMB method use.
+func checkObliviousReach(pass *Pass, decls map[*types.Func]*ast.FuncDecl, recv *types.TypeName, place *ast.FuncDecl) {
+	type frame struct {
+		fd   *ast.FuncDecl
+		path []string
+	}
+	visited := map[*ast.FuncDecl]bool{}
+	work := []frame{{place, []string{"Place"}}}
+	for len(work) > 0 {
+		fr := work[len(work)-1]
+		work = work[:len(work)-1]
+		if visited[fr.fd] {
+			continue
+		}
+		visited[fr.fd] = true
+		ast.Inspect(fr.fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// Closures declared inside the body run (if at all)
+				// with the same obligations.
+				return true
+			case *ast.SelectorExpr:
+				sel := pass.TypesInfo.Selections[n]
+				if sel != nil && sel.Kind() == types.MethodVal && n.Sel.Name == "ResidentMB" {
+					pass.Reportf(n.Pos(), "placement %s reports a constant Oblivious() == true but reaches View.ResidentMB (via %s); make the placement view-oblivious or make Oblivious() runtime-dependent", recv.Name(), strings.Join(fr.path, " -> "))
+					return true
+				}
+				callee := calleeFunc(pass, n)
+				if callee != nil {
+					if fd, ok := decls[callee]; ok && fd.Body != nil {
+						work = append(work, frame{fd, append(append([]string(nil), fr.path...), callee.Name())})
+					}
+				}
+			case *ast.Ident:
+				if callee, ok := pass.TypesInfo.Uses[n].(*types.Func); ok {
+					if fd, ok := decls[callee]; ok && fd.Body != nil {
+						work = append(work, frame{fd, append(append([]string(nil), fr.path...), callee.Name())})
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a selector to the method or function it names.
+func calleeFunc(pass *Pass, sel *ast.SelectorExpr) *types.Func {
+	if s := pass.TypesInfo.Selections[sel]; s != nil {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn
+		}
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return fn
+}

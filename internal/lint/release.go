@@ -1,0 +1,686 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Release enforces pool hygiene for policy.Releasable state and the
+// kernel's scratch-owned run slices:
+//
+//   - A value acquired from a pool — sync.Pool.Get, or a
+//     Policy.NewApp call (whose result may be pooled Releasable
+//     state) — must, on every path through the acquiring function,
+//     either be released (Release / ReleaseRuns / Pool.Put, including
+//     through the `if r, ok := v.(policy.Releasable)` idiom) or
+//     escape to an owner: returned, passed to another function, or
+//     stored under a //wildlint:owner annotation naming the
+//     long-lived owner that releases it later. A deliberate drop
+//     (e.g. discarding an incompatible pooled shape) opts out with
+//     //wildlint:allow poolleak on the acquiring statement.
+//   - The slice returned by Scratch.DecideRuns is scratch-owned and
+//     overwritten by the next kernel call: it must not escape the
+//     acquiring function (returned, or stored into a field, index,
+//     or composite literal) without an append copy.
+//
+// The analysis is intra-procedural and lenient at the edges it cannot
+// see (loops, gotos, closures): it exists to catch the silent-leak
+// class — an acquisition with a return path that provably neither
+// releases nor hands off.
+var Release = &Analyzer{
+	Name: "release",
+	Doc:  "pooled values must be released on every path or escape to an annotated owner; scratch-owned run slices must not escape uncopied",
+	Run:  runRelease,
+}
+
+func runRelease(pass *Pass) error {
+	for _, f := range pass.Files {
+		forEachFuncUnit(f, func(body *ast.BlockStmt) {
+			checkReleaseUnit(pass, body)
+			checkDecideRunsUnit(pass, body)
+		})
+	}
+	pass.Notes.reportUnused(pass, "owner", "")
+	pass.Notes.reportUnused(pass, "allow", "poolleak")
+	return nil
+}
+
+// walkUnitStack traverses one function unit with an enclosing-node
+// stack, not descending into nested function literals (each is its
+// own unit).
+func walkUnitStack(body *ast.BlockStmt, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		stack = append(stack, n)
+		visit(n, stack)
+		return true
+	})
+}
+
+// isAcquireCall recognizes pool acquisitions: sync.Pool.Get and
+// Policy.NewApp-shaped methods.
+func isAcquireCall(pass *Pass, call *ast.CallExpr) (kind string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", false
+	}
+	fn := calleeFunc(pass, sel)
+	if fn == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Get":
+		if recvIsSyncPool(sig.Recv().Type()) {
+			return "sync.Pool value", true
+		}
+	case "NewApp":
+		if sig.Params().Len() == 1 && sig.Results().Len() == 1 {
+			return "policy state from NewApp", true
+		}
+	}
+	return "", false
+}
+
+func recvIsSyncPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "Pool"
+}
+
+// unwrap strips parens and type assertions: `pool.Get().(*T)` is
+// still the Get call.
+func unwrap(e ast.Expr) ast.Expr {
+	for {
+		switch w := e.(type) {
+		case *ast.ParenExpr:
+			e = w.X
+		case *ast.TypeAssertExpr:
+			e = w.X
+		default:
+			return e
+		}
+	}
+}
+
+func checkReleaseUnit(pass *Pass, body *ast.BlockStmt) {
+	walkUnitStack(body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		kind, ok := isAcquireCall(pass, call)
+		if !ok {
+			return
+		}
+		if ann := pass.Notes.At(pass.Fset, call.Pos(), "allow", "poolleak"); ann != nil {
+			return
+		}
+		// Classify the acquisition by its enclosing context: the
+		// chain of nodes between the call and its statement.
+		var stmt ast.Stmt
+		var chain []ast.Node // call's ancestors up to (excluding) stmt
+		for i := len(stack) - 2; i >= 0; i-- {
+			if s, ok := stack[i].(ast.Stmt); ok {
+				stmt = s
+				break
+			}
+			chain = append(chain, stack[i])
+		}
+		if stmt == nil {
+			return
+		}
+		for _, anc := range chain {
+			switch anc := anc.(type) {
+			case *ast.ParenExpr, *ast.TypeAssertExpr:
+				continue
+			case *ast.CallExpr:
+				// Argument of another call: handed off to the callee.
+				return
+			case *ast.CompositeLit:
+				_ = anc
+				// Stored into a structure at birth: needs an owner.
+				if pass.Notes.At(pass.Fset, stmt.Pos(), "owner", "") == nil {
+					pass.Reportf(call.Pos(), "%s is stored into a structure at acquisition; annotate the owning store //wildlint:owner (the owner must release it later), or release it locally", kind)
+				}
+				return
+			default:
+				// Other expression contexts (unary &, slices, ...):
+				// treated as consumption by the surrounding statement.
+			}
+		}
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			return // ownership passes to the caller
+		case *ast.AssignStmt:
+			obj := acquireTarget(pass, s, call)
+			if obj == nil {
+				pass.Reportf(call.Pos(), "%s is discarded at acquisition; release it or drop the call", kind)
+				return
+			}
+			if !releasedOnAllPaths(pass, body, stmt, stack, obj) {
+				pass.Reportf(call.Pos(), "%s (%s) may leak: not released or handed to an owner on every path; call Release/Put (defer recommended), store it under //wildlint:owner, or annotate a deliberate drop //wildlint:allow poolleak", kind, obj.Name())
+			}
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "%s is discarded at acquisition; release it or drop the call", kind)
+		case *ast.DeclStmt:
+			if obj := declTarget(pass, s, call); obj != nil {
+				if !releasedOnAllPaths(pass, body, stmt, stack, obj) {
+					pass.Reportf(call.Pos(), "%s (%s) may leak: not released or handed to an owner on every path; call Release/Put (defer recommended), store it under //wildlint:owner, or annotate a deliberate drop //wildlint:allow poolleak", kind, obj.Name())
+				}
+			}
+		}
+	})
+}
+
+// acquireTarget finds the variable an acquisition is bound to in an
+// assignment, nil when discarded.
+func acquireTarget(pass *Pass, s *ast.AssignStmt, call *ast.CallExpr) types.Object {
+	idx := 0
+	if len(s.Rhs) == len(s.Lhs) {
+		for i, r := range s.Rhs {
+			if unwrap(r) == call || r == call {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx >= len(s.Lhs) {
+		return nil
+	}
+	id, ok := s.Lhs[idx].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func declTarget(pass *Pass, s *ast.DeclStmt, call *ast.CallExpr) types.Object {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return nil
+	}
+	for _, sp := range gd.Specs {
+		vs, ok := sp.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, v := range vs.Values {
+			if (unwrap(v) == call || v == call) && i < len(vs.Names) && vs.Names[i].Name != "_" {
+				return pass.TypesInfo.Defs[vs.Names[i]]
+			}
+		}
+	}
+	return nil
+}
+
+// releasedOnAllPaths checks that from the acquiring statement onward,
+// every path through the function releases obj or lets it escape.
+func releasedOnAllPaths(pass *Pass, body *ast.BlockStmt, acquire ast.Stmt, stack []ast.Node, obj types.Object) bool {
+	tr := &tracker{pass: pass, objs: map[types.Object]bool{obj: true}}
+	tr.expandAliases(body)
+
+	// Continuations from the acquire statement outward: for each
+	// enclosing block on the stack, the statements after the one we
+	// came from.
+	cont := func() bool { return false } // function end: obj leaks
+	var build func(level int, inner ast.Stmt) func() bool
+	build = func(level int, inner ast.Stmt) func() bool {
+		for i := level; i >= 0; i-- {
+			if blk, ok := stack[i].(*ast.BlockStmt); ok {
+				idx := -1
+				for j, s := range blk.List {
+					if s == inner || containsNode(s, inner) {
+						idx = j
+						break
+					}
+				}
+				rest := cont
+				if i > 0 {
+					rest = build(i-1, blk)
+				}
+				if idx < 0 {
+					return rest
+				}
+				tail := blk.List[idx+1:]
+				return func() bool { return tr.satSeq(tail, rest) }
+			}
+		}
+		return cont
+	}
+
+	// Locate the acquire statement's position on the stack.
+	var stmtLevel int
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == acquire {
+			stmtLevel = i
+			break
+		}
+	}
+	after := build(stmtLevel-1, acquire)
+
+	// The acquire statement itself may be the init of an if/for/
+	// switch: its branches run next and must satisfy too.
+	for i := stmtLevel - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.IfStmt:
+			if s.Init == acquire {
+				outer := build(i-1, s)
+				return tr.satStmt(s, outer)
+			}
+		case *ast.SwitchStmt:
+			if s.Init == acquire {
+				outer := build(i-1, s)
+				return tr.satStmt(s, outer)
+			}
+		case *ast.BlockStmt:
+		default:
+			continue
+		}
+		break
+	}
+	return after()
+}
+
+func containsNode(root, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// tracker is the per-acquisition path analysis state.
+type tracker struct {
+	pass *Pass
+	objs map[types.Object]bool // the value and its aliases
+}
+
+// expandAliases adds locals bound from the tracked value (`w := v`,
+// `w := v.(T)`, `w, ok := v.(T)`) to the alias set, to fixpoint.
+func (tr *tracker) expandAliases(body *ast.BlockStmt) {
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			src, ok := unwrap(as.Rhs[0]).(*ast.Ident)
+			if !ok || !tr.isTracked(src) {
+				return true
+			}
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				obj := tr.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = tr.pass.TypesInfo.Uses[id]
+				}
+				if obj != nil && !tr.objs[obj] {
+					tr.objs[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return
+		}
+	}
+}
+
+func (tr *tracker) isTracked(id *ast.Ident) bool {
+	if obj := tr.pass.TypesInfo.Uses[id]; obj != nil && tr.objs[obj] {
+		return true
+	}
+	if obj := tr.pass.TypesInfo.Defs[id]; obj != nil && tr.objs[obj] {
+		return true
+	}
+	return false
+}
+
+// satSeq: every path through stmts (then cont) releases or escapes.
+func (tr *tracker) satSeq(stmts []ast.Stmt, cont func() bool) bool {
+	if len(stmts) == 0 {
+		return cont()
+	}
+	rest := func() bool { return tr.satSeq(stmts[1:], cont) }
+	return tr.satStmt(stmts[0], rest)
+}
+
+func (tr *tracker) satStmt(s ast.Stmt, cont func() bool) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return tr.satSeq(s.List, cont)
+	case *ast.LabeledStmt:
+		return tr.satStmt(s.Stmt, cont)
+	case *ast.IfStmt:
+		then := tr.satSeq(s.Body.List, cont)
+		if !then {
+			return false
+		}
+		if s.Else != nil {
+			return tr.satStmt(s.Else, cont)
+		}
+		return cont()
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var clauses []ast.Stmt
+		var hasDefault bool
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			clauses = sw.Body.List
+		} else {
+			clauses = s.(*ast.TypeSwitchStmt).Body.List
+		}
+		for _, c := range clauses {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			if !tr.satSeq(cc.Body, cont) {
+				return false
+			}
+		}
+		if !hasDefault {
+			return cont()
+		}
+		return true
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if !tr.satSeq(c.(*ast.CommClause).Body, cont) {
+				return false
+			}
+		}
+		return len(s.Body.List) > 0
+	case *ast.ForStmt:
+		if tr.stmtSatisfies(s.Body) {
+			return true
+		}
+		return cont()
+	case *ast.RangeStmt:
+		if tr.stmtSatisfies(s.Body) {
+			return true
+		}
+		return cont()
+	case *ast.ReturnStmt:
+		return tr.stmtSatisfies(s) // returning the value is the escape
+	case *ast.BranchStmt:
+		return true // goto/break/continue: lenient
+	default:
+		if tr.stmtSatisfies(s) {
+			return true
+		}
+		if isPathTerminator(tr.pass, s) {
+			return true
+		}
+		return cont()
+	}
+}
+
+// stmtSatisfies reports whether the statement subtree (descending
+// into closures — a deferred closure may do the releasing) releases
+// the tracked value or lets it escape legitimately.
+func (tr *tracker) stmtSatisfies(s ast.Stmt) bool {
+	ok := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if tr.callReleases(n) || tr.callTakes(n) {
+				ok = true
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if tr.exprUses(r) {
+					ok = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if tr.exprUses(n.Value) {
+				ok = true
+				return false
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if tr.exprUses(e) {
+					// Stored into a structure: legitimate only under
+					// an owner annotation on this statement.
+					if tr.pass.Notes.At(tr.pass.Fset, s.Pos(), "owner", "") != nil {
+						ok = true
+					}
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				if _, isIdent := unwrap(r).(*ast.Ident); isIdent && tr.exprUses(r) && i < len(n.Lhs) {
+					if _, plain := n.Lhs[i].(*ast.Ident); !plain {
+						// Field/index store: needs an owner.
+						if tr.pass.Notes.At(tr.pass.Fset, s.Pos(), "owner", "") != nil {
+							ok = true
+						}
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// callReleases: v.Release(), v.ReleaseRuns(), pool.Put(v).
+func (tr *tracker) callReleases(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Release", "ReleaseRuns":
+		if id, ok := unwrap(sel.X).(*ast.Ident); ok && tr.isTracked(id) {
+			return true
+		}
+	case "Put":
+		for _, a := range call.Args {
+			if tr.exprUses(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callTakes: the tracked value passed as an argument — ownership
+// handed to the callee.
+func (tr *tracker) callTakes(call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if tr.exprUses(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprUses reports whether e mentions a tracked identifier (through
+// parens, type assertions, and unary &).
+func (tr *tracker) exprUses(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return tr.isTracked(e)
+	case *ast.ParenExpr:
+		return tr.exprUses(e.X)
+	case *ast.TypeAssertExpr:
+		return tr.exprUses(e.X)
+	case *ast.UnaryExpr:
+		return tr.exprUses(e.X)
+	case *ast.KeyValueExpr:
+		return tr.exprUses(e.Value)
+	}
+	return false
+}
+
+// isPathTerminator recognizes statements after which the function
+// does not return normally: panic, os.Exit, runtime.Goexit,
+// log.Fatal*.
+func isPathTerminator(pass *Pass, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		fn := calleeFunc(pass, fun)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "runtime":
+			return fn.Name() == "Goexit"
+		case "log":
+			return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+		}
+	}
+	return false
+}
+
+// checkDecideRunsUnit flags Scratch.DecideRuns results escaping the
+// function without a copy.
+func checkDecideRunsUnit(pass *Pass, body *ast.BlockStmt) {
+	walkUnitStack(body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "DecideRuns" {
+			return
+		}
+		fn := calleeFunc(pass, sel)
+		if fn == nil {
+			return
+		}
+		if sig, _ := fn.Type().(*types.Signature); sig == nil || sig.Recv() == nil {
+			return
+		}
+		// Walk the context chain: an append(...) anywhere between the
+		// call and its statement is the sanctioned copy idiom.
+		var stmt ast.Stmt
+		var chain []ast.Node
+		for i := len(stack) - 2; i >= 0; i-- {
+			if s, ok := stack[i].(ast.Stmt); ok {
+				stmt = s
+				break
+			}
+			chain = append(chain, stack[i])
+		}
+		for _, anc := range chain {
+			if c, ok := anc.(*ast.CallExpr); ok && isAppend(pass, c) {
+				return
+			}
+		}
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			pass.Reportf(call.Pos(), "result of Scratch.DecideRuns is scratch-owned and overwritten by the next kernel call; copy before it escapes: append([]policy.DecisionRun(nil), ...)")
+		case *ast.AssignStmt:
+			obj := acquireTarget(pass, s, call)
+			if obj == nil {
+				// Direct store into a field or index.
+				if len(s.Lhs) > 0 {
+					if _, plain := s.Lhs[0].(*ast.Ident); !plain {
+						pass.Reportf(call.Pos(), "result of Scratch.DecideRuns is scratch-owned and overwritten by the next kernel call; copy before it escapes: append([]policy.DecisionRun(nil), ...)")
+					}
+				}
+				return
+			}
+			checkRunsVarEscapes(pass, body, obj)
+		}
+	})
+}
+
+// checkRunsVarEscapes flags a local holding an uncopied DecideRuns
+// result escaping via return, field/index store, or composite
+// literal.
+func checkRunsVarEscapes(pass *Pass, body *ast.BlockStmt, obj types.Object) {
+	tracked := func(e ast.Expr) bool {
+		id, ok := unwrap(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		o := pass.TypesInfo.Uses[id]
+		return o != nil && o == obj
+	}
+	walkUnitStack(body, func(n ast.Node, stack []ast.Node) {
+		report := func(pos ast.Node) {
+			pass.Reportf(pos.Pos(), "%s holds a scratch-owned Scratch.DecideRuns slice and escapes the function uncopied; copy with append([]policy.DecisionRun(nil), %s...)", obj.Name(), obj.Name())
+		}
+		inAppend := func(stack []ast.Node) bool {
+			for _, a := range stack {
+				if c, ok := a.(*ast.CallExpr); ok && isAppend(pass, c) {
+					return true
+				}
+			}
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if tracked(r) && !inAppend(stack) {
+					report(r)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				if tracked(r) && i < len(n.Lhs) && !inAppend(stack) {
+					if _, plain := n.Lhs[i].(*ast.Ident); !plain {
+						report(r)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if tracked(e) && !inAppend(stack) {
+					report(e)
+				}
+			}
+		}
+	})
+}
+
+func isAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SinkContract keeps multi-process fan-out complete: every concrete
+// sink type registered through RegisterSink / RegisterScenarioSink
+// must implement Merge (shard aggregation) and the MarshalState /
+// UnmarshalState codec. The Sink interface compels Merge at compile
+// time already, but the codec is only discovered dynamically by
+// RunSweepProcs (internal/scenario/procs.go) — a sink without it
+// breaks process fan-out at runtime, on the first -fanout run that
+// uses it. The analyzer resolves the concrete types a registered
+// builder returns (following direct calls to package-local
+// constructors) and checks their method sets; builders whose result
+// cannot be resolved statically (e.g. forwarding a caller-supplied
+// builder) are skipped.
+var SinkContract = &Analyzer{
+	Name: "sinkcontract",
+	Doc:  "types registered via RegisterSink/RegisterScenarioSink must implement Merge and the MarshalState/UnmarshalState codec",
+	Run:  runSinkContract,
+}
+
+func runSinkContract(pass *Pass) error {
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			name := calleeName(pass, call)
+			if name != "RegisterSink" && name != "RegisterScenarioSink" {
+				return true
+			}
+			builder := call.Args[len(call.Args)-1]
+			for _, ret := range builderReturns(pass, decls, builder, 0) {
+				checkSinkType(pass, name, ret)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn.Name()
+		}
+	case *ast.SelectorExpr:
+		if fn := calleeFunc(pass, fun); fn != nil {
+			return fn.Name()
+		}
+	}
+	return ""
+}
+
+// builderReturns collects the first-result expressions a builder can
+// return: the returns of a func literal, or of a package-local
+// function the builder names.
+func builderReturns(pass *Pass, decls map[*types.Func]*ast.FuncDecl, builder ast.Expr, depth int) []ast.Expr {
+	if depth > 3 {
+		return nil
+	}
+	var body *ast.BlockStmt
+	switch b := builder.(type) {
+	case *ast.FuncLit:
+		body = b.Body
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[b].(*types.Func); ok {
+			if fd, ok := decls[fn]; ok {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		return nil
+	}
+	var out []ast.Expr
+	inspectUnit(body, func(n ast.Node) {
+		if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) >= 1 {
+			out = append(out, ret.Results[0])
+		}
+	})
+	return out
+}
+
+// checkSinkType resolves the concrete type of one returned sink
+// expression and reports missing contract methods.
+func checkSinkType(pass *Pass, regName string, expr ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	t := tv.Type
+	if types.IsInterface(t) {
+		// Interface-typed return: follow a direct constructor call's
+		// own returns; anything else is out of static reach.
+		if call, ok := expr.(*ast.CallExpr); ok {
+			decls := packageFuncDecls(pass)
+			for _, inner := range builderReturns(pass, decls, call.Fun, 1) {
+				checkSinkType(pass, regName, inner)
+			}
+		}
+		return
+	}
+	var missing []string
+	if !hasMethod(t, "Merge", nil, nil) {
+		missing = append(missing, "Merge")
+	}
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	errType := types.Universe.Lookup("error").Type()
+	if !hasMethod(t, "MarshalState", nil, []types.Type{byteSlice, errType}) {
+		missing = append(missing, "MarshalState() ([]byte, error)")
+	}
+	if !hasMethod(t, "UnmarshalState", []types.Type{byteSlice}, []types.Type{errType}) {
+		missing = append(missing, "UnmarshalState([]byte) error")
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(expr.Pos(), "sink type %s registered via %s is missing %v: without the state codec, RunSweepProcs (multi-process shard fan-out) cannot ship this sink's state across workers — see internal/scenario/procs.go", t.String(), regName, missing)
+}
+
+// hasMethod reports whether t (or *t) has a method with the given
+// name; params/results, when non-nil, must match exactly (identical
+// types, no variadic).
+func hasMethod(t types.Type, name string, params, results []types.Type) bool {
+	ms := types.NewMethodSet(t)
+	sel := ms.Lookup(nil, name)
+	if sel == nil {
+		if _, isPtr := t.(*types.Pointer); !isPtr && !types.IsInterface(t) {
+			sel = types.NewMethodSet(types.NewPointer(t)).Lookup(nil, name)
+		}
+	}
+	if sel == nil {
+		return false
+	}
+	fn, ok := sel.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if params != nil {
+		if sig.Params().Len() != len(params) || sig.Variadic() {
+			return false
+		}
+		for i, p := range params {
+			if !types.Identical(sig.Params().At(i).Type(), p) {
+				return false
+			}
+		}
+	}
+	if results != nil {
+		if sig.Results().Len() != len(results) {
+			return false
+		}
+		for i, r := range results {
+			if !types.Identical(sig.Results().At(i).Type(), r) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// specPkgPath is the shared spec-params machinery every component
+// registry builds on.
+const specPkgPath = "repro/internal/spec"
+
+// SpecParams keeps the `name?k=v` grammar uniform: every function
+// that parses a spec query with spec.Parse must check Params.Unused()
+// before returning, so a misspelled key fails with an
+// "unknown parameters" error in every registry instead of silently
+// configuring a default in some of them.
+var SpecParams = &Analyzer{
+	Name: "specparams",
+	Doc:  "every spec.Parse call site must check Params.Unused() before returning",
+	Run:  runSpecParams,
+}
+
+func runSpecParams(pass *Pass) error {
+	for _, f := range pass.Files {
+		forEachFuncUnit(f, func(body *ast.BlockStmt) {
+			checkSpecParseUnit(pass, body)
+		})
+	}
+	return nil
+}
+
+// forEachFuncUnit calls fn once per function body in the file: every
+// declaration and every function literal is its own unit.
+func forEachFuncUnit(f *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+func checkSpecParseUnit(pass *Pass, body *ast.BlockStmt) {
+	// Collect the unit's spec.Parse bindings and Unused() receivers,
+	// without descending into nested function literals (they are
+	// their own units).
+	type parseSite struct {
+		pos  ast.Node
+		obj  types.Object // nil when the result is discarded
+		name string
+	}
+	var sites []parseSite
+	checked := map[types.Object]bool{}
+	inspectUnit(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !isSpecParseCall(pass, call) {
+				return
+			}
+			site := parseSite{pos: call, name: "params"}
+			if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					site.obj, site.name = obj, id.Name
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					site.obj, site.name = obj, id.Name
+				}
+			}
+			sites = append(sites, site)
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Unused" {
+				return
+			}
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					checked[obj] = true
+				}
+			}
+		}
+	})
+	for _, s := range sites {
+		if s.obj != nil && checked[s.obj] {
+			continue
+		}
+		pass.Reportf(s.pos.Pos(), "spec.Parse result %s is never checked with Unused(): unknown keys must fail uniformly across registries; add `if left := %s.Unused(); len(left) > 0 { return ..., fmt.Errorf(\"unknown parameters %%v\", left) }` before returning", s.name, s.name)
+	}
+}
+
+// inspectUnit walks stmts of one function unit, skipping nested
+// function literals.
+func inspectUnit(body *ast.BlockStmt, visit func(n ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// isSpecParseCall reports whether call is spec.Parse from
+// repro/internal/spec.
+func isSpecParseCall(pass *Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return ok && fn.Name() == "Parse" && fn.Pkg() != nil && fn.Pkg().Path() == specPkgPath
+}

@@ -1,0 +1,12 @@
+// Package annotfix holds deliberately stale and malformed annotations
+// for the checked-annotation tests: an opt-out that suppresses
+// nothing is itself a finding, and a typo'd verb is rejected.
+package annotfix
+
+// Quiet does nothing wall-clock; the annotation below is stale.
+//
+//wildlint:allow wallclock
+func Quiet() int { return 1 }
+
+//wildlint:nonsense
+func Odd() int { return 2 }

@@ -1,0 +1,97 @@
+// Package obliviousfix exercises the oblivious analyzer with local
+// stand-ins for the cluster placement shapes.
+package obliviousfix
+
+// View mirrors cluster.View's shape.
+type View interface {
+	NumNodes() int
+	ResidentMB(node int) float64
+}
+
+// Footprint mirrors cluster.Footprint.
+type Footprint struct{ ID string }
+
+// Bad claims obliviousness but reads live residency directly.
+type Bad struct{}
+
+// Oblivious returns constant true, so the analyzer holds Place to it.
+func (Bad) Oblivious() bool { return true }
+
+// Place violates the claim in its own body.
+func (Bad) Place(app Footprint, view View) int {
+	if view.ResidentMB(0) > 0 { // want `placement Bad reports a constant Oblivious\(\) == true but reaches View\.ResidentMB \(via Place\)`
+		return 1
+	}
+	return 0
+}
+
+// Chained reaches residency through a helper function.
+type Chained struct{}
+
+// Oblivious returns constant true.
+func (Chained) Oblivious() bool { return true }
+
+// Place delegates the violation.
+func (Chained) Place(app Footprint, view View) int {
+	return coldest(view)
+}
+
+func coldest(view View) int {
+	_ = view.ResidentMB(0) // want `placement Chained reports a constant Oblivious\(\) == true but reaches View\.ResidentMB \(via Place -> coldest\)`
+	return 0
+}
+
+// Inner makes no obliviousness claim of its own; its residency read
+// is only a finding when a constant-true placement delegates to it.
+type Inner struct{}
+
+// Place reads residency, legitimately for Inner itself.
+func (Inner) Place(app Footprint, view View) int {
+	_ = view.ResidentMB(0) // want `placement Wrap reports a constant Oblivious\(\) == true but reaches View\.ResidentMB \(via Place -> Place\)`
+	return 0
+}
+
+// Wrap claims obliviousness and delegates to Inner — the cross-type
+// call the analyzer must follow.
+type Wrap struct{}
+
+// Oblivious returns constant true.
+func (Wrap) Oblivious() bool { return true }
+
+// Place hands the decision to a view-dependent placement.
+func (Wrap) Place(app Footprint, view View) int {
+	return Inner{}.Place(app, view)
+}
+
+// Good is genuinely oblivious: only the ID hash and the node count.
+type Good struct{}
+
+// Oblivious returns constant true, and Place honors it.
+func (Good) Oblivious() bool { return true }
+
+// Place never touches residency.
+func (Good) Place(app Footprint, view View) int {
+	h := 0
+	for i := 0; i < len(app.ID); i++ {
+		h = h*31 + int(app.ID[i])
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h % view.NumNodes()
+}
+
+// Runtime computes Oblivious() at run time; it promises nothing, so
+// its residency read is fine.
+type Runtime struct{ static bool }
+
+// Oblivious depends on configuration, not a constant.
+func (r Runtime) Oblivious() bool { return r.static }
+
+// Place may consult residency on the non-static path.
+func (r Runtime) Place(app Footprint, view View) int {
+	if !r.static {
+		return int(view.ResidentMB(0))
+	}
+	return 0
+}

@@ -1,0 +1,13 @@
+// Package plainfix sits outside the deterministic result path: map
+// iteration is allowed here without annotation (wall-clock reads
+// still are not — that rule is tree-wide, see detfix).
+package plainfix
+
+// CountKeys ranges a map freely; nothing here feeds a golden file.
+func CountKeys(m map[string]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+// Package releasefix exercises the release analyzer: pooled values
+// must be released on every path or escape to an owner, and
+// scratch-owned kernel slices must not escape uncopied.
+package releasefix
+
+import "sync"
+
+var pool sync.Pool
+
+func use(v any) {}
+
+// Leak drops the pooled value on the floor.
+func Leak() {
+	v := pool.Get() // want `sync\.Pool value \(v\) may leak`
+	_ = v
+}
+
+// DeferPut is the canonical hygiene: acquire, defer the return.
+func DeferPut() {
+	v := pool.Get()
+	defer pool.Put(v)
+	use(v)
+}
+
+// BranchLeak releases on the fall-through path but not on the early
+// return.
+func BranchLeak(cond bool) int {
+	v := pool.Get() // want `sync\.Pool value \(v\) may leak`
+	if cond {
+		return 0
+	}
+	pool.Put(v)
+	return 1
+}
+
+// BranchClean releases on both paths.
+func BranchClean(cond bool) int {
+	v := pool.Get()
+	if cond {
+		pool.Put(v)
+		return 0
+	}
+	pool.Put(v)
+	return 1
+}
+
+// DeliberateDrop documents an intentional leak (an incompatible
+// pooled shape, say) with the checked opt-out.
+func DeliberateDrop() {
+	v := pool.Get() //wildlint:allow poolleak
+	_ = v
+}
+
+type holder struct{ v any }
+
+// StowUnowned stores the acquisition into a structure with no
+// annotated owner.
+func StowUnowned() *holder {
+	return &holder{v: pool.Get()} // want `is stored into a structure at acquisition`
+}
+
+// StowOwned names the long-lived owner that releases later.
+func StowOwned() *holder {
+	//wildlint:owner
+	return &holder{v: pool.Get()}
+}
+
+// Policy and State mirror the policy.Policy / policy.Releasable
+// shapes: NewApp is the pooled-constructor signature (one parameter,
+// one result).
+type Policy struct{}
+
+// State is the pooled per-app state.
+type State struct{}
+
+// Release implements the Releasable half of the contract.
+func (*State) Release() {}
+
+// NewApp has the pooled-constructor shape the analyzer recognizes.
+func (Policy) NewApp(id string) *State { return &State{} }
+
+// AppLeak forgets the early-return path.
+func AppLeak(p Policy, cond bool) {
+	s := p.NewApp("a") // want `policy state from NewApp \(s\) may leak`
+	if cond {
+		return
+	}
+	s.Release()
+}
+
+// AppClean defers the release.
+func AppClean(p Policy) {
+	s := p.NewApp("a")
+	defer s.Release()
+}
+
+// Scratch mirrors the kernel scratch shape: DecideRuns returns a
+// buffer the next call overwrites.
+type Scratch struct{ buf []int }
+
+// DecideRuns returns the scratch-owned slice.
+func (s *Scratch) DecideRuns(n int) []int { return s.buf[:0] }
+
+// EscapeRuns returns the scratch slice uncopied.
+func EscapeRuns(s *Scratch) []int {
+	return s.DecideRuns(1) // want `result of Scratch\.DecideRuns is scratch-owned`
+}
+
+// CopyRuns is the sanctioned idiom: append copies before the escape.
+func CopyRuns(s *Scratch) []int {
+	return append([]int(nil), s.DecideRuns(1)...)
+}
+
+type runsBox struct{ runs []int }
+
+// VarEscape lets a local holding the scratch slice escape through a
+// field store.
+func VarEscape(s *Scratch, b *runsBox) {
+	runs := s.DecideRuns(1)
+	b.runs = runs // want `runs holds a scratch-owned Scratch\.DecideRuns slice`
+}
+
+// VarCopy copies before the store.
+func VarCopy(s *Scratch, b *runsBox) {
+	runs := s.DecideRuns(1)
+	b.runs = append([]int(nil), runs...)
+}

@@ -1,0 +1,69 @@
+// Package detfix exercises the determinism analyzer: map iteration
+// in the deterministic result path and unannotated wall-clock or
+// global-rand reads. Its import path sits under repro/internal/sim so
+// the map-iteration rule applies.
+package detfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Totals folds per-app counters in map iteration order — the classic
+// silent nondeterminism the golden-pinned path must never contain.
+func Totals(counts map[string]int) []int {
+	var out []int
+	for _, n := range counts { // want `range over map map\[string\]int in the deterministic result path`
+		out = append(out, n)
+	}
+	return out
+}
+
+// SortedTotals is the deterministic idiom: an annotated
+// order-invariant key collection, a sort, then a walk of the sorted
+// slice (not a map range at all).
+func SortedTotals(counts map[string]int) []int {
+	keys := make([]string, 0, len(counts))
+	//wildlint:orderinvariant
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, counts[k])
+	}
+	return out
+}
+
+// Stamp reads the wall clock with no annotation anywhere.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now is wall-clock/global-rand state`
+}
+
+// AllowedStamp is deliberate wall-clock code; the annotation on the
+// declaration covers the whole body.
+//
+//wildlint:allow wallclock
+func AllowedStamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// StatementAllowed scopes the exemption to single statements.
+func StatementAllowed() time.Duration {
+	t0 := time.Now()      //wildlint:allow wallclock
+	return time.Since(t0) //wildlint:allow wallclock
+}
+
+// Jitter draws from the process-global generator, whose seed is not
+// the run's seed.
+func Jitter() int {
+	return rand.Intn(10) // want `math/rand\.Intn is wall-clock/global-rand state`
+}
+
+// SeededJitter draws from an explicitly seeded generator — the
+// deterministic alternative the analyzer leaves alone.
+func SeededJitter() int {
+	return rand.New(rand.NewSource(1)).Intn(10)
+}

@@ -1,0 +1,62 @@
+// Package sinkfix exercises the sink-contract analyzer with local
+// stand-ins for the scenario sink registry.
+package sinkfix
+
+// Sink mirrors scenario.Sink: the interface already compels Merge;
+// the MarshalState/UnmarshalState codec is what the analyzer adds.
+type Sink interface {
+	Merge(other Sink) error
+}
+
+var reg = map[string]func() (Sink, error){}
+
+// RegisterSink mirrors the registry entry point the analyzer matches
+// by name.
+func RegisterSink(name string, b func() (Sink, error)) { reg[name] = b }
+
+// partialSink has Merge but no state codec: multi-process fan-out
+// would fail at runtime on the first sharded run that uses it.
+type partialSink struct{}
+
+// Merge implements Sink.
+func (*partialSink) Merge(other Sink) error { return nil }
+
+// fullSink implements the complete contract.
+type fullSink struct{}
+
+// Merge implements Sink.
+func (*fullSink) Merge(other Sink) error { return nil }
+
+// MarshalState implements the fan-out codec.
+func (*fullSink) MarshalState() ([]byte, error) { return nil, nil }
+
+// UnmarshalState implements the fan-out codec.
+func (*fullSink) UnmarshalState(data []byte) error { return nil }
+
+// embSink inherits the full contract through embedding; the method-set
+// check must see the promoted methods.
+type embSink struct{ fullSink }
+
+// newPartial is a package-local constructor; the analyzer follows the
+// interface-typed call to the concrete return inside.
+func newPartial() Sink {
+	return &partialSink{} // want `sink type \*sinkfix\.partialSink registered via RegisterSink is missing`
+}
+
+func init() {
+	RegisterSink("partial", func() (Sink, error) {
+		return &partialSink{}, nil // want `sink type \*sinkfix\.partialSink registered via RegisterSink is missing`
+	})
+	RegisterSink("full", func() (Sink, error) {
+		return &fullSink{}, nil
+	})
+	RegisterSink("embedded", func() (Sink, error) {
+		return &embSink{}, nil
+	})
+	RegisterSink("viaconstructor", func() (Sink, error) {
+		return newPartial(), nil
+	})
+	RegisterSink("nil", func() (Sink, error) {
+		return nil, nil
+	})
+}

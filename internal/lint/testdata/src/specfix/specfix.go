@@ -1,0 +1,39 @@
+// Package specfix exercises the spec-params analyzer against the real
+// repro/internal/spec package (imported from export data, not copied).
+package specfix
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Bad parses a query and never checks for unused keys: a misspelled
+// parameter would silently configure the default.
+func Bad(query string) (int, error) {
+	p, err := spec.Parse(query) // want `spec\.Parse result p is never checked with Unused\(\)`
+	if err != nil {
+		return 0, err
+	}
+	n, err := p.Int("n", 1)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Good rejects unknown keys before returning.
+func Good(query string) (int, error) {
+	p, err := spec.Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	n, err := p.Int("n", 1)
+	if err != nil {
+		return 0, err
+	}
+	if left := p.Unused(); len(left) > 0 {
+		return 0, fmt.Errorf("unknown parameters %v", left)
+	}
+	return n, nil
+}

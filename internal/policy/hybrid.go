@@ -131,6 +131,9 @@ var hybridAppPool sync.Pool
 // NewApp implements Policy. If a previously Released app with the same
 // histogram configuration is pooled, its backing state is reused.
 func (p *Hybrid) NewApp(string) AppPolicy {
+	// A pooled app with an incompatible histogram shape is deliberately
+	// dropped (below) rather than re-pooled.
+	//wildlint:allow poolleak
 	if v := hybridAppPool.Get(); v != nil {
 		a := v.(*hybridApp)
 		if a.hist.Config() == p.cfg.Histogram {

@@ -88,6 +88,11 @@ type Policy interface {
 // call Release exactly once and must not use the value afterwards;
 // a subsequent NewApp on the same policy configuration may then reuse
 // the backing state instead of allocating.
+//
+// The wildlint release analyzer (internal/lint) enforces the hygiene
+// half of this contract statically: a NewApp result must be released
+// on every path through the acquiring function or escape to an owner
+// (annotated //wildlint:owner when stored into a structure).
 type Releasable interface {
 	Release()
 }

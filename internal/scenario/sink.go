@@ -74,6 +74,7 @@ func SinkNames() []string {
 	sinkMu.RLock()
 	defer sinkMu.RUnlock()
 	names := make([]string, 0, len(sinkReg))
+	//wildlint:orderinvariant
 	for n := range sinkReg {
 		names = append(names, n)
 	}

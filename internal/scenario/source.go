@@ -82,6 +82,7 @@ func SourceNames() []string {
 	sourceMu.RLock()
 	defer sourceMu.RUnlock()
 	names := make([]string, 0, len(sourceReg))
+	//wildlint:orderinvariant
 	for n := range sourceReg {
 		names = append(names, n)
 	}

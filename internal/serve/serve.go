@@ -157,6 +157,9 @@ func (c *Controller) register(sh *shard, app string) *appEntry {
 	if e, ok := sh.apps[app]; ok {
 		return e
 	}
+	// The controller owns the pooled policy state; Controller.Release
+	// returns every entry to the pools.
+	//wildlint:owner
 	e := &appEntry{pol: c.pol.NewApp(app)}
 	sh.apps[app] = e
 	return e

@@ -99,6 +99,8 @@ type SoakResult struct {
 // a shared LatencyHistogram; the result carries p50/p99/p999 and
 // throughput. Cancelling ctx ends the run early with the partial
 // result.
+//
+//wildlint:allow wallclock — the soak harness times real decisions
 func Soak(ctx context.Context, cfg SoakConfig) (*SoakResult, error) {
 	cfg = cfg.withDefaults()
 	pol, err := policy.FromSpec(cfg.PolicySpec)
