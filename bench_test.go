@@ -244,6 +244,22 @@ func BenchmarkSimulatorHybrid(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorHybridFast is BenchmarkSimulatorHybrid on the
+// opt-in fast lane (exact=off, 1-minute amortized ARIMA refit): the
+// exact-vs-fast ratio of the two is the speedup BENCH_*.json's
+// fastmode section records.
+func BenchmarkSimulatorHybridFast(b *testing.B) {
+	pop := benchPopulation(b)
+	pol := policy.MustFromSpec("hybrid?exact=off&refit=1m")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.Simulate(pop.Trace, pol, sim.Options{})
+		if res.TotalInvocations() == 0 {
+			b.Fatal("empty simulation")
+		}
+	}
+}
+
 // BenchmarkClusterHybrid measures the finite-memory cluster timeline
 // with the hybrid policy under real eviction pressure (8 nodes, 4 GB
 // each): kernel precompute + global event ordering + pressure

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// CompareEntry is one benchmark's old-vs-new measurement in a
+// -compare run. DeltaPct is (new-old)/old in percent; positive means
+// the new snapshot is slower.
+type CompareEntry struct {
+	Name       string  `json:"name"`
+	OldNsPerOp float64 `json:"old_ns_per_op"`
+	NewNsPerOp float64 `json:"new_ns_per_op"`
+	DeltaPct   float64 `json:"delta_pct"`
+	Regression bool    `json:"regression"`
+}
+
+// Comparison is the -compare report: every benchmark present in both
+// snapshots, plus the names only one side has (informational — a
+// benchmark appearing or retiring is not a regression).
+type Comparison struct {
+	Old          string         `json:"old"`
+	New          string         `json:"new"`
+	ThresholdPct float64        `json:"threshold_pct"`
+	Entries      []CompareEntry `json:"entries"`
+	OnlyOld      []string       `json:"only_old,omitempty"`
+	OnlyNew      []string       `json:"only_new,omitempty"`
+	Regressions  int            `json:"regressions"`
+}
+
+// runCompare loads two BENCH_<n>.json snapshots, diffs their ns/op
+// entries against the threshold, renders the result (table or JSON)
+// and returns the process exit code: nonzero iff any shared benchmark
+// regressed by more than the threshold.
+func runCompare(oldPath, newPath string, thresholdPct float64, format string) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport: -compare:", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport: -compare:", err)
+		return 2
+	}
+
+	cmp := compareReports(oldPath, newPath, oldRep, newRep, thresholdPct)
+
+	switch format {
+	case "json":
+		data, err := json.MarshalIndent(cmp, "", "\t")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport: -compare:", err)
+			return 2
+		}
+		fmt.Println(string(data))
+	case "table":
+		printComparison(cmp)
+	default:
+		fmt.Fprintf(os.Stderr, "benchreport: -compare: unknown -format %q (want table or json)\n", format)
+		return 2
+	}
+
+	if cmp.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: %d benchmark(s) regressed beyond %.1f%% (%s -> %s)\n",
+			cmp.Regressions, thresholdPct, oldPath, newPath)
+		return 1
+	}
+	return 0
+}
+
+// compareReports pairs the two snapshots' entries and marks every
+// shared benchmark whose ns/op grew past the threshold.
+func compareReports(oldPath, newPath string, oldRep, newRep *Report, thresholdPct float64) *Comparison {
+	cmp := &Comparison{Old: oldPath, New: newPath, ThresholdPct: thresholdPct}
+	for name, oe := range oldRep.Entries {
+		ne, ok := newRep.Entries[name]
+		if !ok {
+			cmp.OnlyOld = append(cmp.OnlyOld, name)
+			continue
+		}
+		e := CompareEntry{Name: name, OldNsPerOp: oe.NsPerOp, NewNsPerOp: ne.NsPerOp}
+		if oe.NsPerOp > 0 {
+			e.DeltaPct = 100 * (ne.NsPerOp - oe.NsPerOp) / oe.NsPerOp
+		} else if ne.NsPerOp > 0 {
+			e.DeltaPct = math.Inf(1)
+		}
+		e.Regression = e.DeltaPct > thresholdPct
+		if e.Regression {
+			cmp.Regressions++
+		}
+		cmp.Entries = append(cmp.Entries, e)
+	}
+	for name := range newRep.Entries {
+		if _, ok := oldRep.Entries[name]; !ok {
+			cmp.OnlyNew = append(cmp.OnlyNew, name)
+		}
+	}
+	sort.Slice(cmp.Entries, func(i, j int) bool { return cmp.Entries[i].Name < cmp.Entries[j].Name })
+	sort.Strings(cmp.OnlyOld)
+	sort.Strings(cmp.OnlyNew)
+	return cmp
+}
+
+// printComparison renders the human table: one row per shared
+// benchmark, regressions flagged in the last column.
+func printComparison(cmp *Comparison) {
+	fmt.Printf("%-34s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, e := range cmp.Entries {
+		flag := ""
+		if e.Regression {
+			flag = "  REGRESSION"
+		} else if e.DeltaPct < -cmp.ThresholdPct {
+			flag = "  improved"
+		}
+		fmt.Printf("%-34s %14.1f %14.1f %+8.1f%%%s\n", e.Name, e.OldNsPerOp, e.NewNsPerOp, e.DeltaPct, flag)
+	}
+	for _, n := range cmp.OnlyOld {
+		fmt.Printf("%-34s (only in %s)\n", n, cmp.Old)
+	}
+	for _, n := range cmp.OnlyNew {
+		fmt.Printf("%-34s (only in %s)\n", n, cmp.New)
+	}
+}
+
+// loadReport reads one BENCH_<n>.json snapshot.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Entries == nil {
+		return nil, fmt.Errorf("%s: no entries section", path)
+	}
+	return &rep, nil
+}

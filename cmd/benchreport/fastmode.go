@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/equiv"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// fastSpecStr is the fast-lane policy spec the fastmode section
+// measures against the exact default — the same lane
+// BenchmarkSimulatorHybridFast runs.
+const fastSpecStr = "hybrid?exact=off&refit=1m"
+
+// FastMode is the exact-vs-fast section of the report: the measured
+// speedup of the opt-in fast lane over the exact lane on the shared
+// simulator benchmark, and the decision flip rate the speedup costs,
+// measured by the equivalence harness over the benchmark population.
+type FastMode struct {
+	ExactSpec    string  `json:"exact_spec"`
+	FastSpec     string  `json:"fast_spec"`
+	ExactNsPerOp float64 `json:"exact_ns_per_op"`
+	FastNsPerOp  float64 `json:"fast_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+	Invocations  int64   `json:"invocations"`
+	Flips        int64   `json:"flips"`
+	FlipRate     float64 `json:"flip_rate"`
+}
+
+// fastModeSection builds the fastmode section when the run measured
+// both lanes of the simulator benchmark; otherwise (narrower -bench
+// regexp) it returns nil and the section is omitted. The flip rate
+// comes from internal/equiv over the same population bench_test.go
+// uses, so the recorded speedup and its divergence cost describe the
+// same workload.
+func fastModeSection(entries map[string]Entry) *FastMode {
+	exact, okE := entries["BenchmarkSimulatorHybrid"]
+	fast, okF := entries["BenchmarkSimulatorHybridFast"]
+	if !okE || !okF || fast.NsPerOp <= 0 {
+		return nil
+	}
+	fm := &FastMode{
+		ExactSpec:    "hybrid",
+		FastSpec:     fastSpecStr,
+		ExactNsPerOp: exact.NsPerOp,
+		FastNsPerOp:  fast.NsPerOp,
+		Speedup:      exact.NsPerOp / fast.NsPerOp,
+	}
+
+	// The same workload the simulator benchmarks measure.
+	pop, err := workload.Generate(workload.Config{
+		Seed: 2024, NumApps: 300, Duration: 3 * 24 * time.Hour,
+		MaxDailyRate: 1000, MaxEventsPerFunction: 8000,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport: fastmode population:", err)
+		os.Exit(1)
+	}
+	rep := equiv.CompareTrace("bench-population", pop.Trace,
+		policy.NewHybrid(policy.DefaultHybridConfig()),
+		policy.MustFromSpec(fastSpecStr), sim.Options{})
+	fm.Invocations = rep.Invocations
+	fm.Flips = rep.Flips
+	fm.FlipRate = rep.FlipRate()
+	return fm
+}

@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_8.json] [-bench regexp] [-benchtime 2s] [-count 1] [-soak 2s]
+//	go run ./cmd/benchreport [-out BENCH_10.json] [-bench regexp] [-benchtime 2s] [-count 1] [-soak 2s]
 //	go run ./cmd/benchreport -cpus 1,2,4                 # multicore lanes
 //	go run ./cmd/benchreport -scale '<scenario>' -scale-fanout 4
+//	go run ./cmd/benchreport -compare old.json new.json  # diff two snapshots
 //
 // The default benchmark set covers the per-invocation decision
 // pipeline the §5.3 overhead study cares about (simulator, policy,
@@ -23,6 +24,19 @@
 // fresh, optionally fanned out across worker processes) and records
 // its wall-clock and peak process RSS under "scale" — the trace-scale
 // headline measurement.
+//
+// When the run measures both lanes of the simulator benchmark
+// (BenchmarkSimulatorHybrid and BenchmarkSimulatorHybridFast), the
+// report carries a "fastmode" section: the exact-vs-fast speedup and
+// the decision flip rate the equivalence harness (internal/equiv)
+// measures over the benchmark population — the speedup and its
+// divergence cost, side by side.
+//
+// -compare old.json new.json diffs two committed snapshots: shared
+// benchmarks whose ns/op grew by more than -threshold percent (±5%
+// by default) are regressions, rendered as a table (or JSON with
+// -format json), and the exit status is nonzero when any exist — the
+// CI gate on the committed perf trajectory.
 package main
 
 import (
@@ -88,13 +102,14 @@ type Report struct {
 	Multicore   []CPULane         `json:"multicore,omitempty"`
 	Soak        *serve.SoakResult `json:"soak,omitempty"`
 	Scale       *ScaleRun         `json:"scale,omitempty"`
+	FastMode    *FastMode         `json:"fastmode,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "output file")
+	out := flag.String("out", "BENCH_10.json", "output file")
 	bench := flag.String("bench", defaultBenchRegexp, "benchmark regexp passed to go test")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark time")
 	count := flag.Int("count", 1, "benchmark repetitions (minimum ns/op is kept)")
@@ -102,7 +117,30 @@ func main() {
 	soak := flag.Duration("soak", 2*time.Second, "serving-soak length (0 disables the soak section)")
 	scale := flag.String("scale", "", "coldsim scenario to run as the trace-scale measurement")
 	scaleFanout := flag.Int("scale-fanout", 0, "worker processes for the -scale run (coldsim -fanout)")
+	compare := flag.String("compare", "", "compare mode: old snapshot (the new one is the positional argument)")
+	threshold := flag.Float64("threshold", 5, "compare mode: regression threshold in percent")
+	format := flag.String("format", "table", "compare mode output: table or json")
 	flag.Parse()
+
+	if *compare != "" {
+		// flag.Parse stops at the first positional, so tolerate
+		// "-compare old.json new.json -format json" by re-parsing
+		// whatever follows the new snapshot path.
+		rest := flag.Args()
+		if len(rest) < 1 {
+			fmt.Fprintln(os.Stderr, "benchreport: usage: benchreport -compare old.json new.json [-threshold pct] [-format table|json]")
+			os.Exit(2)
+		}
+		fs := flag.NewFlagSet("compare", flag.ExitOnError)
+		thr := fs.Float64("threshold", *threshold, "regression threshold in percent")
+		form := fs.String("format", *format, "output: table or json")
+		_ = fs.Parse(rest[1:])
+		if fs.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "benchreport: usage: benchreport -compare old.json new.json [-threshold pct] [-format table|json]")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(*compare, rest[0], *thr, *form))
+	}
 
 	laneCPUs, err := parseCPUList(*cpus)
 	if err != nil {
@@ -188,6 +226,13 @@ func main() {
 		// The top-level entries are the first listed lane, so diffs
 		// against single-lane reports stay meaningful.
 		rep.Entries = laneFor(laneCPUs[0])
+	}
+
+	if fm := fastModeSection(rep.Entries); fm != nil {
+		rep.FastMode = fm
+		fmt.Fprintf(os.Stderr,
+			"benchreport: fastmode  %.2fx speedup  flip rate %.4f%% (%d/%d)\n",
+			fm.Speedup, fm.FlipRate*100, fm.Flips, fm.Invocations)
 	}
 
 	if *soak > 0 {

@@ -168,7 +168,7 @@ func parseEvent(s string) (Event, error) {
 		ev.MemMB = mem
 	}
 	if left := p.Unused(); len(left) > 0 {
-		return Event{}, fmt.Errorf("cluster: event %q: unknown parameters %v", s, left)
+		return Event{}, fmt.Errorf("cluster: event %q: unknown parameters %v (known: %v)", s, left, p.Known())
 	}
 	return ev, nil
 }

@@ -336,7 +336,7 @@ func NewPlacement(s string) (Placement, error) {
 		return nil, fmt.Errorf("cluster: placement spec %q: %w", s, err)
 	}
 	if left := p.Unused(); len(left) > 0 {
-		return nil, fmt.Errorf("cluster: placement spec %q: unknown parameters %v", s, left)
+		return nil, fmt.Errorf("cluster: placement spec %q: unknown parameters %v (known: %v)", s, left, p.Known())
 	}
 	return pl, nil
 }

@@ -1,0 +1,274 @@
+// Package equiv is the tolerance-based equivalence harness between
+// the exact policy lane and the opt-in fast lane (hybrid?exact=off).
+//
+// The exact lane is pinned bit-for-bit to the seed implementation;
+// the fast lane is licensed to diverge at CV ties and percentile
+// rounding boundaries (see internal/ithist's fast kernel). This
+// package turns "licensed to diverge" into a measured contract: it
+// runs both lanes over a trace, counts per-invocation decision flips
+// by merging the two run-length-encoded decision streams, compares
+// the end metrics the paper reports (per-app cold-start percentage
+// percentiles, wasted memory normalized to the exact lane, cluster
+// cold-start attribution totals), and asserts everything under
+// configurable tolerances. CI runs it over the golden scenario corpus
+// and the incident corpus, so a fast-kernel change that widens the
+// divergence fails loudly instead of shipping as a silent behavioral
+// drift.
+package equiv
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/sim/kernel"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// coldPcts are the percentiles of the per-app cold-start percentage
+// distribution the harness compares (the paper's CDF summary points).
+var coldPcts = [3]float64{50, 75, 99}
+
+// Tolerances bounds the fast lane's divergence from the exact lane.
+// The zero value tolerates nothing; use DefaultTolerances for the
+// repo's CI contract.
+type Tolerances struct {
+	// MaxFlipRate is the largest acceptable fraction of invocations
+	// whose decision differs between the lanes (0.01 = 1%).
+	MaxFlipRate float64
+	// MaxColdDelta is the largest acceptable absolute difference, in
+	// percentage points, at each compared percentile (p50/p75/p99) of
+	// the per-app cold-start percentage distribution.
+	MaxColdDelta float64
+	// MaxWasteDelta is the largest acceptable deviation, in points,
+	// of the fast lane's wasted memory normalized to the exact lane's
+	// (100 = identical).
+	MaxWasteDelta float64
+	// MaxAttrDelta is the largest acceptable absolute difference in
+	// each cluster attribution total (cold starts, eviction-induced,
+	// failure-induced). Only checked for cluster comparisons.
+	MaxAttrDelta int64
+}
+
+// DefaultTolerances is the CI contract: flip rate at most 1%, cold
+// percentile movement at most half a point, normalized waste within a
+// point, attribution totals within a handful of a scenario's events.
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		MaxFlipRate:   0.01,
+		MaxColdDelta:  0.5,
+		MaxWasteDelta: 1.0,
+		MaxAttrDelta:  5,
+	}
+}
+
+// Attribution is a cluster run's cold-start attribution totals.
+type Attribution struct {
+	ColdStarts int64
+	Eviction   int64
+	Failure    int64
+}
+
+// Report is the measured divergence of one exact-vs-fast comparison.
+type Report struct {
+	Name string
+	// Invocations is the total decision count compared; Flips is how
+	// many of them differed between the lanes.
+	Invocations int64
+	Flips       int64
+	// ColdExact and ColdFast are the per-app cold-start percentage
+	// percentiles (p50, p75, p99) of each lane.
+	ColdExact [3]float64
+	ColdFast  [3]float64
+	// WastePct is the fast lane's total wasted memory as a percentage
+	// of the exact lane's (100 = identical).
+	WastePct float64
+	// HasCluster marks that the attribution totals were measured
+	// (cluster comparison); AttrExact/AttrFast are zero otherwise.
+	HasCluster bool
+	AttrExact  Attribution
+	AttrFast   Attribution
+}
+
+// FlipRate returns the fraction of compared decisions that differed.
+func (r *Report) FlipRate() float64 {
+	if r.Invocations == 0 {
+		return 0
+	}
+	return float64(r.Flips) / float64(r.Invocations)
+}
+
+// ColdDeltas returns the absolute percentile differences, in points.
+func (r *Report) ColdDeltas() [3]float64 {
+	var d [3]float64
+	for i := range d {
+		d[i] = abs(r.ColdFast[i] - r.ColdExact[i])
+	}
+	return d
+}
+
+// WasteDelta returns the normalized-waste deviation from 100, in
+// points.
+func (r *Report) WasteDelta() float64 { return abs(r.WastePct - 100) }
+
+// Check returns an error describing every tolerance the report
+// violates, or nil if the divergence is within bounds.
+func (r *Report) Check(tol Tolerances) error {
+	var viol []string
+	if fr := r.FlipRate(); fr > tol.MaxFlipRate {
+		viol = append(viol, fmt.Sprintf("flip rate %.4f%% (%d/%d) > %.4f%%",
+			fr*100, r.Flips, r.Invocations, tol.MaxFlipRate*100))
+	}
+	for i, d := range r.ColdDeltas() {
+		if d > tol.MaxColdDelta {
+			viol = append(viol, fmt.Sprintf("cold-start p%.0f delta %.3f points (%.3f vs %.3f) > %.3f",
+				coldPcts[i], d, r.ColdExact[i], r.ColdFast[i], tol.MaxColdDelta))
+		}
+	}
+	if d := r.WasteDelta(); d > tol.MaxWasteDelta {
+		viol = append(viol, fmt.Sprintf("normalized waste %.3f%% deviates from exact by %.3f points > %.3f",
+			r.WastePct, d, tol.MaxWasteDelta))
+	}
+	if r.HasCluster {
+		checkAttr := func(label string, e, f int64) {
+			if d := e - f; d > tol.MaxAttrDelta || -d > tol.MaxAttrDelta {
+				viol = append(viol, fmt.Sprintf("%s attribution %d (exact) vs %d (fast), |delta| > %d",
+					label, e, f, tol.MaxAttrDelta))
+			}
+		}
+		checkAttr("cold-start", r.AttrExact.ColdStarts, r.AttrFast.ColdStarts)
+		checkAttr("eviction", r.AttrExact.Eviction, r.AttrFast.Eviction)
+		checkAttr("failure", r.AttrExact.Failure, r.AttrFast.Failure)
+	}
+	if len(viol) == 0 {
+		return nil
+	}
+	return fmt.Errorf("equiv: %s: %s", r.Name, strings.Join(viol, "; "))
+}
+
+// CountFlips merge-walks two run-length-encoded decision streams and
+// returns the number of per-invocation positions whose decisions
+// differ, plus the number of positions compared. Streams of unequal
+// length count every unpaired trailing decision as a flip (the lanes
+// disagreeing on how many decisions exist is the worst divergence).
+func CountFlips(a, b []policy.DecisionRun) (flips, total int64) {
+	ai, bi := 0, 0
+	var an, bn int64
+	for {
+		for an == 0 && ai < len(a) {
+			an = int64(a[ai].N)
+			ai++
+		}
+		for bn == 0 && bi < len(b) {
+			bn = int64(b[bi].N)
+			bi++
+		}
+		if an == 0 || bn == 0 {
+			break
+		}
+		n := an
+		if bn < n {
+			n = bn
+		}
+		if a[ai-1].D != b[bi-1].D {
+			flips += n
+		}
+		total += n
+		an -= n
+		bn -= n
+	}
+	// Unpaired tails.
+	flips += an + bn
+	total += an + bn
+	return flips, total
+}
+
+// CompareTrace runs the exact and fast policies over the trace and
+// reports the divergence: per-invocation decision flips (from the
+// batch decision streams, app by app) and the end-metric deltas from
+// two full simulations.
+func CompareTrace(name string, tr *trace.Trace, exact, fast policy.Policy, opt sim.Options) *Report {
+	rep := &Report{Name: name}
+	var se, sf kernel.Scratch
+	for _, app := range tr.Apps {
+		times := app.InvocationTimes()
+		if len(times) == 0 {
+			continue
+		}
+		var execs []float64
+		if opt.UseExecTime {
+			execs = se.ExecSeconds(app)
+		}
+		idles := se.IdleTimes(times, execs)
+		// The fast scratch only re-encodes: DecideRuns' result aliases
+		// its scratch, so each lane needs its own.
+		runsE := se.DecideRuns(newApp(exact, app.ID), idles)
+		runsF := sf.DecideRuns(newApp(fast, app.ID), idles)
+		flips, total := CountFlips(runsE, runsF)
+		rep.Flips += flips
+		rep.Invocations += total
+	}
+
+	resE := sim.Simulate(tr, exact, opt)
+	resF := sim.Simulate(tr, fast, opt)
+	rep.fillMetrics(resE, resF)
+	return rep
+}
+
+// CompareCluster is CompareTrace under the cluster engine: the flip
+// and metric comparison is identical (policy decisions do not depend
+// on cluster state), and additionally the cold-start attribution
+// totals of both lanes are captured from two cluster simulations.
+func CompareCluster(name string, tr *trace.Trace, exact, fast policy.Policy, cfg cluster.Config, opt sim.Options) *Report {
+	rep := CompareTrace(name, tr, exact, fast, opt)
+	rep.HasCluster = true
+	rep.AttrExact = clusterAttr(cluster.Simulate(tr, exact, cfg))
+	rep.AttrFast = clusterAttr(cluster.Simulate(tr, fast, cfg))
+	return rep
+}
+
+func (r *Report) fillMetrics(resE, resF *sim.Result) {
+	pe := resE.ColdPercents()
+	pf := resF.ColdPercents()
+	for i, p := range coldPcts {
+		r.ColdExact[i] = stats.Percentile(pe, p)
+		r.ColdFast[i] = stats.Percentile(pf, p)
+	}
+	// Normalize the fast lane's waste to the exact lane's: 100 means
+	// the lanes waste identically. An exact lane that wastes nothing
+	// (degenerate tiny traces) reports 100 iff the fast lane also
+	// wastes nothing.
+	if resE.TotalWastedSeconds() == 0 {
+		if resF.TotalWastedSeconds() == 0 {
+			r.WastePct = 100
+		} else {
+			r.WastePct = 200 // any waste over a zero baseline: out of tolerance
+		}
+		return
+	}
+	r.WastePct = 100 * resF.TotalWastedSeconds() / resE.TotalWastedSeconds()
+}
+
+func clusterAttr(res *cluster.Result) Attribution {
+	var a Attribution
+	for _, app := range res.Apps {
+		a.ColdStarts += int64(app.ColdStarts)
+		a.Eviction += int64(app.EvictionColdStarts)
+		a.Failure += int64(app.FailureColdStarts)
+	}
+	return a
+}
+
+// newApp instantiates per-app policy state, releasing nothing: the
+// harness compares short corpora and lets the states be collected.
+func newApp(p policy.Policy, id string) policy.AppPolicy { return p.NewApp(id) }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -77,6 +77,7 @@ func Decode(data []byte) (*Histogram, error) {
 		if c > 0 {
 			h.counts[i] = int64(c)
 			h.total += int64(c)
+			h.sumSq += int64(c) * int64(c)
 			h.cvReplace(0, float64(c))
 		}
 	}
@@ -101,10 +102,11 @@ func (h *Histogram) Merge(other *Histogram, weight float64) error {
 		if add == 0 {
 			continue
 		}
-		old := float64(h.counts[i])
+		oldC := h.counts[i]
 		h.counts[i] += add
 		h.total += add
-		h.cvReplace(old, float64(h.counts[i]))
+		h.sumSq += h.counts[i]*h.counts[i] - oldC*oldC
+		h.cvReplace(float64(oldC), float64(h.counts[i]))
 	}
 	h.oob += int64(float64(other.oob)*weight + 0.5)
 	h.rebuildCursors()

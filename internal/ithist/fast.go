@@ -1,0 +1,463 @@
+package ithist
+
+import "time"
+
+// Fast-mode decision kernel (policy=hybrid?exact=off).
+//
+// The exact kernel (DecideSeq) is pinned bit-for-bit to the seed's
+// per-call semantics, which forbids the two classically profitable
+// rewrites of the representativeness gate: closed-form CV moments and
+// a square-free threshold comparison. Both were measured faster and
+// reverted in PR 1 because the bin-count CV lands exactly on the
+// paper's threshold of 2 for structurally common count patterns, where
+// any reassociation flips real decisions. This file is the opt-in lane
+// that takes those rewrites anyway: callers accept that decisions may
+// differ from the exact path at CV ties and near percentile-target
+// rounding boundaries, with the divergence measured and bounded by
+// internal/equiv rather than forbidden.
+//
+// What diverges, precisely:
+//
+//   - The CV gate uses the closed-form integer moments: with S the sum
+//     of squared bin counts, T the in-bounds total and n the bin
+//     count, CV^2 = n*S/T^2 - 1, so CV < thr iff n*S < (1+thr^2)*T^2.
+//     No Welford recurrence, no square root, no division — but a tie
+//     at CV == thr resolves by exact algebra where the exact path
+//     resolves by float rounding of the incremental moments.
+//   - The percentile-cursor targets are compared in exact rational
+//     arithmetic (100*cum against percentile*total) instead of the
+//     float frac*total re-derivation at each cursor sync; ties the
+//     float product rounds across an integer prefix count resolve the
+//     infinite-precision way.
+//
+// Everything else — binning, OOB accounting, cursor walks, window
+// memoization, run-length encoding — computes the same decisions as
+// DecideSeq, only restructured: the observe path is branchless (real
+// traces alternate idle signs unpredictably under concurrency, and
+// the mispredicts cost more than the observation itself), and when
+// the thresholds are exactly representable as small rationals — the
+// paper's CV threshold 2, 5th/99th percentiles, OOB fraction 0.5 —
+// the whole per-observation regime evaluation runs in int64 with no
+// conversions. Non-rational configurations take the float loop below,
+// which keeps incremental float targets instead.
+
+// Run keys for the fast kernels' run-length encoding: runs break
+// exactly when the emitted (regime, windows) pair changes, tracked as
+// a small integer — OOB and Standard are fixed keys, Windows keys are
+// 2 plus a generation counter bumped whenever the memoized window
+// values change. The per-observation tail is one compare instead of a
+// three-field one; the run's windows are captured at run start.
+const (
+	fastKeyOOB = 0
+	fastKeyStd = 1
+)
+
+// fastSizeLimit bounds the observation counts under which the int64
+// forms cannot overflow: with total < 2^26, total^2 < 2^52 leaves
+// eleven bits for the threshold factors and sixteen for the OOB
+// fraction scale.
+const fastSizeLimit = 1 << 26
+
+// FastCVBelow reports whether the bin-count CV is below thr using the
+// closed-form moments. It is the fast-mode counterpart of CVBelow and
+// may disagree with it when the CV sits exactly on thr (the known
+// divergence hotspot at the paper's threshold of 2). Like the batch
+// kernel it prefers the pure integer comparison so the per-call path
+// resolves ties the same way.
+func (h *Histogram) FastCVBelow(thr float64) bool {
+	thrSq1 := 1 + thr*thr
+	if h.total == 0 {
+		// All-zero counts: the CV is defined as 0, below any positive
+		// threshold (thrSq1 > 1 iff thr > 0), matching cvBelow.
+		return thrSq1 > 1
+	}
+	thrI := int64(thrSq1)
+	nI := int64(h.cfg.NumBins)
+	if float64(thrI) == thrSq1 && nI < 1<<11 && thrI < 1<<11 && h.total < fastSizeLimit {
+		return nI*h.sumSq < thrI*h.total*h.total
+	}
+	return fastCVBelow(float64(h.cfg.NumBins), h.sumSq, h.total, thrSq1)
+}
+
+// fastCVBelow is the square-free CV test on explicit state: with mean
+// T/n and variance S/n - (T/n)^2, CV^2 = n*S/T^2 - 1, so CV < thr iff
+// n*S < (1+thr^2)*T^2. thrSq1 is the precomputed 1+thr^2.
+func fastCVBelow(nf float64, sumSq, total int64, thrSq1 float64) bool {
+	if total == 0 {
+		return thrSq1 > 1
+	}
+	totalF := float64(total)
+	return nf*float64(sumSq) < thrSq1*totalF*totalF
+}
+
+// walkI is walk with the percentile target supplied as the exact
+// rational tN/100 (tN = percentile*total, pre-clamped): the invariant
+// compares 100*cum against tN in int64, the infinite-precision form of
+// the percentile test. The float path can round (P/100)*total across
+// an integer prefix count right at a cursor boundary; resolving those
+// ties by exact rational algebra instead is the fast lane's licensed
+// relaxation, measured by internal/equiv. No conversions, no calls —
+// the entry tests are a handful of register ops per sync.
+func (c *cursor) walkI(counts []int64, tN int64) {
+	for 100*c.cum < tN {
+		c.bin++
+		for counts[c.bin] == 0 {
+			c.bin++
+		}
+		c.cum += counts[c.bin]
+	}
+	for 100*(c.cum-counts[c.bin]) >= tN {
+		c.cum -= counts[c.bin]
+		c.bin--
+		for counts[c.bin] == 0 {
+			c.bin--
+		}
+	}
+}
+
+// DecideSeqFast is DecideSeq with the bit-exactness contract relaxed
+// (see the file comment for exactly what diverges). It maintains only
+// the integer moment sumSq in the observation loop and leaves the
+// Welford moments stale; exact readers rebuild them lazily via
+// fixWelford.
+//
+// The common all-rational configuration — integral 1+cv^2, integral
+// percentiles, an OOB fraction with at most sixteen fractional bits —
+// dispatches to the pure-integer loop; anything else takes the float
+// loop. Both are fast-lane kernels with identical divergence
+// contracts; the dispatch is per batch, so a given histogram always
+// resolves ties the same way.
+func (h *Histogram) DecideSeqFast(idles []time.Duration, minObs int64, oobThr, cvThr float64, runs []WindowRun) []WindowRun {
+	if len(idles) <= 1 {
+		return runs
+	}
+	thrSq1 := 1 + cvThr*cvThr
+	thrI := int64(thrSq1)
+	nI := int64(h.cfg.NumBins)
+	pHead := int64(h.cfg.HeadPercentile)
+	pTail := int64(h.cfg.TailPercentile)
+	// oobThr with at most 16 fractional bits (the paper's 0.5, and any
+	// percentage with a dyadic fraction) makes oob > oobThr*cnt exact
+	// in int64: oobQ*cnt < 2^16 * 2^27 stays far below 2^53, so the
+	// float comparison it replaces would not have rounded either — the
+	// integer OOB test is equivalent, not a divergence.
+	oobQ := oobThr * (1 << 16)
+	sizeOK := h.total+int64(len(idles)) < fastSizeLimit
+	if sizeOK &&
+		float64(thrI) == thrSq1 && nI < 1<<11 && thrI < 1<<11 &&
+		float64(pHead) == h.cfg.HeadPercentile &&
+		float64(pTail) == h.cfg.TailPercentile &&
+		float64(int64(oobQ)) == oobQ && oobQ >= 0 && oobQ <= 1<<16 {
+		return h.decideSeqFastInt(idles, minObs, nI, thrI, pHead, pTail, int64(oobQ), runs)
+	}
+	return h.decideSeqFastFloat(idles, minObs, oobThr, cvThr, runs)
+}
+
+// decideSeqFastInt is the all-rational fast kernel: every
+// per-observation quantity — the closed-form CV gate, the OOB
+// fraction test, the percentile-cursor targets — lives in int64
+// registers, with no float conversions anywhere in the loop.
+func (h *Histogram) decideSeqFastInt(idles []time.Duration, minObs, nI, thrI, pHead, pTail, oobQ int64, runs []WindowRun) []WindowRun {
+	counts := h.counts
+	binW := h.cfg.BinWidth
+	binIsMinute := binW == time.Minute
+	headFrac, tailFrac := h.headFrac, h.tailFrac // cold-path cursor seeding only
+	total, oob := h.total, h.oob
+	sumSq := h.sumSq
+	tsq := total * total
+	head, tail := h.head, h.tail
+	syncedAt := h.syncedAt
+	winHead, winTail := h.winHead, h.winTail
+	winPW, winKA := h.winPreWarm, h.winKeepAlive
+	winValid := h.winValid
+	winGen := int64(0)
+	curKey := int64(-1)
+	var curCount int32
+	var curPW, curKA time.Duration
+	var curRegime Regime
+	// Incremental cursor margins: with tN = percentile*total, the
+	// post-walk invariants are 100*cum >= tN (forward slack mF) and
+	// tN - 100*(cum - counts[bin]) > 0 (backward slack mB). Both slacks
+	// change by register-width constants per in-bounds observation —
+	// tN grows by the percentile, 100*cum by 100 when the observation
+	// lands at or below the cursor bin, and cum - counts[bin] only when
+	// it lands strictly below — so the steady loop proves "this
+	// observation cannot move either cursor, hence cannot change the
+	// windows" with one sign test and skips the sync block entirely.
+	// The slacks are only trusted (margValid) once the cursors are
+	// seeded and total has grown past the sub-half clamp region where
+	// tN is pinned at 50 rather than tracking percentile*total.
+	var mHf, mHb, mTf, mTb int64
+	margValid := false
+	clampFree := int64(1) << 62
+	if pHead > 0 && pTail > 0 {
+		clampFree = (50 + pHead - 1) / pHead
+		if cf := (50 + pTail - 1) / pTail; cf > clampFree {
+			clampFree = cf
+		}
+	}
+	// The loop is split into a call-free hot section and a cold
+	// section: the register allocator spills every value that is live
+	// across a call site inside a loop, and with cursorAtN,
+	// marginWindows and append reachable from the old single-loop
+	// body, the whole carried state (moments, cursors, slacks) lived
+	// on the stack — two dozen stack accesses per observation dwarfed
+	// the arithmetic. The hot loop below contains no calls at all, so
+	// the carried state stays in registers; it breaks out on the rare
+	// events that need one — a run-key change (append) or a cursor
+	// sync (walk/memoization) — and the cold section resolves the
+	// already-observed idle before re-entering.
+	const keyNeedSync = int64(-2)
+	n := len(idles)
+	i := 1
+	for i < n {
+		var key int64
+		for ; i < n; i++ {
+			it := idles[i]
+			// Branchless observe: ORing the idle's sign into idx makes
+			// any negative idle map to a negative idx, so one unsigned
+			// bounds test routes both OOB cases; the sign bit of
+			// idx-bin-1 bumps the cursor prefix counts without
+			// data-dependent branches.
+			var idx int
+			if binIsMinute {
+				idx = int(it/time.Minute) | int(it>>63)
+			} else {
+				idx = int(it/binW) | int(it>>63)
+			}
+			if uint(idx) >= uint(len(counts)) {
+				oob++
+			} else {
+				c := counts[idx]
+				counts[idx] = c + 1
+				total++
+				tsq += total<<1 - 1
+				sumSq += 2*c + 1
+				leH := int64(idx-head.bin-1) >> 63 // -1 iff idx <= head.bin
+				leT := int64(idx-tail.bin-1) >> 63
+				head.cum -= leH
+				tail.cum -= leT
+				mHf += (100 & leH) - pHead
+				mTf += (100 & leT) - pTail
+				mHb += pHead - (100 & (int64(idx-head.bin) >> 63))
+				mTb += pTail - (100 & (int64(idx-tail.bin) >> 63))
+			}
+			// Regime selection, same ordering as DecideSeq. The CV test
+			// is evaluated eagerly (it is two multiplies); when
+			// total == 0 it reads "not above", and the total != 0 term
+			// keeps the RegimeStandard outcome of the exact chain's
+			// explicit total == 0 arm.
+			cnt := total + oob
+			key = fastKeyStd
+			if cnt >= minObs && oob != 0 && oob<<16 > oobQ*cnt {
+				key = fastKeyOOB
+			} else if cnt >= minObs && nI*sumSq >= thrI*tsq && total != 0 {
+				// All four slacks non-negative (backward ones strictly
+				// positive) proves both walks are no-ops and the
+				// memoized windows current; ORing propagates any
+				// violated sign bit.
+				if margValid && (mHf|(mHb-1)|mTf|(mTb-1)) >= 0 {
+					key = 2 + winGen
+				} else {
+					key = keyNeedSync
+				}
+			}
+			if key != curKey {
+				break
+			}
+			curCount++
+		}
+		if i >= n {
+			break
+		}
+		// Cold section. Observation i is already folded into the
+		// histogram state; resolve its run key — syncing the cursors
+		// and re-memoizing the windows if the hot loop flagged it —
+		// then extend or restart the current run.
+		if key == keyNeedSync {
+			if syncedAt != total {
+				syncedAt = total
+				if head.bin < 0 {
+					head = cursorAtN(counts, headFrac, total)
+					tail = cursorAtN(counts, tailFrac, total)
+				} else {
+					// effTarget's sub-half clamp in rational form:
+					// target < 0.5 iff percentile*total < 50.
+					tH := pHead * total
+					if tH < 50 {
+						tH = 50
+					}
+					tT := pTail * total
+					if tT < 50 {
+						tT = 50
+					}
+					head.walkI(counts, tH)
+					tail.walkI(counts, tT)
+				}
+			}
+			if !winValid || winHead != head.bin || winTail != tail.bin {
+				pw, ka := marginWindows(h.cfg, head.bin, tail.bin)
+				// Bump the run key only when the window values change:
+				// distinct cursor bins can margin-round to identical
+				// windows, which the exact kernel's value compare
+				// merges into one run.
+				if !winValid || pw != winPW || ka != winKA {
+					winGen++
+				}
+				winHead, winTail = head.bin, tail.bin
+				winPW, winKA = pw, ka
+				winValid = true
+			}
+			if total >= clampFree && head.bin >= 0 {
+				tH, tT := pHead*total, pTail*total
+				mHf = 100*head.cum - tH
+				mHb = tH - 100*(head.cum-counts[head.bin])
+				mTf = 100*tail.cum - tT
+				mTb = tT - 100*(tail.cum-counts[tail.bin])
+				margValid = true
+			}
+			key = 2 + winGen
+		}
+		if key == curKey {
+			curCount++
+		} else {
+			if curCount > 0 {
+				runs = append(runs, WindowRun{PreWarm: curPW, KeepAlive: curKA, Regime: curRegime, Count: curCount})
+			}
+			curKey, curCount = key, 1
+			switch key {
+			case fastKeyOOB:
+				curRegime, curPW, curKA = RegimeOOB, 0, 0
+			case fastKeyStd:
+				curRegime, curPW, curKA = RegimeStandard, 0, 0
+			default:
+				curRegime, curPW, curKA = RegimeWindows, winPW, winKA
+			}
+		}
+		i++
+	}
+	runs = append(runs, WindowRun{PreWarm: curPW, KeepAlive: curKA, Regime: curRegime, Count: curCount})
+
+	// Spill the carried state back into the histogram. The Welford
+	// moments were not maintained; mark them stale for exact readers.
+	h.total, h.oob = total, oob
+	h.sumSq = sumSq
+	h.cvStale = true
+	h.head, h.tail = head, tail
+	h.syncedAt = syncedAt
+	h.winHead, h.winTail = winHead, winTail
+	h.winPreWarm, h.winKeepAlive = winPW, winKA
+	h.winValid = winValid
+	return runs
+}
+
+// decideSeqFastFloat is the fast kernel for configurations whose
+// thresholds are not exactly representable as small rationals: the
+// closed-form CV gate and the OOB test stay in float64, and the
+// percentile-cursor targets are accumulated incrementally (target +=
+// frac per in-bounds observation) instead of re-derived as frac*total
+// at each sync — the reassociation the exact path forfeits; the
+// re-derivation is algebraically redundant since the target changes
+// by exactly frac per observation.
+func (h *Histogram) decideSeqFastFloat(idles []time.Duration, minObs int64, oobThr, cvThr float64, runs []WindowRun) []WindowRun {
+	counts := h.counts
+	binW := h.cfg.BinWidth
+	binIsMinute := binW == time.Minute
+	nf := float64(h.cfg.NumBins)
+	thrSq1 := 1 + cvThr*cvThr
+	headFrac, tailFrac := h.headFrac, h.tailFrac
+	total, oob := h.total, h.oob
+	totalF := float64(total)
+	sumSq := h.sumSq
+	head, tail := h.head, h.tail
+	syncedAt := h.syncedAt
+	headTarget := headFrac * totalF
+	tailTarget := tailFrac * totalF
+	winHead, winTail := h.winHead, h.winTail
+	winPW, winKA := h.winPreWarm, h.winKeepAlive
+	winValid := h.winValid
+	winGen := int64(0)
+	curKey := int64(-1)
+	var curCount int32
+	var curPW, curKA time.Duration
+	var curRegime Regime
+	for _, it := range idles[1:] {
+		// Branchless observe, as in decideSeqFastInt.
+		var idx int
+		if binIsMinute {
+			idx = int(it/time.Minute) | int(it>>63)
+		} else {
+			idx = int(it/binW) | int(it>>63)
+		}
+		if uint(idx) >= uint(len(counts)) {
+			oob++
+		} else {
+			c := counts[idx]
+			counts[idx] = c + 1
+			total++
+			totalF++
+			sumSq += 2*c + 1
+			headTarget += headFrac
+			tailTarget += tailFrac
+			head.cum -= int64(idx-head.bin-1) >> 63
+			tail.cum -= int64(idx-tail.bin-1) >> 63
+		}
+		// Regime selection, same ordering as DecideSeq; the square-free
+		// CV comparison reads "not above" when total == 0, so the
+		// total != 0 term keeps the exact chain's RegimeStandard
+		// outcome there.
+		cnt := total + oob
+		key := int64(fastKeyStd)
+		if cnt >= minObs && oob != 0 && float64(oob) > oobThr*float64(cnt) {
+			key = fastKeyOOB
+		} else if cnt >= minObs && nf*float64(sumSq) >= thrSq1*totalF*totalF && total != 0 {
+			if syncedAt != total {
+				syncedAt = total
+				if head.bin < 0 {
+					head = cursorAtN(counts, headFrac, total)
+					tail = cursorAtN(counts, tailFrac, total)
+				} else {
+					head.walkF(counts, headTarget)
+					tail.walkF(counts, tailTarget)
+				}
+			}
+			if !winValid || winHead != head.bin || winTail != tail.bin {
+				pw, ka := marginWindows(h.cfg, head.bin, tail.bin)
+				if !winValid || pw != winPW || ka != winKA {
+					winGen++
+				}
+				winHead, winTail = head.bin, tail.bin
+				winPW, winKA = pw, ka
+				winValid = true
+			}
+			key = 2 + winGen
+		}
+		if key == curKey {
+			curCount++
+		} else {
+			if curCount > 0 {
+				runs = append(runs, WindowRun{PreWarm: curPW, KeepAlive: curKA, Regime: curRegime, Count: curCount})
+			}
+			curKey, curCount = key, 1
+			switch key {
+			case fastKeyOOB:
+				curRegime, curPW, curKA = RegimeOOB, 0, 0
+			case fastKeyStd:
+				curRegime, curPW, curKA = RegimeStandard, 0, 0
+			default:
+				curRegime, curPW, curKA = RegimeWindows, winPW, winKA
+			}
+		}
+	}
+	runs = append(runs, WindowRun{PreWarm: curPW, KeepAlive: curKA, Regime: curRegime, Count: curCount})
+
+	h.total, h.oob = total, oob
+	h.sumSq = sumSq
+	h.cvStale = true
+	h.head, h.tail = head, tail
+	h.syncedAt = syncedAt
+	h.winHead, h.winTail = winHead, winTail
+	h.winPreWarm, h.winKeepAlive = winPW, winKA
+	h.winValid = winValid
+	return runs
+}

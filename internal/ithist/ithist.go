@@ -104,6 +104,17 @@ type Histogram struct {
 	cvMean float64
 	cvM2   float64
 
+	// sumSq is the sum of squared bin counts, the integer moment behind
+	// the fast-mode closed-form CV (see fast.go). It is maintained on
+	// every count mutation — one integer add per observation — so exact
+	// and fast consumers can share one histogram; the exact decision
+	// path never reads it.
+	sumSq int64
+	// cvStale marks the Welford moments as out of date after a fast
+	// batch (DecideSeqFast maintains only sumSq). Exact readers call
+	// fixWelford to rebuild them from the counts before use.
+	cvStale bool
+
 	// Precomputed constants for the hot path.
 	invBins  float64 // 1 / NumBins, for the O(1) CV update
 	headFrac float64 // HeadPercentile / 100
@@ -170,10 +181,11 @@ func (h *Histogram) Observe(it time.Duration) {
 		h.oob++
 		return
 	}
-	old := float64(h.counts[idx])
+	oldC := h.counts[idx]
 	h.counts[idx]++
 	h.total++
-	h.cvInc1(old)
+	h.sumSq += 2*oldC + 1
+	h.cvInc1(float64(oldC))
 
 	if idx <= h.head.bin {
 		h.head.cum++
@@ -251,6 +263,7 @@ func (h *Histogram) DecideSeq(idles []time.Duration, minObs int64, oobThr, cvThr
 	if len(idles) <= 1 {
 		return runs
 	}
+	h.fixWelford()
 	counts := h.counts
 	binW := h.cfg.BinWidth
 	binIsMinute := binW == time.Minute
@@ -259,6 +272,7 @@ func (h *Histogram) DecideSeq(idles []time.Duration, minObs int64, oobThr, cvThr
 	headFrac, tailFrac := h.headFrac, h.tailFrac
 	total, oob := h.total, h.oob
 	totalF := float64(total) // exact: counts stay far below 2^53
+	sumSq := h.sumSq
 	mean, m2 := h.cvMean, h.cvM2
 	head, tail := h.head, h.tail
 	syncedAt := h.syncedAt
@@ -281,10 +295,12 @@ func (h *Histogram) DecideSeq(idles []time.Duration, minObs int64, oobThr, cvThr
 			if idx >= len(counts) {
 				oob++
 			} else {
-				old := float64(counts[idx])
+				oldC := counts[idx]
+				old := float64(oldC)
 				counts[idx]++
 				total++
 				totalF++
+				sumSq += 2*oldC + 1
 				oldMean := mean
 				mean += invBins
 				m2 += (old + 1) - mean + old - oldMean
@@ -340,6 +356,7 @@ func (h *Histogram) DecideSeq(idles []time.Duration, minObs int64, oobThr, cvThr
 
 	// Spill the carried state back into the histogram.
 	h.total, h.oob = total, oob
+	h.sumSq = sumSq
 	h.cvMean, h.cvM2 = mean, m2
 	h.head, h.tail = head, tail
 	h.syncedAt = syncedAt
@@ -457,6 +474,7 @@ func (h *Histogram) OOBHeavy(thr float64) bool {
 // bins (the histogram is representative); CV near zero means the mass
 // is spread out or absent.
 func (h *Histogram) BinCountCV() float64 {
+	h.fixWelford()
 	if h.cvMean == 0 {
 		return 0
 	}
@@ -467,7 +485,27 @@ func (h *Histogram) BinCountCV() float64 {
 // or division. This is the per-invocation representativeness gate of
 // the hybrid policy.
 func (h *Histogram) CVBelow(thr float64) bool {
+	h.fixWelford()
 	return cvBelow(h.cvMean, h.cvM2, float64(h.cfg.NumBins), thr)
+}
+
+// fixWelford rebuilds the Welford moments from the counts after a fast
+// batch (DecideSeqFast) left them stale. The rebuild is a plain
+// two-pass recomputation, not bit-identical to the incremental
+// history — only reachable once fast mode has touched the histogram,
+// where bit-exactness is already waived.
+func (h *Histogram) fixWelford() {
+	if !h.cvStale {
+		return
+	}
+	h.cvStale = false
+	mean := float64(h.total) * h.invBins
+	var m2 float64
+	for _, c := range h.counts {
+		d := float64(c) - mean
+		m2 += d * d
+	}
+	h.cvMean, h.cvM2 = mean, m2
 }
 
 // Count returns the count in bin idx.
@@ -613,6 +651,8 @@ func (h *Histogram) Reset() {
 	}
 	h.total, h.oob = 0, 0
 	h.cvMean, h.cvM2 = 0, 0
+	h.sumSq = 0
+	h.cvStale = false
 	h.head = cursor{bin: -1}
 	h.tail = cursor{bin: -1}
 	h.syncedAt = 0

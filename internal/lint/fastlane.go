@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// fastKernelPkg is the package hosting the fast-lane kernel: the
+// opt-in (exact=off) reimplementations that are licensed to diverge
+// from the golden-pinned exact path at CV ties and percentile
+// rounding boundaries.
+const fastKernelPkg = "repro/internal/ithist"
+
+// Fastlane enforces the exact/fast split: the exact decision path is
+// pinned bit-for-bit by the golden suites, so a fast-lane helper
+// reached from it silently un-pins the goldens. Every use of a
+// fast-lane function (a function in the fast kernel package whose
+// name carries the Fast marker) must therefore sit either inside
+// fast-lane code itself, or inside the body of an if whose condition
+// consults FastMode — directly (cfg.FastMode) or through a local
+// derived from it (fast := cfg.FastMode). A negated guard
+// (if !cfg.FastMode { ... }) does not count: its body IS the exact
+// path.
+var Fastlane = &Analyzer{
+	Name: "fastlane",
+	Doc:  "fast-lane kernel helpers must only be reached from FastMode-guarded branches or fast-lane code",
+	Run:  runFastlane,
+}
+
+// isFastName reports whether the function name carries the fast-lane
+// marker (FastCVBelow, DecideSeqFast, decideSeqFastInt, fastCVBelow).
+func isFastName(name string) bool {
+	return strings.Contains(name, "Fast") || strings.HasPrefix(name, "fast")
+}
+
+// isFastLaneFunc reports whether fn is a fast-lane kernel entry.
+func isFastLaneFunc(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == fastKernelPkg && isFastName(fn.Name())
+}
+
+func runFastlane(pass *Pass) error {
+	for _, f := range pass.Files {
+		derived := fastModeDerived(pass, f)
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+			if fn == nil || !isFastLaneFunc(fn) {
+				return true
+			}
+			if enclosingFastFunc(stack) || guardedByFastMode(pass, stack, derived) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "fast-lane helper %s reached outside a FastMode-guarded branch: the exact path is pinned by the golden suites; gate the call with `if cfg.FastMode { ... }` or move the caller into fast-lane code (Fast-named)", fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// fastModeDerived collects the objects assigned from an expression
+// that mentions FastMode (fast := a.cfg.FastMode), so one-hop derived
+// guards are recognized. Deeper chains are not traced; guard on the
+// config field or its direct copy.
+func fastModeDerived(pass *Pass, f *ast.File) map[types.Object]bool {
+	derived := map[types.Object]bool{}
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || !mentionsFastMode(pass, rhs, nil) {
+			return
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			derived[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			derived[obj] = true
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					mark(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					mark(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return derived
+}
+
+// mentionsFastMode reports whether expr references FastMode
+// positively: a selector or identifier of that name, or (when derived
+// is non-nil) a local previously marked as copied from one. Mentions
+// under a negation (!cfg.FastMode) do not count — the branch they
+// guard is the exact path.
+func mentionsFastMode(pass *Pass, expr ast.Expr, derived map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.NOT {
+				return false
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "FastMode" {
+				found = true
+			}
+		case *ast.Ident:
+			if n.Name == "FastMode" {
+				found = true
+			} else if derived != nil {
+				if obj := pass.TypesInfo.Uses[n]; obj != nil && derived[obj] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingFastFunc reports whether the use sits inside a Fast-named
+// function declaration — fast-lane code calling fast-lane code.
+func enclosingFastFunc(stack []ast.Node) bool {
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok && isFastName(fd.Name.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// guardedByFastMode reports whether the use sits in the positive body
+// of an if whose condition mentions FastMode. The else branch of such
+// an if is the exact path and does not count.
+func guardedByFastMode(pass *Pass, stack []ast.Node, derived map[types.Object]bool) bool {
+	for i, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if i+1 < len(stack) && stack[i+1] == ifs.Body && mentionsFastMode(pass, ifs.Cond, derived) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+// Package fastlanefix exercises the fastlane analyzer against the
+// real repro/internal/ithist fast kernel (imported from export data,
+// not copied): fast-lane helpers may only be reached from
+// FastMode-guarded branches or from fast-lane code.
+package fastlanefix
+
+import (
+	"time"
+
+	"repro/internal/ithist"
+)
+
+type config struct{ FastMode bool }
+
+// BadUnguarded reaches the fast kernel from plain (exact-path) code:
+// nothing pins this call behind the opt-in.
+func BadUnguarded(h *ithist.Histogram) bool {
+	return h.FastCVBelow(2) // want `fast-lane helper FastCVBelow reached outside a FastMode-guarded branch`
+}
+
+// BadNegatedGuard guards the wrong arm: the body of !FastMode IS the
+// exact path.
+func BadNegatedGuard(h *ithist.Histogram, cfg config) bool {
+	if !cfg.FastMode {
+		return h.FastCVBelow(2) // want `fast-lane helper FastCVBelow reached outside a FastMode-guarded branch`
+	}
+	return false
+}
+
+// GoodGuarded gates the call on the config field directly.
+func GoodGuarded(h *ithist.Histogram, cfg config) bool {
+	if cfg.FastMode {
+		return h.FastCVBelow(2)
+	}
+	return false
+}
+
+// GoodDerivedGuard gates through a local copied from FastMode — the
+// hybrid policy's batch-path idiom.
+func GoodDerivedGuard(h *ithist.Histogram, cfg config, idles []time.Duration) int {
+	fast := cfg.FastMode
+	if fast {
+		return len(h.DecideSeqFast(idles, 2, 0.5, 2, nil))
+	}
+	return 0
+}
+
+// fastHelper is fast-lane code itself (Fast-named): its callers carry
+// the guard, it does not repeat it.
+func fastHelper(h *ithist.Histogram) bool {
+	return h.FastCVBelow(2)
+}
+
+// GoodViaHelper shows the helper pattern end to end.
+func GoodViaHelper(h *ithist.Histogram, cfg config) bool {
+	if cfg.FastMode {
+		return fastHelper(h)
+	}
+	return false
+}

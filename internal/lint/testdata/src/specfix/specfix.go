@@ -4,6 +4,7 @@ package specfix
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/spec"
 )
@@ -36,4 +37,45 @@ func Good(query string) (int, error) {
 		return 0, fmt.Errorf("unknown parameters %v", left)
 	}
 	return n, nil
+}
+
+// BadFastLane parses the fast-lane keys (exact, refit — the hybrid
+// registry's opt-in grammar) and still skips the Unused check: a
+// misspelling like "exat=off" would silently run the exact lane.
+func BadFastLane(query string) (bool, time.Duration, error) {
+	p, err := spec.Parse(query) // want `spec\.Parse result p is never checked with Unused\(\)`
+	if err != nil {
+		return false, 0, err
+	}
+	exact, err := p.Bool("exact", true)
+	if err != nil {
+		return false, 0, err
+	}
+	refit, err := p.Duration("refit", 0)
+	if err != nil {
+		return false, 0, err
+	}
+	return !exact, refit, nil
+}
+
+// GoodFastLane mirrors the hybrid registry: exact and refit consumed,
+// leftovers rejected with the builder's vocabulary (Known) listed so
+// the typo is a one-glance fix.
+func GoodFastLane(query string) (bool, time.Duration, error) {
+	p, err := spec.Parse(query)
+	if err != nil {
+		return false, 0, err
+	}
+	exact, err := p.Bool("exact", true)
+	if err != nil {
+		return false, 0, err
+	}
+	refit, err := p.Duration("refit", 0)
+	if err != nil {
+		return false, 0, err
+	}
+	if left := p.Unused(); len(left) > 0 {
+		return false, 0, fmt.Errorf("unknown parameters %v (known: %v)", left, p.Known())
+	}
+	return !exact, refit, nil
 }

@@ -50,6 +50,21 @@ type HybridConfig struct {
 	// paper notes the model is replaceable (§4.2), and
 	// forecast.ExpSmoothing is a cheap drop-in.
 	Forecaster forecast.Forecaster
+	// FastMode (spec exact=off) relaxes the bit-exactness contract of
+	// the decision pipeline: the histogram gate uses closed-form CV
+	// moments with a square-free threshold comparison
+	// (ithist.DecideSeqFast), and the default ARIMA forecaster uses
+	// reordered float accumulation. Decisions may differ from the
+	// default lane at CV threshold ties; internal/equiv measures and
+	// bounds the divergence.
+	FastMode bool
+	// RefitInterval (spec refit=<dur>) amortizes the ARIMA refit for
+	// OOB-managed apps: a fitted forecast is reused until at least
+	// RefitInterval of observed idle (trace) time has accumulated since
+	// the fit, instead of refitting on every invocation. 0 keeps the
+	// paper's §4.2 refit-per-invocation semantics exactly. Nonzero
+	// requires FastMode.
+	RefitInterval time.Duration
 }
 
 // DefaultHybridConfig returns the paper's defaults: 4-hour 1-minute
@@ -88,6 +103,12 @@ func (c HybridConfig) Validate() error {
 		return fmt.Errorf("policy: ARIMAMaxSeries %d < ARIMAMinSamples %d",
 			c.ARIMAMaxSeries, c.ARIMAMinSamples)
 	}
+	if c.RefitInterval < 0 {
+		return fmt.Errorf("policy: RefitInterval %v negative", c.RefitInterval)
+	}
+	if c.RefitInterval > 0 && !c.FastMode {
+		return fmt.Errorf("policy: RefitInterval %v requires FastMode (spec exact=off): amortized refits break the exact lane's refit-per-invocation pin", c.RefitInterval)
+	}
 	return nil
 }
 
@@ -115,6 +136,12 @@ func (p *Hybrid) Name() string {
 	}
 	if p.cfg.DisablePreWarm {
 		name += "-nopw"
+	}
+	if p.cfg.FastMode {
+		name += "-fast"
+		if p.cfg.RefitInterval > 0 {
+			name += fmt.Sprintf("-refit%s", p.cfg.RefitInterval)
+		}
 	}
 	return name
 }
@@ -153,11 +180,20 @@ var defaultForecaster forecast.Forecaster = forecast.ARIMA{
 	Options: arima.Options{MaxP: 2, MaxD: 1, MaxQ: 1},
 }
 
+// defaultForecasterRelaxed is the same order search with reordered
+// float accumulation licensed — the fast lane's default.
+var defaultForecasterRelaxed forecast.Forecaster = forecast.ARIMA{
+	Options: arima.Options{MaxP: 2, MaxD: 1, MaxQ: 1, Relaxed: true},
+}
+
 // resolveForecaster returns the configured forecaster or the paper's
-// default ARIMA order search.
+// default ARIMA order search (relaxed accumulation in fast mode).
 func resolveForecaster(cfg HybridConfig) forecast.Forecaster {
 	if cfg.Forecaster != nil {
 		return cfg.Forecaster
+	}
+	if cfg.FastMode {
+		return defaultForecasterRelaxed
 	}
 	return defaultForecaster
 }
@@ -189,13 +225,26 @@ type hybridApp struct {
 	lastValid    bool
 
 	// Forecast memo: prediction fitted when obsSeen was fitSeen. The
-	// paper refits after every invocation of an ARIMA-managed app; the
-	// memo only skips refits when no new IT arrived, preserving that
-	// semantics.
+	// paper refits after every invocation of an ARIMA-managed app; on
+	// the exact lane the memo only skips refits when no new IT arrived,
+	// preserving that semantics. The fast lane (RefitInterval > 0)
+	// additionally reuses the memo while less than RefitInterval of
+	// observed idle time has passed since the fit (clock - fitAt).
 	fitSeen  uint64
 	fitPred  float64
 	fitOK    bool
 	fitValid bool
+
+	// clock accumulates observed idle (trace) time and fitAt stamps
+	// the clock at the last actual fit, so clk - fitAt is the fit's
+	// age. Both only maintained in fast mode (the exact lane never
+	// reads them). The per-call path advances the clock on every
+	// observation; the batch kernel only across forecast-path (OOB)
+	// observations — the fit is only consulted there, and since fitAt
+	// comes from the same clock, stretches skipped by both cancel out
+	// of the age.
+	clock time.Duration
+	fitAt time.Duration
 }
 
 // reset prepares a fresh or recycled app for a new lifetime.
@@ -208,6 +257,8 @@ func (a *hybridApp) reset(cfg HybridConfig) {
 	a.obsSeen = 0
 	a.lastValid = false
 	a.fitValid = false
+	a.clock = 0
+	a.fitAt = 0
 }
 
 // Release implements Releasable: the app's state returns to the pool
@@ -256,6 +307,9 @@ func (a *hybridApp) seriesMinutes() []float64 {
 // keep-alive.
 func (a *hybridApp) NextWindows(idle time.Duration, first bool) Decision {
 	if !first {
+		if a.cfg.FastMode && idle > 0 {
+			a.clock += idle
+		}
 		a.hist.Observe(idle)
 		a.pushIT(idle)
 		// No memo write: the observation just invalidated any cached
@@ -301,9 +355,22 @@ func (a *hybridApp) NextWindowsSeq(idles []time.Duration, runs []DecisionRun) []
 	}
 	acc := runAcc{runs: runs, cur: a.NextWindows(idles[0], true), curN: 1}
 	if len(idles) > 1 {
-		a.wruns = a.hist.DecideSeq(idles, a.cfg.MinObservations, a.cfg.OOBThreshold, a.cfg.CVThreshold, a.wruns[:0])
+		fast := a.cfg.FastMode
+		if fast {
+			a.wruns = a.hist.DecideSeqFast(idles, a.cfg.MinObservations, a.cfg.OOBThreshold, a.cfg.CVThreshold, a.wruns[:0])
+		} else {
+			a.wruns = a.hist.DecideSeq(idles, a.cfg.MinObservations, a.cfg.OOBThreshold, a.cfg.CVThreshold, a.wruns[:0])
+		}
 		standard := a.standard()
 		disablePW := a.cfg.DisablePreWarm
+		// Refit clock, fast mode only. The batch kernel advances it
+		// solely across forecast-path (OOB) observations: the fit is
+		// only consulted there, and fitAt is stamped from the same
+		// clock, so skipped stretches cancel out of the clk - fitAt
+		// age. Summing the windows/standard runs' idles too would put
+		// an O(invocations) pass on the hot path for apps that never
+		// touch the forecast.
+		clk := a.clock
 		idx := 1 // invocation index of the next run's first observation
 		for _, wr := range a.wruns {
 			switch wr.Regime {
@@ -317,9 +384,19 @@ func (a *hybridApp) NextWindowsSeq(idles []time.Duration, runs []DecisionRun) []
 				}
 			case ithist.RegimeStandard:
 				acc.emit(standard, wr.Count)
-			default: // ithist.RegimeOOB: refit per invocation (§4.2)
+			default: // ithist.RegimeOOB: the time-series path
 				for k := 0; k < int(wr.Count); k++ {
-					d, ok := a.arimaDecisionAt(idles, idx+k)
+					var d Decision
+					var ok bool
+					if fast {
+						if it := idles[idx+k]; it > 0 {
+							clk += it
+						}
+						d, ok = a.arimaFastAt(idles, idx+k, clk)
+					} else {
+						// Refit per invocation (§4.2).
+						d, ok = a.arimaDecisionAt(idles, idx+k)
+					}
 					if !ok {
 						d = standard
 					}
@@ -331,9 +408,19 @@ func (a *hybridApp) NextWindowsSeq(idles []time.Duration, runs []DecisionRun) []
 		// Leave the ring and counters as the per-call path would have,
 		// so subsequent single NextWindows calls continue correctly.
 		a.rebuildRing(idles[1:])
+		a.clock = clk
 	}
 	a.lastValid = false
-	a.fitValid = false
+	if a.cfg.FastMode && a.cfg.RefitInterval > 0 {
+		// Keep the forecast memo across the batch boundary: marking it
+		// seen lets the per-call path apply the interval gate instead
+		// of unconditionally refitting on the next observation.
+		if a.fitValid {
+			a.fitSeen = a.obsSeen
+		}
+	} else {
+		a.fitValid = false
+	}
 	return append(acc.runs, DecisionRun{D: acc.cur, N: acc.curN})
 }
 
@@ -379,6 +466,39 @@ func (a *hybridApp) arimaDecisionAt(idles []time.Duration, j int) (Decision, boo
 	return a.arimaWindows(predMinutes), true
 }
 
+// arimaFastAt is arimaDecisionAt with the fast lane's amortized refit:
+// a fit younger than RefitInterval of observed idle time (clk is the
+// clock after this invocation's idle) is reused through the forecast
+// memo, skipping both the minutes-series re-derivation and the fit.
+// With RefitInterval 0 the gate never holds and every invocation
+// refits, matching the exact lane's §4.2 semantics.
+func (a *hybridApp) arimaFastAt(idles []time.Duration, j int, clk time.Duration) (Decision, bool) {
+	if a.cfg.DisableARIMA || j < a.cfg.ARIMAMinSamples {
+		return Decision{}, false
+	}
+	if !a.fitValid || clk-a.fitAt >= a.cfg.RefitInterval {
+		lo := 1
+		if m := j - a.cfg.ARIMAMaxSeries + 1; m > lo {
+			lo = m
+		}
+		n := j - lo + 1
+		if cap(a.series) < n {
+			a.series = make([]float64, n)
+		}
+		s := a.series[:n]
+		for k := range s {
+			s[k] = idles[lo+k].Minutes()
+		}
+		a.fitPred, a.fitOK = a.fc.PredictNext(s)
+		a.fitAt = clk
+		a.fitValid = true
+	}
+	if !a.fitOK {
+		return Decision{}, false
+	}
+	return a.arimaWindows(a.fitPred), true
+}
+
 // rebuildRing replaces the ring contents with the tail of the observed
 // idle sequence, in oldest-first order, and advances the observation
 // counter — the state the per-call path would have accumulated.
@@ -400,7 +520,7 @@ func (a *hybridApp) decide() Decision {
 		}
 		return a.standard()
 	}
-	if total < a.cfg.MinObservations || a.hist.CVBelow(a.cfg.CVThreshold) {
+	if total < a.cfg.MinObservations || a.cvBelow() {
 		return a.standard()
 	}
 	pw, ka, ok := a.hist.Windows()
@@ -412,6 +532,17 @@ func (a *hybridApp) decide() Decision {
 		return Decision{PreWarm: 0, KeepAlive: pw + ka, Mode: ModeHistogram}
 	}
 	return Decision{PreWarm: pw, KeepAlive: ka, Mode: ModeHistogram}
+}
+
+// cvBelow is the representativeness gate: the exact Welford-based
+// comparison by default, the closed-form square-free comparison in
+// fast mode (the two can disagree when the CV sits exactly on the
+// threshold).
+func (a *hybridApp) cvBelow() bool {
+	if a.cfg.FastMode {
+		return a.hist.FastCVBelow(a.cfg.CVThreshold)
+	}
+	return a.hist.CVBelow(a.cfg.CVThreshold)
 }
 
 // standard is the conservative fallback: no unloading after execution
@@ -431,11 +562,19 @@ func (a *hybridApp) arimaDecision() (Decision, bool) {
 	// The paper rebuilds the model after every invocation of an
 	// ARIMA-managed app (§4.2); these apps are invoked rarely, so the
 	// cost is off the critical path and negligible in aggregate. The
-	// memo only short-circuits refits on an unchanged series.
+	// memo only short-circuits refits on an unchanged series — except
+	// in fast mode with a refit interval, where a fit younger than
+	// RefitInterval of observed idle time is reused (and the minutes
+	// series not re-derived) even after new observations.
 	if !a.fitValid || a.fitSeen != a.obsSeen {
-		a.fitPred, a.fitOK = a.fc.PredictNext(a.seriesMinutes())
-		a.fitSeen = a.obsSeen
-		a.fitValid = true
+		if a.fitValid && a.cfg.RefitInterval > 0 && a.clock-a.fitAt < a.cfg.RefitInterval {
+			a.fitSeen = a.obsSeen
+		} else {
+			a.fitPred, a.fitOK = a.fc.PredictNext(a.seriesMinutes())
+			a.fitSeen = a.obsSeen
+			a.fitAt = a.clock
+			a.fitValid = true
+		}
 	}
 	if !a.fitOK {
 		return Decision{}, false

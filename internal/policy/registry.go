@@ -80,7 +80,7 @@ func FromSpec(s string) (Policy, error) {
 		return nil, fmt.Errorf("policy: spec %q: %w", s, err)
 	}
 	if left := p.Unused(); len(left) > 0 {
-		return nil, fmt.Errorf("policy: spec %q: unknown parameters %v", s, left)
+		return nil, fmt.Errorf("policy: spec %q: unknown parameters %v (known: %v)", s, left, p.Known())
 	}
 	return pol, nil
 }
@@ -130,6 +130,13 @@ func buildNoUnload(*SpecParams) (Policy, error) { return NoUnloading{}, nil }
 //	arima-margin  forecast error allowance
 //	prewarm   on/off — off is the "no PW, KA:99th" Figure 17 variant
 //	forecaster    arima (default) or ses (exponential smoothing)
+//	exact     on/off — off selects the fast lane: closed-form CV
+//	          moments, square-free threshold comparison, reordered
+//	          float accumulation (decisions may differ at CV ties;
+//	          divergence measured by internal/equiv)
+//	refit     amortized ARIMA refit interval in observed idle time
+//	          (e.g. 1m); 0 (default) refits per invocation as §4.2
+//	          mandates; nonzero requires exact=off
 func buildHybrid(p *SpecParams) (Policy, error) {
 	cfg := DefaultHybridConfig()
 	binWidth, err := p.Duration("binwidth", cfg.Histogram.BinWidth)
@@ -176,6 +183,20 @@ func buildHybrid(p *SpecParams) (Policy, error) {
 		return nil, err
 	}
 	cfg.DisablePreWarm = !preWarm
+	exact, err := p.Bool("exact", true)
+	if err != nil {
+		return nil, err
+	}
+	cfg.FastMode = !exact
+	if cfg.RefitInterval, err = p.Duration("refit", 0); err != nil {
+		return nil, err
+	}
+	if cfg.RefitInterval < 0 {
+		return nil, fmt.Errorf("parameter refit: must be non-negative, got %v", cfg.RefitInterval)
+	}
+	if cfg.RefitInterval > 0 && exact {
+		return nil, fmt.Errorf("parameter refit: requires exact=off (amortized refits relax the exact lane's refit-per-invocation pin)")
+	}
 	switch fc := p.String("forecaster", "arima"); fc {
 	case "arima":
 		// cfg.Forecaster nil selects the paper's default ARIMA search.

@@ -100,7 +100,7 @@ func NewSink(s string) (Sink, error) {
 		return nil, fmt.Errorf("scenario: sink spec %q: %w", s, err)
 	}
 	if left := p.Unused(); len(left) > 0 {
-		return nil, fmt.Errorf("scenario: sink spec %q: unknown parameters %v", s, left)
+		return nil, fmt.Errorf("scenario: sink spec %q: unknown parameters %v (known: %v)", s, left, p.Known())
 	}
 	return sink, nil
 }

@@ -387,7 +387,7 @@ func init() {
 			return nil, err
 		}
 		if left := p.Unused(); len(left) > 0 {
-			return nil, fmt.Errorf("unknown parameters %v", left)
+			return nil, fmt.Errorf("unknown parameters %v (known: %v)", left, p.Known())
 		}
 		if err := cfg.Validate(); err != nil {
 			return nil, err

@@ -43,8 +43,9 @@ func Parse(query string) (*Params, error) {
 // accessors record which keys were consumed; registries reject specs
 // with leftover (misspelled) keys afterwards via Unused.
 type Params struct {
-	vals url.Values
-	used map[string]bool
+	vals  url.Values
+	used  map[string]bool
+	known map[string]bool
 }
 
 // Duration returns the named parameter parsed by time.ParseDuration,
@@ -150,11 +151,29 @@ func (p *Params) Floats(key string, def []float64) ([]float64, error) {
 }
 
 func (p *Params) take(key string) (string, bool) {
+	if p.known == nil {
+		p.known = map[string]bool{}
+	}
+	p.known[key] = true
 	if !p.vals.Has(key) {
 		return "", false
 	}
 	p.used[key] = true
 	return p.vals.Get(key), true
+}
+
+// Known returns every key a typed accessor asked for, present in the
+// spec or not, sorted — the parameters the builder understands. An
+// "unknown parameters" error that also lists the known keys turns a
+// typo ("binwdith") into a one-glance fix instead of a trip to the
+// builder's source.
+func (p *Params) Known() []string {
+	keys := make([]string, 0, len(p.known))
+	for k := range p.known {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Unused returns the keys no accessor consumed, sorted — the

@@ -1,0 +1,36 @@
+package stats
+
+// Relaxed-accumulation variants for the opt-in fast mode
+// (policy=hybrid?exact=off). The exact Sum/Mean accumulate strictly
+// left to right, the order every golden artifact is pinned to; these
+// split the stream across four independent accumulators so the adds
+// pipeline instead of serializing on one dependency chain. The result
+// differs from the sequential sum only in rounding (and is typically
+// closer to the true value), which is exactly the reassociation the
+// exact lane forbids — callers must be fast-mode gated.
+
+// SumRelaxed returns the sum of xs accumulated in four interleaved
+// partial sums. Not bit-identical to sequential summation.
+func SumRelaxed(xs []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		s0 += xs[i]
+		s1 += xs[i+1]
+		s2 += xs[i+2]
+		s3 += xs[i+3]
+	}
+	for ; i < len(xs); i++ {
+		s0 += xs[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// MeanRelaxed returns the mean of xs via SumRelaxed (0 for an empty
+// slice). Not bit-identical to Mean.
+func MeanRelaxed(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return SumRelaxed(xs) / float64(len(xs))
+}
